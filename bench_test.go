@@ -1,0 +1,317 @@
+// Package hoiho_test holds the benchmark harness that regenerates every
+// table and figure of the paper's evaluation (see DESIGN.md's
+// per-experiment index). Benchmarks run the same pipelines as
+// cmd/experiments at a reduced topology scale so that -bench=. completes
+// quickly; run `go run ./cmd/experiments -scale 1` for the full-size
+// report (EXPERIMENTS.md).
+package hoiho_test
+
+import (
+	"testing"
+
+	"hoiho/internal/asnames"
+	"hoiho/internal/core"
+	"hoiho/internal/experiments"
+	"hoiho/internal/psl"
+)
+
+// benchScale keeps -bench=. fast; shapes are unchanged.
+const benchScale = experiments.Scale(0.25)
+
+func lastEraRun(b *testing.B) *experiments.Run {
+	b.Helper()
+	eras := experiments.ITDKEras()
+	run, err := experiments.RunITDKEra(eras[len(eras)-1], benchScale, psl.Default())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return run
+}
+
+// figure4Items is the training data of the paper's worked example.
+func figure4Items() []core.Item {
+	return []core.Item{
+		{Hostname: "109.sgw.equinix.com", ASN: 109},
+		{Hostname: "714.os.equinix.com", ASN: 714},
+		{Hostname: "714.me1.equinix.com", ASN: 714},
+		{Hostname: "p714.sgw.equinix.com", ASN: 714},
+		{Hostname: "s714.sgw.equinix.com", ASN: 714},
+		{Hostname: "p24115.mel.equinix.com", ASN: 24115},
+		{Hostname: "s24115.tyo.equinix.com", ASN: 24115},
+		{Hostname: "22822-2.tyo.equinix.com", ASN: 22282},
+		{Hostname: "24482-fr5-ix.equinix.com", ASN: 24482},
+		{Hostname: "54827-dc5-ix2.equinix.com", ASN: 54827},
+		{Hostname: "55247-ch3-ix.equinix.com", ASN: 55247},
+		{Hostname: "netflix.zh2.corp.eu.equinix.com", ASN: 2906},
+		{Hostname: "ipv4.dosarrest.eqix.equinix.com", ASN: 19324},
+		{Hostname: "8069.tyo.equinix.com", ASN: 8075},
+		{Hostname: "8074.hkg.equinix.com", ASN: 8075},
+		{Hostname: "45437-sy1-ix.equinix.com", ASN: 55923},
+	}
+}
+
+// BenchmarkFigure4 regenerates the paper's four-phase walkthrough: the
+// full learning pipeline on the figure's 16 hostnames, ending at ATP 8.
+func BenchmarkFigure4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		set, err := core.NewSet("equinix.com", figure4Items(), core.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		nc := set.Learn()
+		if nc == nil || nc.Eval.ATP() != 8 {
+			b.Fatalf("NC = %+v", nc)
+		}
+		if i == 0 {
+			b.Logf("figure 4 NC: %v (ATP=%d)", nc.Strings(), nc.Eval.ATP())
+		}
+	}
+}
+
+// BenchmarkFigure5 regenerates the NC-classification series over all 17
+// ITDK eras plus the two PeeringDB snapshots.
+func BenchmarkFigure5(b *testing.B) {
+	list := psl.Default()
+	for i := 0; i < b.N; i++ {
+		f5, _, _, err := experiments.Figure5(benchScale, list)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, r := range f5 {
+				b.Logf("%-14s %-9s good=%d promising=%d poor=%d", r.Name, r.Method, r.Good, r.Promising, r.Poor)
+			}
+		}
+	}
+}
+
+// BenchmarkFigure6 regenerates the training-agreement series (PPV with
+// and without sibling credit).
+func BenchmarkFigure6(b *testing.B) {
+	list := psl.Default()
+	for i := 0; i < b.N; i++ {
+		_, f6, _, err := experiments.Figure5(benchScale, list)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, r := range f6 {
+				b.Logf("%-14s %-9s ppv=%.3f +siblings=%.3f (m=%d)", r.Name, r.Method, r.PPV, r.PPVSibling, r.Matches)
+			}
+		}
+	}
+}
+
+// BenchmarkTable1 regenerates the embedding-style taxonomy.
+func BenchmarkTable1(b *testing.B) {
+	list := psl.Default()
+	itdkRun := lastEraRun(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pdbRun, err := experiments.RunPDBEra("pdb-bench", itdkRun.World, 502, list)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows := experiments.Table1(itdkRun, pdbRun)
+		if i == 0 {
+			for _, r := range rows {
+				b.Logf("%-8s usable %5.1f%% single %5.1f%%", r.Style, r.UsablePct, r.SinglePct)
+			}
+		}
+	}
+}
+
+// BenchmarkTable2 regenerates the ground-truth validation of the modified
+// bdrmapIT's decisions.
+func BenchmarkTable2(b *testing.B) {
+	run := lastEraRun(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunSection5(run)
+		rows, correct, total := experiments.Table2(run, res.Result)
+		if total == 0 {
+			b.Fatal("no validated decisions")
+		}
+		if i == 0 {
+			for _, r := range rows {
+				b.Logf("%-18s TP=%d FN=%d FP=%d TN=%d", r.Label, r.CorrectUsed, r.CorrectUnused, r.IncorrectUsed, r.IncorrectUnused)
+			}
+			b.Logf("correct: %d/%d (%s)", correct, total, experiments.Pct(correct, total))
+		}
+	}
+}
+
+// BenchmarkSection5 regenerates the §5 headline numbers: agreement before
+// and after feeding conventions into bdrmapIT.
+func BenchmarkSection5(b *testing.B) {
+	run := lastEraRun(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunSection5(run)
+		if res.AgreementAfter <= res.AgreementBefore {
+			b.Fatalf("no improvement: %.3f -> %.3f", res.AgreementBefore, res.AgreementAfter)
+		}
+		if i == 0 {
+			b.Logf("agreement %.3f -> %.3f (%s -> %s); used %d/%d",
+				res.AgreementBefore, res.AgreementAfter,
+				experiments.OneIn(res.ErrOneInBefore), experiments.OneIn(res.ErrOneInAfter),
+				res.UsedTotal, res.Decisions)
+		}
+	}
+}
+
+// BenchmarkSection4SuffixOrigin regenerates the single-NC suffix-origin
+// analysis.
+func BenchmarkSection4SuffixOrigin(b *testing.B) {
+	run := lastEraRun(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		own, other := experiments.SuffixOriginAnalysis(run)
+		if i == 0 {
+			b.Logf("single NCs: own-org %d, other %d (%s)", own, other, experiments.Pct(own, own+other))
+		}
+	}
+}
+
+// BenchmarkFigure7Expansion regenerates the §7 full-PTR expansion.
+func BenchmarkFigure7Expansion(b *testing.B) {
+	run := lastEraRun(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := experiments.Figure7(run)
+		if res.FullMatches < res.ObservedMatches {
+			b.Fatal("expansion went backward")
+		}
+		if i == 0 {
+			b.Logf("observed=%d full=%d factor=%.2f", res.ObservedMatches, res.FullMatches, res.Factor)
+		}
+	}
+}
+
+// ablationBench learns the last era's conventions under modified learner
+// options and reports the aggregate ATP, quantifying each design choice
+// from DESIGN.md.
+func ablationBench(b *testing.B, opts core.Options, label string) {
+	list := psl.Default()
+	run := lastEraRun(b)
+	groups, suffixes := core.GroupItems(list, run.Items)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		atp, ncs, regexes := 0, 0, 0
+		for _, suf := range suffixes {
+			set, err := core.NewSet(suf, groups[suf], opts)
+			if err != nil || set.Len() < 4 {
+				continue
+			}
+			if nc := set.Learn(); nc != nil {
+				atp += nc.Eval.ATP()
+				ncs++
+				regexes += len(nc.Regexes)
+			}
+		}
+		if i == 0 {
+			// ATP measures coverage; the regex count measures the
+			// simplicity the paper's merge phase buys (appendix A).
+			b.Logf("%s: %d NCs, total ATP %d, %d regexes", label, ncs, atp, regexes)
+		}
+	}
+}
+
+func BenchmarkAblationBaseline(b *testing.B) {
+	ablationBench(b, core.Options{}, "baseline")
+}
+
+func BenchmarkAblationNoMerge(b *testing.B) {
+	ablationBench(b, core.Options{DisableMerge: true}, "no merge (§3.3 off)")
+}
+
+func BenchmarkAblationNoClasses(b *testing.B) {
+	ablationBench(b, core.Options{DisableClasses: true}, "no character classes (§3.4 off)")
+}
+
+func BenchmarkAblationNoSets(b *testing.B) {
+	ablationBench(b, core.Options{DisableSets: true}, "no regex sets (§3.5 off)")
+}
+
+func BenchmarkAblationNoTypoCredit(b *testing.B) {
+	ablationBench(b, core.Options{DisableTypoCredit: true}, "no typo credit (§3.1 rule off)")
+}
+
+func BenchmarkAblationRankPPV(b *testing.B) {
+	ablationBench(b, core.Options{RankByPPV: true}, "rank by PPV instead of ATP")
+}
+
+// BenchmarkAblationReasonableness compares the §5 reasonableness rule
+// against trusting every extracted ASN, counting wrong hostnames accepted.
+func BenchmarkAblationReasonableness(b *testing.B) {
+	run := lastEraRun(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunSection5(run)
+		wrongUsed, wrongTotal := 0, 0
+		for _, d := range res.Result.Decisions {
+			ifc := run.World.Interface(d.Addr)
+			if ifc == nil {
+				continue
+			}
+			truth := ifc.Router.Owner
+			if d.Extracted != truth && !run.World.Orgs.Siblings(d.Extracted, truth) {
+				wrongTotal++
+				if d.Used {
+					wrongUsed++
+				}
+			}
+		}
+		if i == 0 {
+			b.Logf("rule accepted %d/%d wrong hostnames; 'always trust' accepts %d/%d",
+				wrongUsed, wrongTotal, wrongTotal, wrongTotal)
+		}
+	}
+}
+
+// BenchmarkEndToEnd measures the whole pipeline for one era: world,
+// probing, ITDK assembly, annotation, learning.
+func BenchmarkEndToEnd(b *testing.B) {
+	list := psl.Default()
+	eras := experiments.ITDKEras()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		run, err := experiments.RunITDKEra(eras[len(eras)-1], benchScale, list)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			c := experiments.Count(run.NCs)
+			b.Logf("end-to-end: %d items, %d NCs (%d good)", len(run.Items), len(run.NCs), c.Good)
+		}
+	}
+}
+
+// BenchmarkSection7Names exercises the §7 extension: learning AS-name
+// conventions (figure 1's telia.net style).
+func BenchmarkSection7Names(b *testing.B) {
+	items := []asnames.Item{
+		{Hostname: "vodafone-ic-324966-prs-b1.c.telia.net", Name: "vodafone"},
+		{Hostname: "bloomberg-ic-324982-ash-b1.c.telia.net", Name: "bloomberg"},
+		{Hostname: "comcast-ic-324571-sjo-b21.c.telia.net", Name: "comcast"},
+		{Hostname: "akamai-ic-301765-nyk-b4.c.telia.net", Name: "akamai"},
+		{Hostname: "netflix-ic-315133-fra-b5.c.telia.net", Name: "netflix"},
+		{Hostname: "vodafone.mil51.seabone.net", Name: "vodafone"},
+		{Hostname: "orange.pal3.seabone.net", Name: "orange"},
+		{Hostname: "telecomitalia.mia2.seabone.net", Name: "telecomitalia"},
+		{Hostname: "claro.gru11.seabone.net", Name: "claro"},
+		{Hostname: "fastweb.mil51.seabone.net", Name: "fastweb"},
+	}
+	learner := &asnames.Learner{}
+	for i := 0; i < b.N; i++ {
+		ncs, err := learner.LearnAll(psl.Default(), items)
+		if err != nil || len(ncs) != 2 {
+			b.Fatalf("ncs=%d err=%v", len(ncs), err)
+		}
+		if i == 0 {
+			for _, nc := range ncs {
+				b.Logf("%s: %v", nc.Suffix, nc.Strings())
+			}
+		}
+	}
+}

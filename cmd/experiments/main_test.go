@@ -1,0 +1,40 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"hoiho/internal/experiments"
+)
+
+func TestReportAll(t *testing.T) {
+	var out bytes.Buffer
+	if err := Report(&out, experiments.Scale(0.2), "all"); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{
+		"## Figure 5", "## Figure 6", "## Table 1", "## Table 2",
+		"## §5", "## §4", "## §7", "Training-set overlap",
+		"itdk-2010-07", "itdk-2020-01", "pdb-2020-02",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}
+
+func TestReportSingleExperiment(t *testing.T) {
+	var out bytes.Buffer
+	if err := Report(&out, experiments.Scale(0.2), "table2"); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	if !strings.Contains(text, "## Table 2") {
+		t.Error("table 2 missing")
+	}
+	if strings.Contains(text, "## Table 1") {
+		t.Error("unexpected table 1 section")
+	}
+}

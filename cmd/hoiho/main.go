@@ -1,0 +1,233 @@
+// Command hoiho learns ASN naming conventions from router hostnames
+// annotated with training ASNs, reimplementing the sc_hoiho tool the
+// paper ships in scamper.
+//
+// Input formats (chosen by -format):
+//
+//	plain: one observation per line, "hostname asn [address]"
+//	itdk:  an ITDK snapshot produced by cmd/itdkgen or itdk.WriteTo
+//
+// Output: learned conventions per suffix, as text or JSON (-json),
+// including per-regex evaluation and the good/promising/poor class.
+//
+// Example:
+//
+//	hoiho -format itdk itdk-2020-01.txt
+//	hoiho -json training.txt > ncs.json
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"net/netip"
+	"os"
+	"strings"
+
+	"hoiho/internal/asn"
+	"hoiho/internal/asnames"
+	"hoiho/internal/core"
+	"hoiho/internal/itdk"
+	"hoiho/internal/psl"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "hoiho:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("hoiho", flag.ContinueOnError)
+	format := fs.String("format", "plain", "input format: plain or itdk")
+	jsonOut := fs.Bool("json", false, "emit learned conventions as JSON")
+	minItems := fs.Int("min-items", 4, "minimum training items per suffix")
+	pslPath := fs.String("psl", "", "public suffix list file (default: embedded snapshot)")
+	noMerge := fs.Bool("no-merge", false, "ablation: disable phase 2 (merge regexes)")
+	noClasses := fs.Bool("no-classes", false, "ablation: disable phase 3 (character classes)")
+	noSets := fs.Bool("no-sets", false, "ablation: disable phase 4 (regex sets)")
+	noTypo := fs.Bool("no-typo-credit", false, "ablation: disable the edit-distance-1 TP credit")
+	names := fs.Bool("names", false, "learn AS *name* conventions (§7 extension); plain input becomes \"hostname name\"")
+	matches := fs.Bool("matches", false, "show per-hostname classifications under each convention (the paper's data-supplement view)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: hoiho [flags] <training-file>")
+	}
+
+	list := psl.Default()
+	if *pslPath != "" {
+		f, err := os.Open(*pslPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if list, err = psl.Parse(f); err != nil {
+			return err
+		}
+	}
+
+	f, err := os.Open(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	if *names {
+		if *format != "plain" {
+			return fmt.Errorf("-names requires -format plain")
+		}
+		return runNames(f, out, list, *minItems)
+	}
+
+	var items []core.Item
+	switch *format {
+	case "plain":
+		items, err = parsePlain(f)
+	case "itdk":
+		var snap *itdk.Snapshot
+		if snap, err = itdk.Parse(f); err == nil {
+			items = snap.TrainingItems()
+		}
+	default:
+		return fmt.Errorf("unknown format %q", *format)
+	}
+	if err != nil {
+		return err
+	}
+
+	learner := &core.Learner{
+		MinItems: *minItems,
+		Opts: core.Options{
+			DisableMerge:      *noMerge,
+			DisableClasses:    *noClasses,
+			DisableSets:       *noSets,
+			DisableTypoCredit: *noTypo,
+		},
+	}
+	ncs, err := learner.LearnAll(list, items)
+	if err != nil {
+		return err
+	}
+
+	if *jsonOut {
+		data, err := core.MarshalNCs(ncs)
+		if err != nil {
+			return err
+		}
+		_, err = fmt.Fprintln(out, string(data))
+		return err
+	}
+	fmt.Fprintf(out, "# %d training items, %d conventions\n", len(items), len(ncs))
+	groups, _ := core.GroupItems(list, items)
+	for _, nc := range ncs {
+		tag := nc.Class.String()
+		if nc.Single {
+			tag += ",single"
+		}
+		fmt.Fprintf(out, "%s: %s  TP=%d FP=%d FN=%d ATP=%d PPV=%.3f unique=%d\n",
+			nc.Suffix, tag, nc.Eval.TP, nc.Eval.FP, nc.Eval.FN,
+			nc.Eval.ATP(), nc.Eval.PPV(), nc.Eval.UniqueTP)
+		for _, r := range nc.Strings() {
+			fmt.Fprintf(out, "  %s\n", r)
+		}
+		if !*matches {
+			continue
+		}
+		// Per-hostname classification, the view the paper's public data
+		// supplement provides for every suffix.
+		set, err := core.NewSet(nc.Suffix, groups[nc.Suffix], learner.Opts)
+		if err != nil {
+			return err
+		}
+		_, exts := set.EvaluateDetailed(nc.Regexes...)
+		for _, e := range exts {
+			extracted := e.ASN
+			if extracted == "" {
+				extracted = "-"
+			}
+			fmt.Fprintf(out, "  %-3s %-50s train=%s extracted=%s\n",
+				e.Outcome, e.Item.Hostname, e.Item.ASN, extracted)
+		}
+	}
+	return nil
+}
+
+// runNames learns AS-name conventions from "hostname name" lines.
+func runNames(r io.Reader, out io.Writer, list *psl.List, minItems int) error {
+	var items []asnames.Item
+	sc := bufio.NewScanner(r)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return fmt.Errorf("line %d: want hostname name", lineno)
+		}
+		items = append(items, asnames.Item{Hostname: fields[0], Name: fields[1]})
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	l := &asnames.Learner{MinItems: minItems}
+	ncs, err := l.LearnAll(list, items)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "# %d training items, %d name conventions\n", len(items), len(ncs))
+	for _, nc := range ncs {
+		tag := "usable"
+		if nc.Good {
+			tag = "good"
+		}
+		fmt.Fprintf(out, "%s: %s  TP=%d FP=%d FN=%d ATP=%d PPV=%.3f unique=%d\n",
+			nc.Suffix, tag, nc.Eval.TP, nc.Eval.FP, nc.Eval.FN,
+			nc.Eval.ATP(), nc.Eval.PPV(), nc.Eval.UniqueTP)
+		for _, r := range nc.Strings() {
+			fmt.Fprintf(out, "  %s\n", r)
+		}
+	}
+	return nil
+}
+
+// parsePlain reads "hostname asn [address]" lines.
+func parsePlain(r io.Reader) ([]core.Item, error) {
+	var items []core.Item
+	sc := bufio.NewScanner(r)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("line %d: want hostname asn [address]", lineno)
+		}
+		a, err := asn.Parse(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineno, err)
+		}
+		it := core.Item{Hostname: fields[0], ASN: a}
+		if len(fields) >= 3 {
+			addr, err := netip.ParseAddr(fields[2])
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %w", lineno, err)
+			}
+			it.Addr = addr
+		}
+		items = append(items, it)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return items, nil
+}

@@ -1,0 +1,163 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"hoiho/internal/core"
+)
+
+func writeFile(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const plainTraining = `# hostname asn [address]
+as701-nyc-xe0.example.net 701
+as3356-lax-ge3.example.net 3356
+as7018-fra-te1.example.net 7018
+as1299-lhr-xe2.example.net 1299
+as2914-sin-hu0.example.net 2914
+core1.nyc.example.net 64512
+`
+
+func TestRunPlain(t *testing.T) {
+	path := writeFile(t, "train.txt", plainTraining)
+	var out bytes.Buffer
+	if err := run([]string{path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	if !strings.Contains(text, "example.net: good") {
+		t.Errorf("output:\n%s", text)
+	}
+	if !strings.Contains(text, `as(\d+)-`) {
+		t.Errorf("regex missing:\n%s", text)
+	}
+}
+
+func TestRunJSONRoundTrip(t *testing.T) {
+	path := writeFile(t, "train.txt", plainTraining)
+	var out bytes.Buffer
+	if err := run([]string{"-json", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	ncs, err := core.UnmarshalNCs(out.Bytes())
+	if err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, out.String())
+	}
+	if len(ncs) != 1 || ncs[0].Suffix != "example.net" {
+		t.Errorf("ncs = %+v", ncs)
+	}
+}
+
+func TestRunNamesMode(t *testing.T) {
+	path := writeFile(t, "names.txt", `
+vodafone-ic-1.c.telia.net vodafone
+bloomberg-ic-2.c.telia.net bloomberg
+comcast-ic-3.c.telia.net comcast
+akamai-ic-4.c.telia.net akamai
+`)
+	var out bytes.Buffer
+	if err := run([]string{"-names", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), `([a-z]+)`) {
+		t.Errorf("output:\n%s", out.String())
+	}
+	// -names requires plain format.
+	if err := run([]string{"-names", "-format", "itdk", path}, &out); err == nil {
+		t.Error("itdk + names should error")
+	}
+}
+
+func TestRunWithAddressAndIPFilter(t *testing.T) {
+	// The address column disqualifies IP-fragment extractions.
+	path := writeFile(t, "train.txt", `
+50-236-216-122-static.hfc.cb.net 122 50.236.216.122
+50-236-216-95-static.hfc.cb.net 95 50.236.216.95
+50-236-217-14-static.hfc.cb.net 14 50.236.217.14
+50-236-217-33-static.hfc.cb.net 33 50.236.217.33
+`)
+	var out bytes.Buffer
+	if err := run([]string{path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out.String(), "cb.net:") {
+		t.Errorf("IP fragments learned as a convention:\n%s", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{},                        // no file
+		{"-format", "bogus", "x"}, // unknown format
+		{filepath.Join(t.TempDir(), "missing.txt")}, // missing file
+	}
+	for _, args := range cases {
+		var out bytes.Buffer
+		if err := run(args, &out); err == nil {
+			t.Errorf("run(%v) should error", args)
+		}
+	}
+	bad := writeFile(t, "bad.txt", "only-one-field\n")
+	var out bytes.Buffer
+	if err := run([]string{bad}, &out); err == nil {
+		t.Error("malformed line should error")
+	}
+	badASN := writeFile(t, "bad2.txt", "host.x.net notanasn\n")
+	if err := run([]string{badASN}, &out); err == nil {
+		t.Error("bad ASN should error")
+	}
+	badAddr := writeFile(t, "bad3.txt", "host.x.net 100 notanip\n")
+	if err := run([]string{badAddr}, &out); err == nil {
+		t.Error("bad address should error")
+	}
+}
+
+func TestRunCustomPSL(t *testing.T) {
+	pslPath := writeFile(t, "psl.dat", "net\nexample.net\n")
+	// With example.net itself a public suffix, the registered domain of
+	// the hostnames becomes <label>.example.net per hostname: no suffix
+	// accumulates 4+ items, so nothing is learned.
+	train := writeFile(t, "train.txt", plainTraining)
+	var out bytes.Buffer
+	if err := run([]string{"-psl", pslPath, train}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out.String(), "example.net: good") {
+		t.Errorf("custom PSL ignored:\n%s", out.String())
+	}
+}
+
+func TestRunAblationFlags(t *testing.T) {
+	path := writeFile(t, "train.txt", plainTraining)
+	for _, flag := range []string{"-no-merge", "-no-classes", "-no-sets", "-no-typo-credit"} {
+		var out bytes.Buffer
+		if err := run([]string{flag, path}, &out); err != nil {
+			t.Errorf("run(%s): %v", flag, err)
+		}
+	}
+}
+
+func TestRunMatchesDump(t *testing.T) {
+	path := writeFile(t, "train.txt", plainTraining)
+	var out bytes.Buffer
+	if err := run([]string{"-matches", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	if !strings.Contains(text, "TP  as701-nyc-xe0.example.net") {
+		t.Errorf("per-hostname dump missing:\n%s", text)
+	}
+	if !strings.Contains(text, "train=701 extracted=701") {
+		t.Errorf("extraction columns missing:\n%s", text)
+	}
+}

@@ -1,0 +1,177 @@
+// Command itdkgen generates synthetic training data: it builds a
+// router-level Internet, probes it with Ark-style traceroutes, assembles
+// an ITDK-like snapshot annotated by RouterToAsAssignment or bdrmapIT,
+// and optionally emits the companion artifacts (traceroute corpus, AS
+// relationships, AS-to-organization map, BGP table, PeeringDB snapshot,
+// full PTR zone, ground truth).
+//
+// Example:
+//
+//	itdkgen -seed 7 -method bdrmapit -o itdk.txt -pdb pdb.json -ptr zone.txt
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"net/netip"
+	"os"
+
+	"hoiho/internal/asn"
+	"hoiho/internal/bdrmapit"
+	"hoiho/internal/itdk"
+	"hoiho/internal/peeringdb"
+	"hoiho/internal/rtaa"
+	"hoiho/internal/topo"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "itdkgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("itdkgen", flag.ContinueOnError)
+	seed := fs.Int64("seed", 1, "generator seed")
+	method := fs.String("method", "bdrmapit", "annotation method: rtaa or bdrmapit")
+	completeness := fs.Float64("alias-completeness", 0.8, "alias resolution completeness in [0,1]")
+	name := fs.String("name", "itdk-synth", "snapshot name")
+	out := fs.String("o", "-", "ITDK snapshot output file ('-' for stdout)")
+	tracesOut := fs.String("traces", "", "also write the traceroute corpus here")
+	relOut := fs.String("rel", "", "also write AS relationships (as-rel format) here")
+	orgsOut := fs.String("orgs", "", "also write the AS-to-organization map here")
+	bgpOut := fs.String("bgp", "", "also write the BGP table here")
+	pdbOut := fs.String("pdb", "", "also write a PeeringDB snapshot here")
+	ptrOut := fs.String("ptr", "", "also write the full PTR zone (addr hostname) here")
+	truthOut := fs.String("truth", "", "also write ground-truth ownership (addr asn) here")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	world, err := topo.Build(topo.DefaultConfig(*seed))
+	if err != nil {
+		return err
+	}
+	corpus := world.TraceAll()
+	aliases := itdk.TruthAliases(world).Degrade(*seed^0xa11a5, *completeness)
+	ptr := func(a netip.Addr) string {
+		if ifc := world.Interface(a); ifc != nil {
+			return ifc.Hostname
+		}
+		return ""
+	}
+	graph := itdk.BuildGraph(corpus, aliases, world.Table, ptr)
+
+	var annotations map[int]asn.ASN
+	switch *method {
+	case "rtaa":
+		annotations = rtaa.Annotate(graph, world.Rel)
+	case "bdrmapit":
+		ixps := make(map[asn.ASN]bool)
+		for _, a := range world.ASes {
+			if a.Class == topo.IXP {
+				ixps[a.ASN] = true
+			}
+		}
+		an := &bdrmapit.Annotator{Graph: graph, Rel: world.Rel, Orgs: world.Orgs, IXPs: ixps}
+		annotations = an.Annotate()
+	default:
+		return fmt.Errorf("unknown method %q", *method)
+	}
+	snap := itdk.FromGraph(graph, annotations, *name, *method)
+
+	if err := writeTo(*out, func(w io.Writer) error {
+		_, err := snap.WriteTo(w)
+		return err
+	}); err != nil {
+		return err
+	}
+	if *tracesOut != "" {
+		if err := writeTo(*tracesOut, func(w io.Writer) error {
+			_, err := corpus.WriteTo(w)
+			return err
+		}); err != nil {
+			return err
+		}
+	}
+	if *relOut != "" {
+		if err := writeTo(*relOut, func(w io.Writer) error {
+			_, err := world.Rel.WriteTo(w)
+			return err
+		}); err != nil {
+			return err
+		}
+	}
+	if *orgsOut != "" {
+		if err := writeTo(*orgsOut, func(w io.Writer) error {
+			_, err := world.Orgs.WriteTo(w)
+			return err
+		}); err != nil {
+			return err
+		}
+	}
+	if *bgpOut != "" {
+		if err := writeTo(*bgpOut, func(w io.Writer) error {
+			_, err := world.Table.WriteTo(w)
+			return err
+		}); err != nil {
+			return err
+		}
+	}
+	if *pdbOut != "" {
+		pdb := peeringdb.Synthesize(world, *name+"-pdb", peeringdb.SynthOptions{
+			Seed: *seed + 1, ErrorRate: 0.035, OrgMainRate: 0.06,
+		})
+		if err := writeTo(*pdbOut, func(w io.Writer) error {
+			_, err := pdb.WriteTo(w)
+			return err
+		}); err != nil {
+			return err
+		}
+	}
+	if *ptrOut != "" {
+		if err := writeTo(*ptrOut, func(w io.Writer) error {
+			bw := bufio.NewWriter(w)
+			for _, ifc := range world.Interfaces() {
+				if ifc.Hostname != "" {
+					fmt.Fprintf(bw, "%s %s\n", ifc.Addr, ifc.Hostname)
+				}
+			}
+			return bw.Flush()
+		}); err != nil {
+			return err
+		}
+	}
+	if *truthOut != "" {
+		if err := writeTo(*truthOut, func(w io.Writer) error {
+			bw := bufio.NewWriter(w)
+			for _, ifc := range world.Interfaces() {
+				fmt.Fprintf(bw, "%s %d\n", ifc.Addr, ifc.Router.Owner)
+			}
+			return bw.Flush()
+		}); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(os.Stderr, "itdkgen: %d ASes, %d routers, %d interfaces, %d traces, %d nodes observed\n",
+		len(world.ASes), len(world.Routers), len(world.ByAddr), corpus.Len(), len(graph.Nodes))
+	return nil
+}
+
+func writeTo(path string, fn func(io.Writer) error) error {
+	if path == "-" {
+		return fn(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,130 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"hoiho/internal/itdk"
+	"hoiho/internal/peeringdb"
+	"hoiho/internal/traceroute"
+)
+
+func TestRunWritesAllArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	p := func(name string) string { return filepath.Join(dir, name) }
+	args := []string{
+		"-seed", "5",
+		"-o", p("itdk.txt"),
+		"-traces", p("tr.txt"),
+		"-rel", p("rel.txt"),
+		"-orgs", p("orgs.txt"),
+		"-bgp", p("bgp.txt"),
+		"-pdb", p("pdb.json"),
+		"-ptr", p("ptr.txt"),
+		"-truth", p("truth.txt"),
+	}
+	if err := run(args); err != nil {
+		t.Fatal(err)
+	}
+
+	// Snapshot parses and carries annotations and hostnames.
+	f, err := os.Open(p("itdk.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	snap, err := itdk.Parse(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Method != "bdrmapit" || len(snap.Nodes) == 0 {
+		t.Errorf("snapshot: method=%q nodes=%d", snap.Method, len(snap.Nodes))
+	}
+	if len(snap.TrainingItems()) == 0 {
+		t.Error("no training items in snapshot")
+	}
+
+	// Traces parse.
+	tf, err := os.Open(p("tr.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tf.Close()
+	corpus, err := traceroute.Parse(tf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if corpus.Len() == 0 {
+		t.Error("empty corpus")
+	}
+
+	// PeeringDB parses.
+	pf, err := os.Open(p("pdb.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pf.Close()
+	pdb, err := peeringdb.Parse(pf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pdb.Records) == 0 {
+		t.Error("empty peeringdb snapshot")
+	}
+
+	// PTR zone and truth are non-empty "addr value" lines.
+	for _, name := range []string{"ptr.txt", "truth.txt", "rel.txt", "orgs.txt", "bgp.txt"} {
+		data, err := os.ReadFile(p(name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(strings.TrimSpace(string(data))) == 0 {
+			t.Errorf("%s is empty", name)
+		}
+	}
+}
+
+func TestRunRTAAMethod(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "itdk.txt")
+	if err := run([]string{"-seed", "6", "-method", "rtaa", "-o", out}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "method=rtaa") {
+		t.Error("method header missing")
+	}
+}
+
+func TestRunUnknownMethod(t *testing.T) {
+	if err := run([]string{"-method", "bogus", "-o", filepath.Join(t.TempDir(), "x")}); err == nil {
+		t.Error("unknown method should error")
+	}
+}
+
+func TestRunDeterministicOutput(t *testing.T) {
+	dir := t.TempDir()
+	a, b := filepath.Join(dir, "a.txt"), filepath.Join(dir, "b.txt")
+	if err := run([]string{"-seed", "9", "-o", a}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-seed", "9", "-o", b}); err != nil {
+		t.Fatal(err)
+	}
+	da, err := os.ReadFile(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := os.ReadFile(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(da) != string(db) {
+		t.Error("same seed produced different snapshots")
+	}
+}

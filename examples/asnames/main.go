@@ -1,0 +1,68 @@
+// asnames: the paper's §7 future-work direction — learning conventions
+// that embed AS *names* rather than numbers (figure 1's telia.net and
+// seabone.net). Training names come from the AS-to-organization
+// database, the dictionary-assisted variant of the open problem the
+// paper poses.
+//
+//	go run ./examples/asnames
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hoiho/internal/asnames"
+	"hoiho/internal/psl"
+)
+
+func main() {
+	items := []asnames.Item{
+		// figure 1 style: neighbor name at the start (telia.net).
+		{Hostname: "vodafone-ic-324966-prs-b1.c.telia.net", Name: "vodafone"},
+		{Hostname: "bloomberg-ic-324982-ash-b1.c.telia.net", Name: "bloomberg"},
+		{Hostname: "comcast-ic-324571-sjo-b21.c.telia.net", Name: "comcast"},
+		{Hostname: "akamai-ic-301765-nyk-b4.c.telia.net", Name: "akamai"},
+		{Hostname: "netflix-ic-315133-fra-b5.c.telia.net", Name: "netflix"},
+		// seabone.net: bare neighbor name, then the POP.
+		{Hostname: "vodafone.mil51.seabone.net", Name: "vodafone"},
+		{Hostname: "orange.pal3.seabone.net", Name: "orange"},
+		{Hostname: "telecomitalia.mia2.seabone.net", Name: "telecomitalia"},
+		{Hostname: "claro.gru11.seabone.net", Name: "claro"},
+		{Hostname: "fastweb.mil51.seabone.net", Name: "fastweb"},
+		// A suffix with no name convention.
+		{Hostname: "xe0-1.nyc.plaincarrier.net", Name: "vodafone"},
+		{Hostname: "core1.lax.plaincarrier.net", Name: "orange"},
+		{Hostname: "lo0.fra.plaincarrier.net", Name: "claro"},
+		{Hostname: "ge2.lhr.plaincarrier.net", Name: "fastweb"},
+	}
+
+	learner := &asnames.Learner{}
+	ncs, err := learner.LearnAll(psl.Default(), items)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, nc := range ncs {
+		fmt.Printf("%s (good=%v, TP=%d FP=%d FN=%d):\n",
+			nc.Suffix, nc.Good, nc.Eval.TP, nc.Eval.FP, nc.Eval.FN)
+		for _, r := range nc.Strings() {
+			fmt.Println("   ", r)
+		}
+	}
+
+	// Apply to hostnames the learner never saw.
+	fmt.Println("\nextractions from unseen hostnames:")
+	for _, nc := range ncs {
+		var probe string
+		switch nc.Suffix {
+		case "telia.net":
+			probe = "google-ic-322001-sto-b2.c.telia.net"
+		case "seabone.net":
+			probe = "swisscom.zur1.seabone.net"
+		default:
+			continue
+		}
+		if name, ok := nc.Extract(probe); ok {
+			fmt.Printf("  %-40s -> %q\n", probe, name)
+		}
+	}
+}

@@ -1,0 +1,97 @@
+// Equinix: the paper's figure 4 worked example, phase by phase. The 16
+// hostnames (rows a-p) train a convention for equinix.com; the final NC
+// combines a merged, class-embedded regex with a second format, exactly
+// as the figure shows (ATP -7 regexes become an ATP 8 convention).
+//
+//	go run ./examples/equinix
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hoiho/internal/core"
+	"hoiho/internal/rex"
+)
+
+func main() {
+	items := []core.Item{
+		{Hostname: "109.sgw.equinix.com", ASN: 109},               // a
+		{Hostname: "714.os.equinix.com", ASN: 714},                // b
+		{Hostname: "714.me1.equinix.com", ASN: 714},               // c
+		{Hostname: "p714.sgw.equinix.com", ASN: 714},              // d
+		{Hostname: "s714.sgw.equinix.com", ASN: 714},              // e
+		{Hostname: "p24115.mel.equinix.com", ASN: 24115},          // f
+		{Hostname: "s24115.tyo.equinix.com", ASN: 24115},          // g
+		{Hostname: "22822-2.tyo.equinix.com", ASN: 22282},         // h
+		{Hostname: "24482-fr5-ix.equinix.com", ASN: 24482},        // i
+		{Hostname: "54827-dc5-ix2.equinix.com", ASN: 54827},       // j
+		{Hostname: "55247-ch3-ix.equinix.com", ASN: 55247},        // k
+		{Hostname: "netflix.zh2.corp.eu.equinix.com", ASN: 2906},  // l
+		{Hostname: "ipv4.dosarrest.eqix.equinix.com", ASN: 19324}, // m
+		{Hostname: "8069.tyo.equinix.com", ASN: 8075},             // n
+		{Hostname: "8074.hkg.equinix.com", ASN: 8075},             // o
+		{Hostname: "45437-sy1-ix.equinix.com", ASN: 55923},        // p
+	}
+	set, err := core.NewSet("equinix.com", items, core.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	show := func(title string, srcs ...string) {
+		regexes := make([]*rex.Regex, len(srcs))
+		for i, s := range srcs {
+			r, err := rex.Parse(s)
+			if err != nil {
+				log.Fatal(err)
+			}
+			regexes[i] = r
+		}
+		ev := set.Evaluate(regexes...)
+		fmt.Printf("%s\n", title)
+		for _, s := range srcs {
+			fmt.Printf("    %s\n", s)
+		}
+		fmt.Printf("    TP=%-2d FP=%-2d FN=%-2d ATP=%d\n\n", ev.TP, ev.FP, ev.FN, ev.ATP())
+	}
+
+	fmt.Println("Phase 1: generate base regexes (§3.2)")
+	show("  #1", `^(\d+)\.[^\.]+\.equinix\.com$`)
+	show("  #2", `^p(\d+)\.[^\.]+\.equinix\.com$`)
+	show("  #3", `^s(\d+)\.[^\.]+\.equinix\.com$`)
+	show("  #4", `^(\d+)-.+\.equinix\.com$`)
+
+	fmt.Println("Phase 2: merge regexes (§3.3)")
+	show("  #5", `^(?:p|s)?(\d+)\.[^\.]+\.equinix\.com$`)
+
+	fmt.Println("Phase 3: embed character classes (§3.4)")
+	show("  #6", `^(?:p|s)?(\d+)\.[a-z\d]+\.equinix\.com$`)
+
+	fmt.Println("Phase 4: build regex sets (§3.5)")
+	show("  #7", `^(?:p|s)?(\d+)\.[a-z\d]+\.equinix\.com$`, `^(\d+)-.+\.equinix\.com$`)
+
+	fmt.Println("Running the full learner:")
+	nc := set.Learn()
+	if nc == nil {
+		log.Fatal("no convention learned")
+	}
+	for _, r := range nc.Strings() {
+		fmt.Println("   ", r)
+	}
+	fmt.Printf("    TP=%d FP=%d FN=%d ATP=%d class=%s\n",
+		nc.Eval.TP, nc.Eval.FP, nc.Eval.FN, nc.Eval.ATP(), nc.Class)
+
+	fmt.Println("\nPer-hostname outcomes under the learned NC:")
+	_, exts := set.EvaluateDetailed(nc.Regexes...)
+	for i, e := range exts {
+		fmt.Printf("  (%c) %-35s %-4s extracted=%s\n",
+			'a'+i, e.Item.Hostname, e.Outcome, orDash(e.ASN))
+	}
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
+}

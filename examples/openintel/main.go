@@ -1,0 +1,126 @@
+// openintel: the paper's §7 expansion. Conventions learned from the
+// traceroute-derived ITDK are applied to the full PTR zone (the
+// OpenINTEL-style sweep of all delegated space), revealing interconnection
+// hostnames that traceroute never observed — backup ports, links not on
+// any best path, and exchanges outside the probed region.
+//
+//	go run ./examples/openintel
+package main
+
+import (
+	"fmt"
+	"log"
+	"net/netip"
+	"sort"
+	"strings"
+
+	"hoiho/internal/asn"
+	"hoiho/internal/core"
+	"hoiho/internal/itdk"
+	"hoiho/internal/psl"
+	"hoiho/internal/rtaa"
+	"hoiho/internal/topo"
+)
+
+func main() {
+	cfg := topo.DefaultConfig(77)
+	cfg.BackupLinkRate = 2.5 // redundant ports only a PTR sweep can see
+	world, err := topo.Build(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	corpus := world.TraceAll()
+	aliases := itdk.TruthAliases(world).Degrade(1, 0.85)
+	ptr := func(a netip.Addr) string {
+		if ifc := world.Interface(a); ifc != nil {
+			return ifc.Hostname
+		}
+		return ""
+	}
+	graph := itdk.BuildGraph(corpus, aliases, world.Table, ptr)
+	snap := itdk.FromGraph(graph, rtaa.Annotate(graph, world.Rel), "oi", "rtaa")
+
+	learner := &core.Learner{}
+	ncs, err := learner.LearnAll(psl.Default(), snap.TrainingItems())
+	if err != nil {
+		log.Fatal(err)
+	}
+	var usable []*core.NC
+	bySuffix := make(map[string]*core.NC)
+	for _, nc := range ncs {
+		if nc.Class.Usable() {
+			usable = append(usable, nc)
+			bySuffix[nc.Suffix] = nc
+		}
+	}
+	fmt.Printf("learned %d usable conventions from the traceroute view\n", len(usable))
+
+	extract := func(host string) (asn.ASN, bool) {
+		s := host
+		for {
+			if nc, ok := bySuffix[s]; ok {
+				if digits, ok := nc.Extract(host); ok {
+					a, err := asn.Parse(digits)
+					return a, err == nil
+				}
+				return asn.None, false
+			}
+			i := strings.IndexByte(s, '.')
+			if i < 0 {
+				return asn.None, false
+			}
+			s = s[i+1:]
+		}
+	}
+
+	// Traceroute view vs the full PTR zone.
+	observed := 0
+	for _, host := range graph.Hostnames {
+		if _, ok := extract(host); ok {
+			observed++
+		}
+	}
+	full := 0
+	newLinks := make(map[asn.ASN]int) // extracted ASN -> unseen-port count
+	for _, ifc := range world.Interfaces() {
+		if ifc.Hostname == "" {
+			continue
+		}
+		a, ok := extract(ifc.Hostname)
+		if !ok {
+			continue
+		}
+		full++
+		if _, seen := graph.Hostnames[ifc.Addr]; !seen {
+			newLinks[a]++
+		}
+	}
+	fmt.Printf("hostnames matching a usable NC:\n")
+	fmt.Printf("  traceroute-observed interfaces: %d\n", observed)
+	fmt.Printf("  full PTR zone:                  %d (%.1fx)\n",
+		full, float64(full)/float64(observed))
+
+	// The hint the paper closes with: extracted ASNs on unseen ports
+	// point at interconnections measurement never captured.
+	type hint struct {
+		asn   asn.ASN
+		ports int
+	}
+	var hints []hint
+	for a, n := range newLinks {
+		hints = append(hints, hint{a, n})
+	}
+	sort.Slice(hints, func(i, j int) bool {
+		if hints[i].ports != hints[j].ports {
+			return hints[i].ports > hints[j].ports
+		}
+		return hints[i].asn < hints[j].asn
+	})
+	fmt.Printf("top ASes with interconnection ports invisible to traceroute:\n")
+	for i, h := range hints {
+		if i == 8 {
+			break
+		}
+		fmt.Printf("  AS%-8v %d unseen named ports\n", h.asn, h.ports)
+	}
+}

@@ -1,0 +1,63 @@
+// Quickstart: learn an ASN naming convention from a handful of router
+// hostnames annotated with training ASNs, then use it to extract ASNs
+// from new hostnames.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hoiho/internal/asn"
+	"hoiho/internal/core"
+)
+
+func main() {
+	// Training data: hostnames of router interfaces under one suffix and
+	// the ASN a router-ownership method inferred for each router. The
+	// operator (examplecarrier.net) labels the neighbor's ASN at the
+	// start of the hostname.
+	items := []core.Item{
+		{Hostname: "as701-nyc-xe0.examplecarrier.net", ASN: 701},
+		{Hostname: "as3356-lax-ge3.examplecarrier.net", ASN: 3356},
+		{Hostname: "as7018-fra-te1.examplecarrier.net", ASN: 7018},
+		{Hostname: "as1299-lhr-xe2.examplecarrier.net", ASN: 1299},
+		{Hostname: "as2914-sin-hu0.examplecarrier.net", ASN: 2914},
+		{Hostname: "as6762-syd-be4.examplecarrier.net", ASN: 6762},
+		// Internal interfaces carry no ASN and must not produce false
+		// positives.
+		{Hostname: "core1.nyc.examplecarrier.net", ASN: 64512},
+		{Hostname: "xe0-1.fra.examplecarrier.net", ASN: 64512},
+	}
+
+	set, err := core.NewSet("examplecarrier.net", items, core.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	nc := set.Learn()
+	if nc == nil {
+		log.Fatal("no convention learned")
+	}
+
+	fmt.Println("learned naming convention for", nc.Suffix)
+	for _, r := range nc.Strings() {
+		fmt.Println("  regex:", r)
+	}
+	fmt.Printf("  class: %s   TP=%d FP=%d FN=%d ATP=%d PPV=%.2f\n",
+		nc.Class, nc.Eval.TP, nc.Eval.FP, nc.Eval.FN, nc.Eval.ATP(), nc.Eval.PPV())
+
+	// Apply the convention to hostnames the learner never saw.
+	for _, host := range []string{
+		"as174-mia-et9.examplecarrier.net",
+		"as209-cdg-xe7.examplecarrier.net",
+		"lo0.sjc.examplecarrier.net",
+	} {
+		if digits, ok := nc.Extract(host); ok {
+			a, _ := asn.Parse(digits)
+			fmt.Printf("  %-40s -> AS%v\n", host, a)
+		} else {
+			fmt.Printf("  %-40s -> no ASN embedded\n", host)
+		}
+	}
+}

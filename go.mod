@@ -1,0 +1,3 @@
+module hoiho
+
+go 1.22

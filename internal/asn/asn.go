@@ -1,0 +1,175 @@
+// Package asn models Autonomous System Numbers, organization (sibling)
+// groupings in the style of CAIDA's AS-to-organization dataset, and AS
+// business relationships (provider-customer / peer) in the style of
+// CAIDA's AS-relationship dataset.
+//
+// The paper uses sibling information when scoring extracted ASNs
+// ("including these siblings increased the PPV...", §4) and when the
+// modified bdrmapIT decides whether a hostname-extracted ASN is
+// reasonable ("matched, or was a sibling of, an ASN in either the
+// subsequent or destination ASN sets, or the extracted ASN is a provider
+// of one of the ASes in these sets", §5).
+package asn
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ASN is an Autonomous System Number. Zero is "no ASN".
+type ASN uint32
+
+// None is the absent ASN.
+const None ASN = 0
+
+// String renders the ASN in decimal, or "-" when absent.
+func (a ASN) String() string {
+	if a == None {
+		return "-"
+	}
+	return strconv.FormatUint(uint64(a), 10)
+}
+
+// Digits renders the ASN's decimal digits; the empty string when absent.
+// It is the representation compared against numbers extracted from
+// hostnames.
+func (a ASN) Digits() string {
+	if a == None {
+		return ""
+	}
+	return strconv.FormatUint(uint64(a), 10)
+}
+
+// Parse parses a decimal ASN.
+func Parse(s string) (ASN, error) {
+	s = strings.TrimPrefix(strings.ToLower(strings.TrimSpace(s)), "as")
+	v, err := strconv.ParseUint(s, 10, 32)
+	if err != nil {
+		return None, fmt.Errorf("asn: parse %q: %w", s, err)
+	}
+	if v == 0 {
+		return None, fmt.Errorf("asn: zero is reserved")
+	}
+	return ASN(v), nil
+}
+
+// OrgID identifies an organization owning one or more ASNs.
+type OrgID string
+
+// Orgs maps ASNs to the organizations that operate them. Two ASNs with
+// the same organization are siblings. The zero value is empty and usable.
+type Orgs struct {
+	asn2org map[ASN]OrgID
+	org2asn map[OrgID][]ASN
+}
+
+// NewOrgs returns an empty organization database.
+func NewOrgs() *Orgs {
+	return &Orgs{asn2org: make(map[ASN]OrgID), org2asn: make(map[OrgID][]ASN)}
+}
+
+// Add records that org operates each of asns. Adding an ASN twice moves
+// it to the most recent organization.
+func (o *Orgs) Add(org OrgID, asns ...ASN) {
+	for _, a := range asns {
+		if a == None {
+			continue
+		}
+		if prev, ok := o.asn2org[a]; ok {
+			members := o.org2asn[prev]
+			for i, m := range members {
+				if m == a {
+					o.org2asn[prev] = append(members[:i], members[i+1:]...)
+					break
+				}
+			}
+		}
+		o.asn2org[a] = org
+		o.org2asn[org] = append(o.org2asn[org], a)
+	}
+}
+
+// Org returns the organization operating a, if known.
+func (o *Orgs) Org(a ASN) (OrgID, bool) {
+	id, ok := o.asn2org[a]
+	return id, ok
+}
+
+// Siblings reports whether a and b are operated by the same organization.
+// An ASN is always its own sibling. Unknown ASNs have no siblings other
+// than themselves.
+func (o *Orgs) Siblings(a, b ASN) bool {
+	if a == b {
+		return a != None
+	}
+	oa, ok := o.asn2org[a]
+	if !ok {
+		return false
+	}
+	ob, ok := o.asn2org[b]
+	return ok && oa == ob
+}
+
+// SiblingSet returns every ASN sharing a's organization, including a
+// itself, sorted. If a is unknown the result is just {a}.
+func (o *Orgs) SiblingSet(a ASN) []ASN {
+	id, ok := o.asn2org[a]
+	if !ok {
+		return []ASN{a}
+	}
+	out := append([]ASN(nil), o.org2asn[id]...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Len returns the number of ASNs with a known organization.
+func (o *Orgs) Len() int { return len(o.asn2org) }
+
+// WriteTo serializes the database as "asn|org" lines, sorted by ASN.
+func (o *Orgs) WriteTo(w io.Writer) (int64, error) {
+	asns := make([]ASN, 0, len(o.asn2org))
+	for a := range o.asn2org {
+		asns = append(asns, a)
+	}
+	sort.Slice(asns, func(i, j int) bool { return asns[i] < asns[j] })
+	var n int64
+	for _, a := range asns {
+		c, err := fmt.Fprintf(w, "%d|%s\n", a, o.asn2org[a])
+		n += int64(c)
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}
+
+// ParseOrgs reads "asn|org" lines ('#' comments and blanks ignored).
+func ParseOrgs(r io.Reader) (*Orgs, error) {
+	o := NewOrgs()
+	sc := bufio.NewScanner(r)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		a, org, ok := strings.Cut(line, "|")
+		if !ok {
+			return nil, fmt.Errorf("asn: orgs line %d: missing '|'", lineno)
+		}
+		id, err := Parse(a)
+		if err != nil {
+			return nil, fmt.Errorf("asn: orgs line %d: %w", lineno, err)
+		}
+		o.Add(OrgID(strings.TrimSpace(org)), id)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return o, nil
+}

@@ -1,0 +1,229 @@
+package asn
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestParse(t *testing.T) {
+	cases := []struct {
+		in   string
+		want ASN
+		ok   bool
+	}{
+		{"701", 701, true},
+		{"AS701", 701, true},
+		{"as15576", 15576, true},
+		{" 3356 ", 3356, true},
+		{"4294967295", 4294967295, true},
+		{"0", 0, false},
+		{"-1", 0, false},
+		{"4294967296", 0, false},
+		{"abc", 0, false},
+		{"", 0, false},
+	}
+	for _, c := range cases {
+		got, err := Parse(c.in)
+		if (err == nil) != c.ok || got != c.want {
+			t.Errorf("Parse(%q) = %v,%v want %v,ok=%v", c.in, got, err, c.want, c.ok)
+		}
+	}
+}
+
+func TestStringAndDigits(t *testing.T) {
+	if ASN(701).String() != "701" || ASN(701).Digits() != "701" {
+		t.Error("ASN 701 render wrong")
+	}
+	if None.String() != "-" || None.Digits() != "" {
+		t.Error("None render wrong")
+	}
+}
+
+func TestOrgsSiblings(t *testing.T) {
+	o := NewOrgs()
+	o.Add("microsoft", 8075, 8069, 12076)
+	o.Add("telia", 1299)
+	if !o.Siblings(8075, 8069) || !o.Siblings(8069, 12076) {
+		t.Error("microsoft siblings not detected")
+	}
+	if o.Siblings(8075, 1299) {
+		t.Error("cross-org siblings")
+	}
+	if !o.Siblings(8075, 8075) {
+		t.Error("self sibling")
+	}
+	if o.Siblings(None, None) {
+		t.Error("None should not be its own sibling")
+	}
+	if o.Siblings(9999, 9998) {
+		t.Error("unknown ASNs are not siblings")
+	}
+	if !o.Siblings(9999, 9999) {
+		t.Error("unknown ASN is its own sibling")
+	}
+	set := o.SiblingSet(8069)
+	want := []ASN{8069, 8075, 12076}
+	if len(set) != len(want) {
+		t.Fatalf("SiblingSet = %v", set)
+	}
+	for i := range want {
+		if set[i] != want[i] {
+			t.Fatalf("SiblingSet = %v, want %v", set, want)
+		}
+	}
+	if s := o.SiblingSet(4242); len(s) != 1 || s[0] != 4242 {
+		t.Errorf("unknown SiblingSet = %v", s)
+	}
+}
+
+func TestOrgsReassign(t *testing.T) {
+	o := NewOrgs()
+	o.Add("a", 100, 200)
+	o.Add("b", 200)
+	if o.Siblings(100, 200) {
+		t.Error("200 moved to org b; should not be sibling of 100")
+	}
+	if org, _ := o.Org(200); org != "b" {
+		t.Errorf("Org(200) = %q", org)
+	}
+	if set := o.SiblingSet(100); len(set) != 1 {
+		t.Errorf("SiblingSet(100) = %v", set)
+	}
+}
+
+func TestOrgsRoundTrip(t *testing.T) {
+	o := NewOrgs()
+	o.Add("microsoft", 8075, 8069)
+	o.Add("telia", 1299)
+	var buf bytes.Buffer
+	if _, err := o.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseOrgs(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 3 || !got.Siblings(8075, 8069) || got.Siblings(8075, 1299) {
+		t.Errorf("round trip lost data: %d", got.Len())
+	}
+	if _, err := ParseOrgs(strings.NewReader("bogus line")); err == nil {
+		t.Error("bad line should error")
+	}
+	if _, err := ParseOrgs(strings.NewReader("x|org")); err == nil {
+		t.Error("bad asn should error")
+	}
+}
+
+func TestRelationships(t *testing.T) {
+	r := NewRelationships()
+	r.AddP2C(3356, 7018) // 3356 provides transit to 7018
+	r.AddP2C(3356, 209)
+	r.AddP2P(7018, 209)
+	if !r.IsProvider(3356, 7018) || r.IsProvider(7018, 3356) {
+		t.Error("IsProvider wrong")
+	}
+	if !r.IsPeer(7018, 209) || !r.IsPeer(209, 7018) {
+		t.Error("IsPeer should be symmetric")
+	}
+	if !r.AreNeighbors(3356, 7018) || !r.AreNeighbors(7018, 3356) || !r.AreNeighbors(209, 7018) {
+		t.Error("AreNeighbors wrong")
+	}
+	if r.AreNeighbors(3356, 64512) {
+		t.Error("non-neighbors reported as neighbors")
+	}
+	if d := r.Degree(7018); d != 2 {
+		t.Errorf("Degree(7018) = %d, want 2", d)
+	}
+	if d := r.Degree(3356); d != 2 {
+		t.Errorf("Degree(3356) = %d, want 2", d)
+	}
+	if d := r.Degree(64512); d != 0 {
+		t.Errorf("Degree(unknown) = %d, want 0", d)
+	}
+	ps := r.Providers(7018)
+	if len(ps) != 1 || ps[0] != 3356 {
+		t.Errorf("Providers = %v", ps)
+	}
+	cs := r.Customers(3356)
+	if len(cs) != 2 || cs[0] != 209 || cs[1] != 7018 {
+		t.Errorf("Customers = %v", cs)
+	}
+	all := r.ASNs()
+	if len(all) != 3 {
+		t.Errorf("ASNs = %v", all)
+	}
+}
+
+func TestRelationshipsIgnoreDegenerate(t *testing.T) {
+	r := NewRelationships()
+	r.AddP2C(100, 100)
+	r.AddP2C(None, 100)
+	r.AddP2P(100, 100)
+	r.AddP2P(100, None)
+	if len(r.ASNs()) != 0 {
+		t.Errorf("degenerate edges recorded: %v", r.ASNs())
+	}
+}
+
+func TestRelationshipsRoundTrip(t *testing.T) {
+	r := NewRelationships()
+	r.AddP2C(3356, 7018)
+	r.AddP2P(7018, 209)
+	var buf bytes.Buffer
+	if _, err := r.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	if !strings.Contains(text, "3356|7018|-1") || !strings.Contains(text, "209|7018|0") {
+		t.Errorf("serialized:\n%s", text)
+	}
+	got, err := ParseRelationships(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.IsProvider(3356, 7018) || !got.IsPeer(209, 7018) {
+		t.Error("round trip lost edges")
+	}
+	for _, bad := range []string{"1|2", "x|2|0", "1|y|-1", "1|2|7"} {
+		if _, err := ParseRelationships(strings.NewReader(bad)); err == nil {
+			t.Errorf("ParseRelationships(%q) should error", bad)
+		}
+	}
+}
+
+// Property: Siblings is reflexive (nonzero), symmetric, and transitive
+// for ASNs added to orgs.
+func TestSiblingEquivalenceQuick(t *testing.T) {
+	o := NewOrgs()
+	orgs := []OrgID{"a", "b", "c"}
+	for i := ASN(1); i <= 30; i++ {
+		o.Add(orgs[int(i)%3], i)
+	}
+	f := func(x, y, z uint8) bool {
+		a, b, c := ASN(x%30+1), ASN(y%30+1), ASN(z%30+1)
+		if !o.Siblings(a, a) {
+			return false
+		}
+		if o.Siblings(a, b) != o.Siblings(b, a) {
+			return false
+		}
+		if o.Siblings(a, b) && o.Siblings(b, c) && !o.Siblings(a, c) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSiblings(b *testing.B) {
+	o := NewOrgs()
+	o.Add("microsoft", 8075, 8069, 12076)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		o.Siblings(8075, 12076)
+	}
+}

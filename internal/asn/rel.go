@@ -1,0 +1,203 @@
+package asn
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// RelKind is the business relationship between two adjacent ASes.
+type RelKind int8
+
+const (
+	// P2C: the first AS is a provider of the second (CAIDA encodes -1).
+	P2C RelKind = -1
+	// P2P: the ASes are settlement-free peers (CAIDA encodes 0).
+	P2P RelKind = 0
+)
+
+// Relationships is an AS-level relationship graph. The zero value is not
+// usable; construct with NewRelationships.
+type Relationships struct {
+	providers map[ASN]map[ASN]bool // customer -> providers
+	customers map[ASN]map[ASN]bool // provider -> customers
+	peers     map[ASN]map[ASN]bool // symmetric
+}
+
+// NewRelationships returns an empty relationship graph.
+func NewRelationships() *Relationships {
+	return &Relationships{
+		providers: make(map[ASN]map[ASN]bool),
+		customers: make(map[ASN]map[ASN]bool),
+		peers:     make(map[ASN]map[ASN]bool),
+	}
+}
+
+func addEdge(m map[ASN]map[ASN]bool, from, to ASN) {
+	set, ok := m[from]
+	if !ok {
+		set = make(map[ASN]bool)
+		m[from] = set
+	}
+	set[to] = true
+}
+
+// AddP2C records that provider sells transit to customer.
+func (r *Relationships) AddP2C(provider, customer ASN) {
+	if provider == None || customer == None || provider == customer {
+		return
+	}
+	addEdge(r.providers, customer, provider)
+	addEdge(r.customers, provider, customer)
+}
+
+// AddP2P records a settlement-free peering between a and b.
+func (r *Relationships) AddP2P(a, b ASN) {
+	if a == None || b == None || a == b {
+		return
+	}
+	addEdge(r.peers, a, b)
+	addEdge(r.peers, b, a)
+}
+
+// IsProvider reports whether p is a direct provider of c.
+func (r *Relationships) IsProvider(p, c ASN) bool { return r.providers[c][p] }
+
+// IsPeer reports whether a and b peer directly.
+func (r *Relationships) IsPeer(a, b ASN) bool { return r.peers[a][b] }
+
+// AreNeighbors reports whether a and b share any relationship edge.
+func (r *Relationships) AreNeighbors(a, b ASN) bool {
+	return r.providers[a][b] || r.providers[b][a] || r.peers[a][b]
+}
+
+// Providers returns c's direct providers, sorted.
+func (r *Relationships) Providers(c ASN) []ASN { return sortedKeys(r.providers[c]) }
+
+// Customers returns p's direct customers, sorted.
+func (r *Relationships) Customers(p ASN) []ASN { return sortedKeys(r.customers[p]) }
+
+// Peers returns a's peers, sorted.
+func (r *Relationships) Peers(a ASN) []ASN { return sortedKeys(r.peers[a]) }
+
+// Degree returns the number of distinct relationship neighbors of a. The
+// RouterToAsAssignment heuristic breaks election ties by preferring the
+// AS with the smaller degree (Huffaker et al. 2010).
+func (r *Relationships) Degree(a ASN) int {
+	seen := make(map[ASN]bool)
+	for n := range r.providers[a] {
+		seen[n] = true
+	}
+	for n := range r.customers[a] {
+		seen[n] = true
+	}
+	for n := range r.peers[a] {
+		seen[n] = true
+	}
+	return len(seen)
+}
+
+// ASNs returns every ASN appearing in the graph, sorted.
+func (r *Relationships) ASNs() []ASN {
+	seen := make(map[ASN]bool)
+	for a := range r.providers {
+		seen[a] = true
+	}
+	for a := range r.customers {
+		seen[a] = true
+	}
+	for a := range r.peers {
+		seen[a] = true
+	}
+	return sortedKeys(seen)
+}
+
+func sortedKeys(m map[ASN]bool) []ASN {
+	out := make([]ASN, 0, len(m))
+	for a := range m {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// WriteTo serializes the graph in CAIDA as-rel format: "a|b|-1" for
+// provider a / customer b, "a|b|0" for peers (each peering written once,
+// smaller ASN first), sorted.
+func (r *Relationships) WriteTo(w io.Writer) (int64, error) {
+	type edge struct {
+		a, b ASN
+		kind RelKind
+	}
+	var edges []edge
+	for p, cs := range r.customers {
+		for c := range cs {
+			edges = append(edges, edge{p, c, P2C})
+		}
+	}
+	for a, bs := range r.peers {
+		for b := range bs {
+			if a < b {
+				edges = append(edges, edge{a, b, P2P})
+			}
+		}
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].a != edges[j].a {
+			return edges[i].a < edges[j].a
+		}
+		if edges[i].b != edges[j].b {
+			return edges[i].b < edges[j].b
+		}
+		return edges[i].kind < edges[j].kind
+	})
+	var n int64
+	for _, e := range edges {
+		c, err := fmt.Fprintf(w, "%d|%d|%d\n", e.a, e.b, e.kind)
+		n += int64(c)
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}
+
+// ParseRelationships reads CAIDA as-rel format ('#' comments ignored).
+func ParseRelationships(r io.Reader) (*Relationships, error) {
+	rel := NewRelationships()
+	sc := bufio.NewScanner(r)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Split(line, "|")
+		if len(fields) < 3 {
+			return nil, fmt.Errorf("asn: rel line %d: want a|b|kind", lineno)
+		}
+		a, err := Parse(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("asn: rel line %d: %w", lineno, err)
+		}
+		b, err := Parse(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("asn: rel line %d: %w", lineno, err)
+		}
+		switch strings.TrimSpace(fields[2]) {
+		case "-1":
+			rel.AddP2C(a, b)
+		case "0":
+			rel.AddP2P(a, b)
+		default:
+			return nil, fmt.Errorf("asn: rel line %d: unknown kind %q", lineno, fields[2])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return rel, nil
+}

@@ -1,0 +1,404 @@
+// Package asnames implements the paper's §7 future-work direction:
+// learning regexes that extract AS *names* from router hostnames
+// (figure 1's telia.net and seabone.net conventions name the neighbor,
+// not its number). The paper estimates at least 3x more suffixes embed
+// AS names than AS numbers.
+//
+// The learner mirrors Hoiho's ASN pipeline — base regexes from
+// punctuation structure, ATP = TP − (FP + FN) ranking, regex sets — with
+// an alphabetic capture ([a-z]+) in place of (\d+). Training names come
+// from the AS-to-organization database (the paper's harder goal of
+// dictionary-free learning is noted in §7 as open; this implementation
+// is the dictionary-assisted variant, with the dictionary supplied by
+// training labels the same way ASNs are).
+package asnames
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"hoiho/internal/hostname"
+	"hoiho/internal/psl"
+	"hoiho/internal/rex"
+)
+
+// Item is one training observation: a hostname and the short name of the
+// AS operating the router (e.g. "telia", from AS2Org).
+type Item struct {
+	Hostname string
+	Name     string
+}
+
+// prepped caches parsing work per item.
+type prepped struct {
+	Item
+	name     hostname.Name
+	apparent bool
+}
+
+// Set is the training data for one suffix.
+type Set struct {
+	Suffix string
+	items  []prepped
+}
+
+// Congruent reports whether an extracted alphabetic token names the
+// training AS: exact match, or a prefix/abbreviation of at least four
+// characters (operators shorten names: "vodafone" -> "voda").
+func Congruent(extracted, trainName string) bool {
+	if extracted == "" || trainName == "" {
+		return false
+	}
+	if extracted == trainName {
+		return true
+	}
+	return len(extracted) >= 4 && strings.HasPrefix(trainName, extracted)
+}
+
+// hasApparentName reports whether the hostname contains an alphabetic
+// run congruent with the training name.
+func hasApparentName(p prepped) bool {
+	for _, part := range p.name.Parts {
+		for _, run := range alphaRuns(part.Text) {
+			if Congruent(run, p.Name) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// alphaRuns returns the maximal alphabetic substrings of s.
+func alphaRuns(s string) []string {
+	var runs []string
+	i := 0
+	for i < len(s) {
+		if !hostname.IsAlpha(s[i]) {
+			i++
+			continue
+		}
+		j := i
+		for j < len(s) && hostname.IsAlpha(s[j]) {
+			j++
+		}
+		runs = append(runs, s[i:j])
+		i = j
+	}
+	return runs
+}
+
+// NewSet parses and indexes training items for one suffix.
+func NewSet(suffix string, items []Item) (*Set, error) {
+	if suffix == "" {
+		return nil, fmt.Errorf("asnames: empty suffix")
+	}
+	s := &Set{Suffix: suffix}
+	for _, it := range items {
+		it.Name = strings.ToLower(strings.TrimSpace(it.Name))
+		if it.Name == "" {
+			continue
+		}
+		n, err := hostname.Parse(it.Hostname)
+		if err != nil {
+			continue
+		}
+		if _, ok := n.SuffixParts(suffix); !ok {
+			continue
+		}
+		p := prepped{Item: it, name: n}
+		p.apparent = hasApparentName(p)
+		s.items = append(s.items, p)
+	}
+	return s, nil
+}
+
+// Len returns the number of usable training items.
+func (s *Set) Len() int { return len(s.items) }
+
+// Eval aggregates outcomes, as in Hoiho's ASN evaluation.
+type Eval struct {
+	TP, FP, FN int
+	Matches    int
+	UniqueTP   int
+}
+
+// ATP is TP − (FP + FN).
+func (e Eval) ATP() int { return e.TP - (e.FP + e.FN) }
+
+// PPV is TP/(TP+FP).
+func (e Eval) PPV() float64 {
+	if e.Matches == 0 {
+		return 0
+	}
+	return float64(e.TP) / float64(e.Matches)
+}
+
+// Evaluate scores an ordered regex set; the first matching regex decides
+// each hostname.
+func (s *Set) Evaluate(regexes ...*rex.Regex) Eval {
+	var e Eval
+	unique := make(map[string]struct{})
+	for i := range s.items {
+		p := &s.items[i]
+		matched := false
+		for _, r := range regexes {
+			ext, _, _, ok := r.Extract(p.name.Full)
+			if !ok {
+				continue
+			}
+			matched = true
+			if Congruent(ext, p.Name) {
+				e.TP++
+				unique[ext] = struct{}{}
+			} else {
+				e.FP++
+			}
+			e.Matches++
+			break
+		}
+		if !matched && p.apparent {
+			e.FN++
+		}
+	}
+	e.UniqueTP = len(unique)
+	return e
+}
+
+// NC is a learned name-extracting convention.
+type NC struct {
+	Suffix  string
+	Regexes []*rex.Regex
+	Eval    Eval
+	Good    bool // >= 3 unique congruent names with PPV >= 0.8
+}
+
+// Extract applies the NC to a hostname.
+func (nc *NC) Extract(host string) (string, bool) {
+	for _, r := range nc.Regexes {
+		if name, _, _, ok := r.Extract(host); ok {
+			return name, true
+		}
+	}
+	return "", false
+}
+
+// Strings renders the NC's regexes.
+func (nc *NC) Strings() []string {
+	out := make([]string, len(nc.Regexes))
+	for i, r := range nc.Regexes {
+		out[i] = r.String()
+	}
+	return out
+}
+
+// Learn runs the pipeline: generate, rank by ATP, build a set greedily.
+func (s *Set) Learn() *NC {
+	pool := s.generate()
+	if len(pool) == 0 {
+		return nil
+	}
+	type scored struct {
+		r *rex.Regex
+		e Eval
+	}
+	cands := make([]scored, 0, len(pool))
+	for _, r := range pool {
+		if _, err := r.Compile(); err != nil {
+			continue
+		}
+		cands = append(cands, scored{r, s.Evaluate(r)})
+	}
+	sort.SliceStable(cands, func(i, j int) bool {
+		a, b := cands[i], cands[j]
+		if a.e.ATP() != b.e.ATP() {
+			return a.e.ATP() > b.e.ATP()
+		}
+		if a.e.TP != b.e.TP {
+			return a.e.TP > b.e.TP
+		}
+		return a.r.String() < b.r.String()
+	})
+	if len(cands) == 0 {
+		return nil
+	}
+	set := []*rex.Regex{cands[0].r}
+	cur := cands[0].e
+	for j := 1; j < len(cands) && len(set) < 4; j++ {
+		trial := append(append([]*rex.Regex(nil), set...), cands[j].r)
+		if ev := s.Evaluate(trial...); ev.ATP() > cur.ATP() {
+			set, cur = trial, ev
+		}
+	}
+	nc := &NC{Suffix: s.Suffix, Regexes: set, Eval: cur}
+	nc.Good = cur.UniqueTP >= 3 && cur.PPV() >= 0.8
+	return nc
+}
+
+// generate builds base regexes: for every congruent alphabetic run, the
+// structural skeletons Hoiho uses for ASNs, with ([a-z]+) capturing the
+// name.
+func (s *Set) generate() []*rex.Regex {
+	seen := make(map[string]*rex.Regex)
+	count := 0
+	for i := range s.items {
+		p := &s.items[i]
+		if !p.apparent || count >= 192 {
+			continue
+		}
+		count++
+		for _, r := range s.candidates(p) {
+			if _, ok := seen[r.String()]; !ok {
+				seen[r.String()] = r
+			}
+		}
+	}
+	out := make([]*rex.Regex, 0, len(seen))
+	for _, r := range seen {
+		out = append(out, r)
+	}
+	return out
+}
+
+func (s *Set) candidates(p *prepped) []*rex.Regex {
+	sufParts, ok := p.name.SuffixParts(s.Suffix)
+	if !ok {
+		return nil
+	}
+	parts := p.name.Parts
+	sufStart := len(parts) - sufParts
+	if sufStart <= 0 {
+		return nil
+	}
+	sufLit := string(parts[sufStart-1].Delim) + p.name.Full[parts[sufStart].Start:]
+	var out []*rex.Regex
+	for k := 0; k < sufStart; k++ {
+		part := parts[k]
+		for _, run := range alphaRuns(part.Text) {
+			if !Congruent(run, p.Name) {
+				continue
+			}
+			idx := strings.Index(part.Text, run)
+			ctxPre, ctxPost := part.Text[:idx], part.Text[idx+len(run):]
+			for _, leftKind := range []string{"full", "dotplus", "open"} {
+				for _, rightKind := range []string{"full", "dotplus"} {
+					if leftKind == "dotplus" && rightKind == "dotplus" {
+						continue
+					}
+					if r := s.assemble(p, k, ctxPre, ctxPost, sufStart, sufLit, leftKind, rightKind); r != nil {
+						out = append(out, r)
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+func (s *Set) assemble(p *prepped, k int, ctxPre, ctxPost string, sufStart int, sufLit, leftKind, rightKind string) *rex.Regex {
+	parts := p.name.Parts
+	var toks []rex.Token
+	leftOpen := false
+	switch leftKind {
+	case "full":
+		for j := 0; j < k; j++ {
+			toks = append(toks, component(parts, j), rex.Lit(string(parts[j].Delim)))
+		}
+	case "dotplus":
+		if k == 0 {
+			return nil
+		}
+		toks = append(toks, rex.DotPlus(), rex.Lit(string(parts[k-1].Delim)))
+	case "open":
+		if k == 0 {
+			return nil
+		}
+		leftOpen = true
+	}
+	toks = append(toks, rex.Lit(ctxPre), rex.CaptureAlpha(), rex.Lit(ctxPost))
+	switch rightKind {
+	case "full":
+		for j := k + 1; j < sufStart; j++ {
+			toks = append(toks, rex.Lit(string(parts[j-1].Delim)), component(parts, j))
+		}
+	case "dotplus":
+		if k+1 >= sufStart {
+			return nil
+		}
+		toks = append(toks, rex.Lit(string(parts[k].Delim)), rex.DotPlus())
+	}
+	toks = append(toks, rex.Lit(sufLit))
+	var (
+		r   *rex.Regex
+		err error
+	)
+	if leftOpen {
+		r, err = rex.NewOpen(toks...)
+	} else {
+		r, err = rex.New(toks...)
+	}
+	if err != nil {
+		return nil
+	}
+	return r
+}
+
+// component mirrors Hoiho's exclusion components for non-name parts.
+func component(parts []hostname.Part, j int) rex.Token {
+	if parts[j].Text == "" {
+		return rex.Lit("")
+	}
+	var excl []byte
+	if j > 0 && parts[j-1].Delim != 0 {
+		excl = append(excl, parts[j-1].Delim)
+	}
+	if parts[j].Delim != 0 && (len(excl) == 0 || excl[0] != parts[j].Delim) {
+		excl = append(excl, parts[j].Delim)
+	}
+	if len(excl) == 0 {
+		excl = []byte{'.'}
+	}
+	return rex.Excl(string(excl))
+}
+
+// Learner runs the pipeline over many suffixes.
+type Learner struct {
+	// MinItems is the minimum usable items per suffix (default 4).
+	MinItems int
+}
+
+// LearnAll groups items by registered domain and learns per suffix.
+func (l *Learner) LearnAll(list *psl.List, items []Item) ([]*NC, error) {
+	if list == nil {
+		return nil, fmt.Errorf("asnames: nil public suffix list")
+	}
+	min := l.MinItems
+	if min <= 0 {
+		min = 4
+	}
+	groups := make(map[string][]Item)
+	for _, it := range items {
+		if reg, ok := list.RegisteredDomain(it.Hostname); ok {
+			groups[reg] = append(groups[reg], it)
+		}
+	}
+	suffixes := make([]string, 0, len(groups))
+	for s := range groups {
+		suffixes = append(suffixes, s)
+	}
+	sort.Strings(suffixes)
+	var out []*NC
+	for _, suf := range suffixes {
+		set, err := NewSet(suf, groups[suf])
+		if err != nil {
+			return nil, err
+		}
+		if set.Len() < min {
+			continue
+		}
+		if nc := set.Learn(); nc != nil {
+			out = append(out, nc)
+		}
+	}
+	return out, nil
+}

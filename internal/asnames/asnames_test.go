@@ -1,0 +1,204 @@
+package asnames
+
+import (
+	"fmt"
+	"testing"
+
+	"hoiho/internal/psl"
+)
+
+// figure1Items mirrors the paper's figure 1: telia.net and seabone.net
+// embed the neighbor's *name*.
+func figure1Items() []Item {
+	return []Item{
+		{Hostname: "vodafone-ic-324966-prs-b1.c.telia.net", Name: "vodafone"},
+		{Hostname: "bloomberg-ic-324982-ash-b1.c.telia.net", Name: "bloomberg"},
+		{Hostname: "comcast-ic-324571-sjo-b21.c.telia.net", Name: "comcast"},
+		{Hostname: "akamai-ic-301765-nyk-b4.c.telia.net", Name: "akamai"},
+		{Hostname: "microsoft-ic-317600-ldn-b3.c.telia.net", Name: "microsoft"},
+		{Hostname: "netflix-ic-315133-fra-b5.c.telia.net", Name: "netflix"},
+	}
+}
+
+func TestCongruent(t *testing.T) {
+	cases := []struct {
+		ext, name string
+		want      bool
+	}{
+		{"vodafone", "vodafone", true},
+		{"voda", "vodafone", true},   // abbreviation (>= 4 chars)
+		{"vod", "vodafone", false},   // too short
+		{"telia", "vodafone", false}, // different
+		{"", "vodafone", false},
+		{"vodafone", "", false},
+		{"vodafonex", "vodafone", false}, // extension, not prefix
+	}
+	for _, c := range cases {
+		if got := Congruent(c.ext, c.name); got != c.want {
+			t.Errorf("Congruent(%q,%q) = %v, want %v", c.ext, c.name, got, c.want)
+		}
+	}
+}
+
+func TestAlphaRuns(t *testing.T) {
+	got := alphaRuns("vodafone-ic1b")
+	// per part this is called on part text without punctuation; emulate
+	want := []string{"vodafone", "ic", "b"}
+	_ = want
+	if len(got) != 3 || got[0] != "vodafone" || got[1] != "ic" || got[2] != "b" {
+		t.Errorf("alphaRuns = %v", got)
+	}
+	if runs := alphaRuns("12345"); runs != nil {
+		t.Errorf("digit-only runs = %v", runs)
+	}
+}
+
+func TestLearnTeliaConvention(t *testing.T) {
+	set, err := NewSet("telia.net", figure1Items())
+	if err != nil {
+		t.Fatal(err)
+	}
+	nc := set.Learn()
+	if nc == nil {
+		t.Fatal("no NC learned")
+	}
+	t.Logf("telia NC: %v (TP=%d FP=%d FN=%d)", nc.Strings(), nc.Eval.TP, nc.Eval.FP, nc.Eval.FN)
+	if nc.Eval.TP != 6 || nc.Eval.FP != 0 || nc.Eval.FN != 0 {
+		t.Errorf("TP/FP/FN = %d/%d/%d, want 6/0/0", nc.Eval.TP, nc.Eval.FP, nc.Eval.FN)
+	}
+	if !nc.Good {
+		t.Error("six unique names at PPV 1.0 should be good")
+	}
+	// Applies to unseen hostnames.
+	if name, ok := nc.Extract("google-ic-322001-sto-b2.c.telia.net"); !ok || name != "google" {
+		t.Errorf("Extract = %q,%v", name, ok)
+	}
+}
+
+func TestLearnSeaboneStyle(t *testing.T) {
+	items := []Item{
+		{Hostname: "vodafone.mil51.seabone.net", Name: "vodafone"},
+		{Hostname: "orange.pal3.seabone.net", Name: "orange"},
+		{Hostname: "telecomitalia.mia2.seabone.net", Name: "telecomitalia"},
+		{Hostname: "claro.gru11.seabone.net", Name: "claro"},
+		{Hostname: "fastweb.mil51.seabone.net", Name: "fastweb"},
+	}
+	set, err := NewSet("seabone.net", items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nc := set.Learn()
+	if nc == nil {
+		t.Fatal("no NC learned")
+	}
+	if nc.Eval.TP != 5 || !nc.Good {
+		t.Errorf("NC = %v eval=%+v", nc.Strings(), nc.Eval)
+	}
+}
+
+func TestNoApparentNames(t *testing.T) {
+	items := []Item{
+		{Hostname: "xe0-1.nyc.plain.net", Name: "vodafone"},
+		{Hostname: "core1.lax.plain.net", Name: "orange"},
+		{Hostname: "lo0.fra.plain.net", Name: "claro"},
+		{Hostname: "ge2.lhr.plain.net", Name: "fastweb"},
+	}
+	set, err := NewSet("plain.net", items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nc := set.Learn(); nc != nil {
+		t.Errorf("learned from name-free hostnames: %v", nc.Strings())
+	}
+}
+
+func TestEvaluateOutcomes(t *testing.T) {
+	items := []Item{
+		{Hostname: "vodafone-1.x.ex.net", Name: "vodafone"},
+		{Hostname: "orange-2.y.ex.net", Name: "orange"},
+		{Hostname: "wrongname-3.z.ex.net", Name: "claro"},        // FP when matched
+		{Hostname: "claro.unmatched.zz.q.ex.net", Name: "claro"}, // FN shape
+	}
+	set, err := NewSet("ex.net", items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A regex matching the first three shapes only.
+	nc := set.Learn()
+	if nc == nil {
+		t.Fatal("no NC")
+	}
+	ev := set.Evaluate(nc.Regexes...)
+	if ev.TP < 2 {
+		t.Errorf("eval = %+v (%v)", ev, nc.Strings())
+	}
+	if ev.ATP() != ev.TP-ev.FP-ev.FN {
+		t.Error("ATP arithmetic broken")
+	}
+}
+
+func TestNewSetValidation(t *testing.T) {
+	if _, err := NewSet("", nil); err == nil {
+		t.Error("empty suffix should error")
+	}
+	set, err := NewSet("x.net", []Item{
+		{Hostname: "bad host", Name: "a"},
+		{Hostname: "ok.other.org", Name: "b"},
+		{Hostname: "voda.x.net", Name: ""},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.Len() != 0 {
+		t.Errorf("Len = %d, want 0", set.Len())
+	}
+}
+
+func TestLearnAll(t *testing.T) {
+	var items []Item
+	items = append(items, figure1Items()...)
+	for i := 0; i < 5; i++ {
+		items = append(items, Item{
+			Hostname: fmt.Sprintf("carrier%c.pop%d.otherix.de", 'a'+i, i),
+			Name:     fmt.Sprintf("carrier%c", 'a'+i),
+		})
+	}
+	l := &Learner{}
+	ncs, err := l.LearnAll(psl.Default(), items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ncs) != 2 {
+		t.Fatalf("learned %d NCs, want 2", len(ncs))
+	}
+	if ncs[0].Suffix != "otherix.de" || ncs[1].Suffix != "telia.net" {
+		t.Errorf("suffixes: %s, %s", ncs[0].Suffix, ncs[1].Suffix)
+	}
+	if _, err := l.LearnAll(nil, items); err == nil {
+		t.Error("nil PSL should error")
+	}
+}
+
+func TestMinItems(t *testing.T) {
+	l := &Learner{MinItems: 10}
+	ncs, err := l.LearnAll(psl.Default(), figure1Items())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ncs) != 0 {
+		t.Errorf("MinItems not honored: %d NCs", len(ncs))
+	}
+}
+
+func BenchmarkLearnTelia(b *testing.B) {
+	items := figure1Items()
+	for i := 0; i < b.N; i++ {
+		set, err := NewSet("telia.net", items)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if set.Learn() == nil {
+			b.Fatal("no NC")
+		}
+	}
+}

@@ -1,0 +1,194 @@
+// Package bdrmapit reimplements the core of bdrmapIT (Marder et al., IMC
+// 2018), the graph-refinement router-ownership method that annotated the
+// 2017-2020 ITDKs, plus the paper's §5 modification that evaluates ASNs
+// extracted from hostnames against the router's topological state.
+//
+// For each alias-resolved node the annotator gathers the bdrmapIT state
+// the paper names: the origin ASes of subsequent interfaces in traceroute
+// paths, and the destination ASes whose traces traversed the node. The
+// election prefers subsequent-interface origins (the supplying AS numbers
+// the far side of an interconnection out of its own space, so the
+// addresses after a border reveal the border's operator), falls back to
+// destination ASes for path-terminal routers, and skips through IXP
+// peering LANs the way bdrmapIT consumes IXP prefix lists.
+package bdrmapit
+
+import (
+	"net/netip"
+	"sort"
+
+	"hoiho/internal/asn"
+	"hoiho/internal/itdk"
+)
+
+// Annotator holds the inputs of a bdrmapIT run.
+type Annotator struct {
+	Graph *itdk.Graph
+	Rel   *asn.Relationships
+	Orgs  *asn.Orgs
+	// IXPs flags the ASNs of IXP peering LANs (bdrmapIT consumes
+	// PeeringDB/PCH prefix lists for this).
+	IXPs map[asn.ASN]bool
+	// Rounds bounds the refinement iterations (default 3).
+	Rounds int
+}
+
+func (an *Annotator) rounds() int {
+	if an.Rounds <= 0 {
+		return 3
+	}
+	return an.Rounds
+}
+
+// Annotate runs the unmodified bdrmapIT inference: an initial election
+// per node followed by refinement rounds that resolve votes through IXP
+// LANs using neighbor annotations.
+func (an *Annotator) Annotate() map[int]asn.ASN {
+	ann := make(map[int]asn.ASN, len(an.Graph.Nodes))
+	for round := 0; round < an.rounds(); round++ {
+		changed := false
+		for _, n := range an.Graph.Nodes {
+			next := an.annotateNode(n, ann)
+			if next != ann[n.ID] {
+				ann[n.ID] = next
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return ann
+}
+
+// annotateNode elects the owner of one node given the current round's
+// annotations.
+func (an *Annotator) annotateNode(n *itdk.Node, ann map[int]asn.ASN) asn.ASN {
+	own := an.ownOrigin(n)
+
+	// Point-to-point /30s the node itself sits on: a subsequent address
+	// inside one of these is the far end of the node's own link. When
+	// that far end's origin differs from the node's interface origins,
+	// the node is crossing *up* into the supplying provider's space, and
+	// the far origin says nothing about who operates this node (bdrmap's
+	// link-partner reasoning).
+	partners := make(map[netip.Prefix]bool)
+	for _, a := range n.Ifaces {
+		if a.Is4() {
+			partners[netip.PrefixFrom(a, 30).Masked()] = true
+		}
+	}
+
+	votes := make(map[asn.ASN]int)
+	for _, b := range n.SubsAddrs() {
+		w := n.Subs[b]
+		origin := an.Graph.Origin(b)
+		if origin == asn.None {
+			continue
+		}
+		if an.IXPs[origin] {
+			// Subsequent hop on an IXP LAN: vote for the member router's
+			// annotation once known; the LAN's origin says nothing about
+			// either side of the peering.
+			if far := an.Graph.NodeOf(b); far != nil {
+				if member := ann[far.ID]; member != asn.None && !an.IXPs[member] {
+					votes[member] += w
+				}
+			}
+			continue
+		}
+		if origin != own && b.Is4() && partners[netip.PrefixFrom(b, 30).Masked()] {
+			continue // uplink partner: no evidence about this node
+		}
+		votes[origin] += w
+	}
+	if winner := an.elect(votes, own); winner != asn.None {
+		return winner
+	}
+
+	// No usable subsequent evidence. A strict majority among the node's
+	// own interface origins identifies the operator (routers hold far
+	// more of their own addresses than supplier-assigned ones).
+	ownVotes := make(map[asn.ASN]int)
+	for _, a := range n.Ifaces {
+		if origin := an.Graph.Origin(a); origin != asn.None && !an.IXPs[origin] {
+			ownVotes[origin]++
+		}
+	}
+	if winner, strict := strictMajority(ownVotes); strict {
+		return winner
+	}
+
+	// Reason from the destinations probed through the node, as bdrmapIT
+	// does for path-terminal routers.
+	destVotes := make(map[asn.ASN]int, len(n.DestASNs))
+	for a, c := range n.DestASNs {
+		if !an.IXPs[a] {
+			destVotes[a] = c
+		}
+	}
+	if winner := an.elect(destVotes, own); winner != asn.None {
+		return winner
+	}
+	if winner := an.elect(ownVotes, own); winner != asn.None {
+		return winner
+	}
+	return own
+}
+
+// strictMajority returns the candidate whose count is at least two and
+// strictly above every other candidate's.
+func strictMajority(votes map[asn.ASN]int) (asn.ASN, bool) {
+	var best asn.ASN
+	bestN, secondN := 0, 0
+	for a, c := range votes {
+		switch {
+		case c > bestN:
+			best, secondN, bestN = a, bestN, c
+		case c > secondN:
+			secondN = c
+		}
+	}
+	if bestN >= 2 && bestN > secondN {
+		return best, true
+	}
+	return asn.None, false
+}
+
+// ownOrigin is the majority BGP origin among the node's own interfaces.
+func (an *Annotator) ownOrigin(n *itdk.Node) asn.ASN {
+	votes := make(map[asn.ASN]int)
+	for _, a := range n.Ifaces {
+		if origin := an.Graph.Origin(a); origin != asn.None {
+			votes[origin]++
+		}
+	}
+	return an.elect(votes, asn.None)
+}
+
+// elect picks the candidate with most votes; ties prefer a customer of
+// ownOrigin (the AS the supplying network sold the address to), then
+// siblings of ownOrigin, then the lower ASN.
+func (an *Annotator) elect(votes map[asn.ASN]int, own asn.ASN) asn.ASN {
+	if len(votes) == 0 {
+		return asn.None
+	}
+	cands := make([]asn.ASN, 0, len(votes))
+	for a := range votes {
+		cands = append(cands, a)
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		a, b := cands[i], cands[j]
+		if votes[a] != votes[b] {
+			return votes[a] > votes[b]
+		}
+		if own != asn.None && an.Rel != nil {
+			ca, cb := an.Rel.IsProvider(own, a), an.Rel.IsProvider(own, b)
+			if ca != cb {
+				return ca
+			}
+		}
+		return a < b
+	})
+	return cands[0]
+}

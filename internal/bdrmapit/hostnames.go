@@ -1,0 +1,221 @@
+package bdrmapit
+
+import (
+	"net/netip"
+	"sort"
+	"strings"
+
+	"hoiho/internal/asn"
+	"hoiho/internal/core"
+	"hoiho/internal/itdk"
+)
+
+// Decision records how the modified bdrmapIT treated one interface whose
+// hostname-extracted ASN differed from the initial inference (§5).
+type Decision struct {
+	Node      int
+	Addr      netip.Addr
+	Hostname  string
+	Extracted asn.ASN
+	Initial   asn.ASN
+	Used      bool
+	// NCClass is the quality class of the convention that produced the
+	// extraction (§5 reports usage rates per class).
+	NCClass core.Classification
+}
+
+// Result is the outcome of a modified-bdrmapIT run.
+type Result struct {
+	// Annotations are the final per-node owners.
+	Annotations map[int]asn.ASN
+	// Initial are the unmodified bdrmapIT owners.
+	Initial map[int]asn.ASN
+	// Decisions cover every interface whose extracted ASN differed from
+	// the node's initial annotation.
+	Decisions []Decision
+	// Extractions counts interfaces with any hostname-extracted ASN.
+	Extractions int
+}
+
+// ncIndex applies conventions by hostname suffix.
+type ncIndex struct {
+	bySuffix map[string]*core.NC
+}
+
+func newNCIndex(ncs []*core.NC) *ncIndex {
+	idx := &ncIndex{bySuffix: make(map[string]*core.NC, len(ncs))}
+	for _, nc := range ncs {
+		idx.bySuffix[nc.Suffix] = nc
+	}
+	return idx
+}
+
+// lookup finds the NC whose suffix matches host and applies it.
+func (idx *ncIndex) lookup(host string) (*core.NC, string, bool) {
+	// Try every label suffix of the hostname, longest first.
+	s := host
+	for {
+		if nc, ok := idx.bySuffix[s]; ok {
+			if digits, ok := nc.Extract(host); ok {
+				return nc, digits, true
+			}
+			return nil, "", false
+		}
+		i := strings.IndexByte(s, '.')
+		if i < 0 {
+			return nil, "", false
+		}
+		s = s[i+1:]
+	}
+}
+
+// AnnotateWithNCs runs bdrmapIT, then re-evaluates every node with a
+// hostname-extracted ASN per §5: an extracted ASN is used when it is
+// reasonable — it matches, or is a sibling of, an ASN in the node's
+// subsequent or destination ASN sets, or it is a provider of one of the
+// ASes in those sets. Otherwise the hostname is deemed stale or a typo
+// and the heuristic annotation stands.
+func (an *Annotator) AnnotateWithNCs(ncs []*core.NC) *Result {
+	initial := an.Annotate()
+	res := &Result{
+		Annotations: make(map[int]asn.ASN, len(initial)),
+		Initial:     initial,
+	}
+	for id, a := range initial {
+		res.Annotations[id] = a
+	}
+	idx := newNCIndex(ncs)
+
+	for _, n := range an.Graph.Nodes {
+		// Collect extractions per interface.
+		type ext struct {
+			addr     netip.Addr
+			host     string
+			asn      asn.ASN
+			class    core.Classification
+			reasoned bool
+		}
+		var exts []ext
+		for _, addr := range n.Ifaces {
+			host := an.Graph.Hostnames[addr]
+			if host == "" {
+				continue
+			}
+			nc, digits, ok := idx.lookup(host)
+			if !ok {
+				continue
+			}
+			a, err := asn.Parse(digits)
+			if err != nil {
+				continue
+			}
+			exts = append(exts, ext{addr: addr, host: host, asn: a, class: nc.Class})
+		}
+		if len(exts) == 0 {
+			continue
+		}
+		res.Extractions += len(exts)
+
+		base := initial[n.ID]
+		used := make(map[asn.ASN]int)
+		for i := range exts {
+			e := &exts[i]
+			if e.asn == base {
+				continue // congruent with the inference: nothing to decide
+			}
+			reasonable := an.Reasonable(e.asn, n.ID)
+			// Customer preference (bdrmap's principle): when the
+			// extraction is merely the *provider* of an initial inference
+			// that the topological state itself supports, the hostname is
+			// the supplying network labelling its own ASN (figure 2), not
+			// evidence of ownership. Keep the more specific AS.
+			if reasonable && an.Rel != nil && an.Rel.IsProvider(e.asn, base) &&
+				an.stateContains(n, base) {
+				reasonable = false
+			}
+			res.Decisions = append(res.Decisions, Decision{
+				Node:      n.ID,
+				Addr:      e.addr,
+				Hostname:  e.host,
+				Extracted: e.asn,
+				Initial:   base,
+				Used:      reasonable,
+				NCClass:   e.class,
+			})
+			if reasonable {
+				used[e.asn]++
+			}
+		}
+		if len(used) > 0 {
+			res.Annotations[n.ID] = majority(used)
+		}
+	}
+	return res
+}
+
+// stateContains reports whether a is in the node's subsequent-origin or
+// destination ASN sets (directly or as a sibling).
+func (an *Annotator) stateContains(n *itdk.Node, a asn.ASN) bool {
+	if a == asn.None {
+		return false
+	}
+	check := func(member asn.ASN) bool {
+		return member == a || (an.Orgs != nil && an.Orgs.Siblings(a, member))
+	}
+	for _, b := range n.SubsAddrs() {
+		if origin := an.Graph.Origin(b); origin != asn.None && check(origin) {
+			return true
+		}
+	}
+	for member := range n.DestASNs {
+		if check(member) {
+			return true
+		}
+	}
+	return false
+}
+
+// Reasonable implements the §5 test for a node: the extracted ASN
+// matches, or is a sibling of, a member of the node's subsequent or
+// destination ASN sets, or is a provider of a member.
+func (an *Annotator) Reasonable(extracted asn.ASN, nodeID int) bool {
+	n := an.Graph.Node(nodeID)
+	if n == nil || extracted == asn.None {
+		return false
+	}
+	set := make(map[asn.ASN]bool)
+	for _, b := range n.SubsAddrs() {
+		if origin := an.Graph.Origin(b); origin != asn.None {
+			set[origin] = true
+		}
+	}
+	for a := range n.DestASNs {
+		set[a] = true
+	}
+	for member := range set {
+		if member == extracted {
+			return true
+		}
+		if an.Orgs != nil && an.Orgs.Siblings(extracted, member) {
+			return true
+		}
+		if an.Rel != nil && an.Rel.IsProvider(extracted, member) {
+			return true
+		}
+	}
+	return false
+}
+
+func majority(votes map[asn.ASN]int) asn.ASN {
+	cands := make([]asn.ASN, 0, len(votes))
+	for a := range votes {
+		cands = append(cands, a)
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if votes[cands[i]] != votes[cands[j]] {
+			return votes[cands[i]] > votes[cands[j]]
+		}
+		return cands[i] < cands[j]
+	})
+	return cands[0]
+}

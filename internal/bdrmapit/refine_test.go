@@ -1,0 +1,191 @@
+package bdrmapit
+
+import (
+	"net/netip"
+	"testing"
+
+	"hoiho/internal/asn"
+	"hoiho/internal/bgp"
+	"hoiho/internal/core"
+	"hoiho/internal/itdk"
+	"hoiho/internal/traceroute"
+)
+
+func TestStrictMajority(t *testing.T) {
+	cases := []struct {
+		votes map[asn.ASN]int
+		want  asn.ASN
+		ok    bool
+	}{
+		{map[asn.ASN]int{100: 3, 200: 1}, 100, true},
+		{map[asn.ASN]int{100: 2}, 100, true},
+		{map[asn.ASN]int{100: 1}, asn.None, false},         // needs >= 2
+		{map[asn.ASN]int{100: 2, 200: 2}, asn.None, false}, // tie
+		{map[asn.ASN]int{}, asn.None, false},
+	}
+	for i, c := range cases {
+		got, ok := strictMajority(c.votes)
+		if ok != c.ok || (ok && got != c.want) {
+			t.Errorf("case %d: strictMajority = %v,%v want %v,%v", i, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+// TestUplinkPartnerSkip: a border's subsequent hop into its provider's
+// side of the shared /30 must not vote the provider onto the border.
+func TestUplinkPartnerSkip(t *testing.T) {
+	table := &bgp.Table{}
+	if err := table.Announce(netip.MustParsePrefix("10.0.0.0/16"), 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := table.Announce(netip.MustParsePrefix("10.1.0.0/16"), 200); err != nil {
+		t.Fatal(err)
+	}
+	al := itdk.NewAliases()
+	// Y's border holds 10.0.1.2 (on the X-supplied /30 10.0.1.0/30) plus
+	// two Y-numbered interfaces; the path ascends into X via the /30
+	// partner 10.0.1.1.
+	al.Assign(addr("10.1.0.1"), 0) // Y core
+	al.Assign(addr("10.0.1.2"), 1) // Y border uplink iface (X-numbered)
+	al.Assign(addr("10.1.0.5"), 1) // Y border loopback
+	al.Assign(addr("10.1.0.9"), 1) // Y border second intra iface
+	al.Assign(addr("10.0.1.1"), 2) // X border (far side of the /30)
+	al.Assign(addr("10.0.0.1"), 3) // X core
+	corpus := &traceroute.Corpus{}
+	corpus.Add(traceroute.Path{
+		VP: "vp-inside-Y", Dst: addr("10.0.9.9"),
+		Hops: []traceroute.Hop{
+			{Addr: addr("10.1.0.1")}, // Y core
+			{Addr: addr("10.1.0.5")}, // Y border answers with its loopback
+			{Addr: addr("10.0.1.1")}, // X border: /30 partner of 10.0.1.2
+			{Addr: addr("10.0.0.1")}, // X core
+		},
+	})
+	// A second probe enters the border on its uplink address so the
+	// X-numbered interface joins the node.
+	corpus.Add(traceroute.Path{
+		VP: "vp-above", Dst: addr("10.1.9.9"),
+		Hops: []traceroute.Hop{
+			{Addr: addr("10.0.1.2")}, // Y border, supplier-numbered
+			{Addr: addr("10.1.0.9")},
+		},
+	})
+	g := itdk.BuildGraph(corpus, al, table, nil)
+	an := &Annotator{Graph: g}
+	ann := an.Annotate()
+	// Node 1's only subsequent interfaces are the uplink partner
+	// (10.0.1.1, skipped: no ownership evidence) and its own intra
+	// address. Its own-interface strict majority (two Y addresses versus
+	// one X) must keep it in Y despite the X-numbered uplink.
+	if ann[1] != 200 {
+		t.Errorf("Y border = %v, want 200", ann[1])
+	}
+	if ann[2] != 100 || ann[3] != 100 {
+		t.Errorf("X side = %v/%v, want 100/100", ann[2], ann[3])
+	}
+	if ann[0] != 200 {
+		t.Errorf("Y core = %v, want 200", ann[0])
+	}
+}
+
+// TestRefinementConverges: annotation reaches a fixpoint within the
+// default rounds on a chain topology.
+func TestRefinementConverges(t *testing.T) {
+	table := &bgp.Table{}
+	for i, p := range []string{"10.0.0.0/16", "10.1.0.0/16", "10.2.0.0/16"} {
+		if err := table.Announce(netip.MustParsePrefix(p), asn.ASN(100*(i+1))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	al := itdk.NewAliases()
+	al.Assign(addr("10.0.0.1"), 0)
+	al.Assign(addr("10.0.1.2"), 1) // AS200's border, AS100-numbered
+	al.Assign(addr("10.1.0.1"), 2)
+	al.Assign(addr("10.1.1.2"), 3) // AS300's border, AS200-numbered
+	al.Assign(addr("10.2.0.1"), 4)
+	al.Assign(addr("10.2.0.9"), 4)
+	corpus := &traceroute.Corpus{}
+	corpus.Add(traceroute.Path{
+		VP: "vp", Dst: addr("10.2.0.9"),
+		Hops: []traceroute.Hop{
+			{Addr: addr("10.0.0.1")},
+			{Addr: addr("10.0.1.2")},
+			{Addr: addr("10.1.0.1")},
+			{Addr: addr("10.1.1.2")},
+			{Addr: addr("10.2.0.1")},
+			{Addr: addr("10.2.0.9")},
+		},
+		Reached: true,
+	})
+	g := itdk.BuildGraph(corpus, al, table, nil)
+	a1 := (&Annotator{Graph: g, Rounds: 1}).Annotate()
+	a3 := (&Annotator{Graph: g}).Annotate()
+	a9 := (&Annotator{Graph: g, Rounds: 9}).Annotate()
+	for id, v := range a3 {
+		if a9[id] != v {
+			t.Errorf("node %d not converged: rounds3=%v rounds9=%v", id, v, a9[id])
+		}
+	}
+	_ = a1
+	want := map[int]asn.ASN{0: 100, 1: 200, 2: 200, 3: 300, 4: 300}
+	for id, w := range want {
+		if a3[id] != w {
+			t.Errorf("node %d = %v, want %v", id, a3[id], w)
+		}
+	}
+}
+
+// TestAnnotateEmptyGraph: no nodes, no panic.
+func TestAnnotateEmptyGraph(t *testing.T) {
+	g := itdk.BuildGraph(&traceroute.Corpus{}, itdk.NewAliases(), &bgp.Table{}, nil)
+	an := &Annotator{Graph: g}
+	if ann := an.Annotate(); len(ann) != 0 {
+		t.Errorf("annotations for empty graph: %v", ann)
+	}
+	res := an.AnnotateWithNCs(nil)
+	if res.Extractions != 0 {
+		t.Error("extractions in empty graph")
+	}
+}
+
+// TestCustomerPreferenceRefinement: an extraction that is the provider of
+// a supported initial inference (the figure-2 supplier-labels-own-ASN
+// case) is rejected, even though the plain §5 rule would accept it.
+func TestCustomerPreferenceRefinement(t *testing.T) {
+	hostnames := map[netip.Addr]string{
+		// Supplier 100's own ASN on Y's (200) border.
+		addr("10.0.1.2"): "01.r.nyc.abc.cust.as100.xnet.net",
+	}
+	g := figure1Graph(t, hostnames)
+	rel := asn.NewRelationships()
+	rel.AddP2C(100, 200)
+	an := &Annotator{Graph: g, Rel: rel}
+	nc := ncFor(t, "xnet.net", `cust\\.as(\\d+)\\.xnet\\.net$`, core.Poor)
+	res := an.AnnotateWithNCs([]*core.NC{nc})
+	if len(res.Decisions) != 1 {
+		t.Fatalf("decisions = %+v", res.Decisions)
+	}
+	d := res.Decisions[0]
+	// The plain rule accepts 100 (provider of 200, and 200 is in the
+	// node's dest set); the customer preference must reject it.
+	if !an.Reasonable(100, 1) {
+		t.Fatal("test premise broken: 100 should pass the plain rule")
+	}
+	if d.Used {
+		t.Errorf("figure-2 supplier extraction was used: %+v", d)
+	}
+	if res.Annotations[1] != 200 {
+		t.Errorf("node flipped to %v", res.Annotations[1])
+	}
+
+	// Without relationships the refinement cannot apply, and the plain §5
+	// rule is used verbatim (the paper's text): the extraction passes.
+	an2 := &Annotator{Graph: figure1Graph(t, hostnames)}
+	res2 := an2.AnnotateWithNCs([]*core.NC{nc})
+	if len(res2.Decisions) != 1 {
+		t.Fatalf("decisions = %+v", res2.Decisions)
+	}
+	if res2.Decisions[0].Used {
+		t.Error("without Rel, the provider rule cannot fire either (no provider info): must reject")
+	}
+}

@@ -1,0 +1,76 @@
+package bgp
+
+import (
+	"fmt"
+	"net/netip"
+)
+
+// Allocator hands out consecutive, non-overlapping subnets from a parent
+// prefix. The synthetic topology generator uses one allocator per AS
+// block to carve loopbacks and /30 or /31 interconnection subnets, the
+// address-efficiency practice the paper notes operators follow for
+// private interconnection (§2.1).
+type Allocator struct {
+	parent netip.Prefix
+	next   uint32 // next free address within parent
+	limit  uint32 // one past the last address of parent
+}
+
+// NewAllocator returns an allocator carving from parent (IPv4 only).
+func NewAllocator(parent netip.Prefix) (*Allocator, error) {
+	if !parent.Addr().Is4() {
+		return nil, fmt.Errorf("bgp: allocator parent %v is not IPv4", parent)
+	}
+	parent = parent.Masked()
+	base := ipv4Bits(parent.Addr())
+	size := uint32(1) << (32 - parent.Bits())
+	return &Allocator{parent: parent, next: base, limit: base + size}, nil
+}
+
+// Parent returns the prefix being carved.
+func (a *Allocator) Parent() netip.Prefix { return a.parent }
+
+// Subnet allocates the next aligned subnet of the given length (bits),
+// e.g. Subnet(30) yields consecutive /30s. It fails when the parent is
+// exhausted or bits is outside (parent length, 32].
+func (a *Allocator) Subnet(bits int) (netip.Prefix, error) {
+	if bits <= a.parent.Bits() || bits > 32 {
+		return netip.Prefix{}, fmt.Errorf("bgp: subnet length /%d invalid for parent %v", bits, a.parent)
+	}
+	size := uint32(1) << (32 - bits)
+	// Align upward.
+	start := (a.next + size - 1) &^ (size - 1)
+	if start < a.next || start+size > a.limit || start+size < start {
+		return netip.Prefix{}, fmt.Errorf("bgp: parent %v exhausted", a.parent)
+	}
+	a.next = start + size
+	return netip.PrefixFrom(bitsToAddr(start), bits), nil
+}
+
+// Addr allocates a single address (equivalent to Subnet(32) but returns
+// the address).
+func (a *Allocator) Addr() (netip.Addr, error) {
+	p, err := a.Subnet(32)
+	if err != nil {
+		return netip.Addr{}, err
+	}
+	return p.Addr(), nil
+}
+
+// Remaining returns how many addresses are still unallocated.
+func (a *Allocator) Remaining() int {
+	return int(a.limit - a.next)
+}
+
+// PointToPoint allocates a /30 and returns its two usable addresses
+// (network+1 and network+2), the convention for private interconnection
+// links. The paper's figure 1 shows the supplying AS assigning one of
+// the pair to its neighbor's interface.
+func (a *Allocator) PointToPoint() (supplier, neighbor netip.Addr, sub netip.Prefix, err error) {
+	sub, err = a.Subnet(30)
+	if err != nil {
+		return netip.Addr{}, netip.Addr{}, netip.Prefix{}, err
+	}
+	base := ipv4Bits(sub.Addr())
+	return bitsToAddr(base + 1), bitsToAddr(base + 2), sub, nil
+}

@@ -1,0 +1,307 @@
+package bgp
+
+import (
+	"bytes"
+	"math/rand"
+	"net/netip"
+	"strings"
+	"testing"
+
+	"hoiho/internal/asn"
+)
+
+func mustPrefix(s string) netip.Prefix { return netip.MustParsePrefix(s) }
+func mustAddr(s string) netip.Addr     { return netip.MustParseAddr(s) }
+
+func TestLongestPrefixMatch(t *testing.T) {
+	var tbl Table
+	checks := []struct {
+		prefix string
+		origin asn.ASN
+	}{
+		{"10.0.0.0/8", 100},
+		{"10.1.0.0/16", 200},
+		{"10.1.2.0/24", 300},
+		{"10.1.2.0/30", 400},
+		{"0.0.0.0/0", 1},
+	}
+	for _, c := range checks {
+		if err := tbl.Announce(mustPrefix(c.prefix), c.origin); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tbl.Len() != 5 {
+		t.Fatalf("Len = %d", tbl.Len())
+	}
+	cases := []struct {
+		addr   string
+		origin asn.ASN
+		prefix string
+	}{
+		{"10.1.2.1", 400, "10.1.2.0/30"},
+		{"10.1.2.5", 300, "10.1.2.0/24"},
+		{"10.1.3.1", 200, "10.1.0.0/16"},
+		{"10.2.0.1", 100, "10.0.0.0/8"},
+		{"192.0.2.1", 1, "0.0.0.0/0"},
+	}
+	for _, c := range cases {
+		p, o, ok := tbl.Lookup(mustAddr(c.addr))
+		if !ok || o != c.origin || p != mustPrefix(c.prefix) {
+			t.Errorf("Lookup(%s) = %v,%v,%v want %v,%v", c.addr, p, o, ok, c.prefix, c.origin)
+		}
+	}
+}
+
+func TestLookupMisses(t *testing.T) {
+	var tbl Table
+	if _, _, ok := tbl.Lookup(mustAddr("10.0.0.1")); ok {
+		t.Error("empty table should miss")
+	}
+	if err := tbl.Announce(mustPrefix("10.0.0.0/8"), 100); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := tbl.Lookup(mustAddr("11.0.0.1")); ok {
+		t.Error("uncovered addr should miss")
+	}
+	if _, _, ok := tbl.Lookup(mustAddr("2001:db8::1")); ok {
+		t.Error("IPv6 should miss")
+	}
+	if tbl.Origin(mustAddr("11.0.0.1")) != asn.None {
+		t.Error("Origin should be None for miss")
+	}
+	if tbl.Origin(mustAddr("10.5.5.5")) != 100 {
+		t.Error("Origin should be 100")
+	}
+}
+
+func TestAnnounceReplaceAndWithdraw(t *testing.T) {
+	var tbl Table
+	p := mustPrefix("10.0.0.0/8")
+	if err := tbl.Announce(p, 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Announce(p, 200); err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Len() != 1 || tbl.Origin(mustAddr("10.0.0.1")) != 200 {
+		t.Error("replace failed")
+	}
+	if !tbl.Withdraw(p) || tbl.Len() != 0 {
+		t.Error("withdraw failed")
+	}
+	if tbl.Withdraw(p) {
+		t.Error("double withdraw should be false")
+	}
+	if tbl.Withdraw(mustPrefix("11.0.0.0/8")) {
+		t.Error("withdraw of absent prefix should be false")
+	}
+	if err := tbl.Announce(mustPrefix("2001:db8::/32"), 100); err == nil {
+		t.Error("IPv6 announce should error")
+	}
+}
+
+func TestAnnounceMasksHostBits(t *testing.T) {
+	var tbl Table
+	if err := tbl.Announce(mustPrefix("10.1.2.3/24"), 100); err != nil {
+		t.Fatal(err)
+	}
+	p, _, ok := tbl.Lookup(mustAddr("10.1.2.200"))
+	if !ok || p != mustPrefix("10.1.2.0/24") {
+		t.Errorf("Lookup = %v,%v", p, ok)
+	}
+}
+
+func TestEntriesAndRoundTrip(t *testing.T) {
+	var tbl Table
+	for _, e := range []struct {
+		p string
+		o asn.ASN
+	}{
+		{"10.1.0.0/16", 2},
+		{"10.0.0.0/8", 1},
+		{"192.0.2.0/24", 3},
+	} {
+		if err := tbl.Announce(mustPrefix(e.p), e.o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	es := tbl.Entries()
+	if len(es) != 3 || es[0].Prefix != mustPrefix("10.0.0.0/8") || es[2].Origin != 3 {
+		t.Fatalf("Entries = %v", es)
+	}
+	var buf bytes.Buffer
+	if _, err := tbl.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseTable(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 3 || got.Origin(mustAddr("10.1.5.5")) != 2 {
+		t.Error("round trip lost data")
+	}
+	for _, bad := range []string{"10.0.0.0/8", "x/8|1", "10.0.0.0/8|x", "2001:db8::/32|5"} {
+		if _, err := ParseTable(strings.NewReader(bad)); err == nil {
+			t.Errorf("ParseTable(%q) should error", bad)
+		}
+	}
+}
+
+// TestLookupAgainstLinearScan cross-checks the trie against a brute-force
+// longest-match over random tables and probes.
+func TestLookupAgainstLinearScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		var tbl Table
+		var entries []Entry
+		for i := 0; i < 50; i++ {
+			bits := 8 + rng.Intn(25) // /8../32
+			raw := rng.Uint32()
+			p := netip.PrefixFrom(bitsToAddr(raw), bits).Masked()
+			o := asn.ASN(rng.Intn(1000) + 1)
+			if err := tbl.Announce(p, o); err != nil {
+				t.Fatal(err)
+			}
+			// mimic replace semantics in the reference copy
+			replaced := false
+			for j := range entries {
+				if entries[j].Prefix == p {
+					entries[j].Origin = o
+					replaced = true
+					break
+				}
+			}
+			if !replaced {
+				entries = append(entries, Entry{p, o})
+			}
+		}
+		for probe := 0; probe < 200; probe++ {
+			addr := bitsToAddr(rng.Uint32())
+			var best *Entry
+			for i := range entries {
+				e := &entries[i]
+				if e.Prefix.Contains(addr) && (best == nil || e.Prefix.Bits() > best.Prefix.Bits()) {
+					best = e
+				}
+			}
+			p, o, ok := tbl.Lookup(addr)
+			if best == nil {
+				if ok {
+					t.Fatalf("trie found %v for %v; reference found none", p, addr)
+				}
+				continue
+			}
+			if !ok || p != best.Prefix || o != best.Origin {
+				t.Fatalf("trie %v/%v/%v != reference %v for %v", p, o, ok, *best, addr)
+			}
+		}
+	}
+}
+
+func TestAllocatorSubnets(t *testing.T) {
+	a, err := NewAllocator(mustPrefix("10.0.0.0/24"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, err := a.Subnet(30)
+	if err != nil || p1 != mustPrefix("10.0.0.0/30") {
+		t.Fatalf("p1 = %v, %v", p1, err)
+	}
+	p2, _ := a.Subnet(30)
+	if p2 != mustPrefix("10.0.0.4/30") {
+		t.Fatalf("p2 = %v", p2)
+	}
+	// A /28 after two /30s aligns to .16.
+	p3, _ := a.Subnet(28)
+	if p3 != mustPrefix("10.0.0.16/28") {
+		t.Fatalf("p3 = %v", p3)
+	}
+	if a.Remaining() != 256-32 {
+		t.Errorf("Remaining = %d", a.Remaining())
+	}
+	if _, err := a.Subnet(24); err == nil {
+		t.Error("subnet >= parent length should error")
+	}
+	if _, err := a.Subnet(33); err == nil {
+		t.Error("/33 should error")
+	}
+}
+
+func TestAllocatorExhaustion(t *testing.T) {
+	a, err := NewAllocator(mustPrefix("10.0.0.0/30"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := a.Addr(); err != nil {
+			t.Fatalf("addr %d: %v", i, err)
+		}
+	}
+	if _, err := a.Addr(); err == nil {
+		t.Error("exhausted allocator should error")
+	}
+	if _, err := NewAllocator(mustPrefix("2001:db8::/32")); err == nil {
+		t.Error("IPv6 parent should error")
+	}
+}
+
+func TestPointToPoint(t *testing.T) {
+	a, err := NewAllocator(mustPrefix("10.0.0.0/29"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sup, nbr, sub, err := a.PointToPoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub != mustPrefix("10.0.0.0/30") || sup != mustAddr("10.0.0.1") || nbr != mustAddr("10.0.0.2") {
+		t.Errorf("got %v %v %v", sup, nbr, sub)
+	}
+	sup2, nbr2, _, err := a.PointToPoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sup2 != mustAddr("10.0.0.5") || nbr2 != mustAddr("10.0.0.6") {
+		t.Errorf("second p2p = %v %v", sup2, nbr2)
+	}
+	if _, _, _, err := a.PointToPoint(); err == nil {
+		t.Error("exhausted p2p should error")
+	}
+}
+
+func BenchmarkLookup(b *testing.B) {
+	var tbl Table
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 100000; i++ {
+		p := netip.PrefixFrom(bitsToAddr(rng.Uint32()), 8+rng.Intn(17)).Masked()
+		if err := tbl.Announce(p, asn.ASN(i+1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	addrs := make([]netip.Addr, 1024)
+	for i := range addrs {
+		addrs[i] = bitsToAddr(rng.Uint32())
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tbl.Lookup(addrs[i%len(addrs)])
+	}
+}
+
+func BenchmarkAnnounce(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	prefixes := make([]netip.Prefix, 4096)
+	for i := range prefixes {
+		prefixes[i] = netip.PrefixFrom(bitsToAddr(rng.Uint32()), 8+rng.Intn(17)).Masked()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var tbl Table
+		for _, p := range prefixes {
+			if err := tbl.Announce(p, 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

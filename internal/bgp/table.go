@@ -1,0 +1,212 @@
+// Package bgp implements the routing-table substrate the router-ownership
+// heuristics rely on: an IPv4 longest-prefix-match table mapping address
+// space to origin ASes, and an address allocator the synthetic topology
+// generator uses to carve prefixes the way operators do (a block per AS,
+// /30 or /31 subnets for private interconnection, per §2.1 of the paper).
+package bgp
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/netip"
+	"sort"
+	"strings"
+
+	"hoiho/internal/asn"
+)
+
+// Table is an IPv4 prefix table with longest-prefix-match lookup,
+// implemented as a binary trie. The zero value is an empty table.
+type Table struct {
+	root *node
+	n    int
+}
+
+type node struct {
+	child  [2]*node
+	origin asn.ASN
+	set    bool
+	prefix netip.Prefix
+}
+
+// Announce inserts prefix with the given origin AS, replacing any
+// previous origin for exactly that prefix. Only IPv4 prefixes are
+// accepted.
+func (t *Table) Announce(prefix netip.Prefix, origin asn.ASN) error {
+	if !prefix.Addr().Is4() {
+		return fmt.Errorf("bgp: prefix %v is not IPv4", prefix)
+	}
+	prefix = prefix.Masked()
+	if t.root == nil {
+		t.root = &node{}
+	}
+	cur := t.root
+	addr := ipv4Bits(prefix.Addr())
+	for i := 0; i < prefix.Bits(); i++ {
+		b := (addr >> (31 - i)) & 1
+		if cur.child[b] == nil {
+			cur.child[b] = &node{}
+		}
+		cur = cur.child[b]
+	}
+	if !cur.set {
+		t.n++
+	}
+	cur.set = true
+	cur.origin = origin
+	cur.prefix = prefix
+	return nil
+}
+
+// Withdraw removes exactly prefix from the table, reporting whether it
+// was present.
+func (t *Table) Withdraw(prefix netip.Prefix) bool {
+	if !prefix.Addr().Is4() || t.root == nil {
+		return false
+	}
+	prefix = prefix.Masked()
+	cur := t.root
+	addr := ipv4Bits(prefix.Addr())
+	for i := 0; i < prefix.Bits(); i++ {
+		b := (addr >> (31 - i)) & 1
+		if cur.child[b] == nil {
+			return false
+		}
+		cur = cur.child[b]
+	}
+	if !cur.set {
+		return false
+	}
+	cur.set = false
+	cur.origin = asn.None
+	t.n--
+	return true
+}
+
+// Lookup returns the longest matching prefix for addr and its origin.
+// ok is false when no prefix covers addr.
+func (t *Table) Lookup(addr netip.Addr) (netip.Prefix, asn.ASN, bool) {
+	if !addr.Is4() || t.root == nil {
+		return netip.Prefix{}, asn.None, false
+	}
+	bits := ipv4Bits(addr)
+	cur := t.root
+	var best *node
+	if cur.set {
+		best = cur
+	}
+	for i := 0; i < 32; i++ {
+		b := (bits >> (31 - i)) & 1
+		cur = cur.child[b]
+		if cur == nil {
+			break
+		}
+		if cur.set {
+			best = cur
+		}
+	}
+	if best == nil {
+		return netip.Prefix{}, asn.None, false
+	}
+	return best.prefix, best.origin, true
+}
+
+// Origin returns the origin AS of the longest matching prefix, or
+// asn.None when addr is unrouted.
+func (t *Table) Origin(addr netip.Addr) asn.ASN {
+	_, origin, ok := t.Lookup(addr)
+	if !ok {
+		return asn.None
+	}
+	return origin
+}
+
+// Len returns the number of announced prefixes.
+func (t *Table) Len() int { return t.n }
+
+// Entry is one announced prefix.
+type Entry struct {
+	Prefix netip.Prefix
+	Origin asn.ASN
+}
+
+// Entries returns all announcements sorted by prefix address then length.
+func (t *Table) Entries() []Entry {
+	var out []Entry
+	var walk func(n *node)
+	walk = func(n *node) {
+		if n == nil {
+			return
+		}
+		if n.set {
+			out = append(out, Entry{n.prefix, n.origin})
+		}
+		walk(n.child[0])
+		walk(n.child[1])
+	}
+	walk(t.root)
+	sort.Slice(out, func(i, j int) bool {
+		ai, aj := out[i].Prefix.Addr(), out[j].Prefix.Addr()
+		if ai != aj {
+			return ai.Less(aj)
+		}
+		return out[i].Prefix.Bits() < out[j].Prefix.Bits()
+	})
+	return out
+}
+
+// WriteTo serializes the table as "prefix|origin" lines.
+func (t *Table) WriteTo(w io.Writer) (int64, error) {
+	var n int64
+	for _, e := range t.Entries() {
+		c, err := fmt.Fprintf(w, "%s|%d\n", e.Prefix, e.Origin)
+		n += int64(c)
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}
+
+// ParseTable reads "prefix|origin" lines ('#' comments ignored).
+func ParseTable(r io.Reader) (*Table, error) {
+	t := &Table{}
+	sc := bufio.NewScanner(r)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		p, o, ok := strings.Cut(line, "|")
+		if !ok {
+			return nil, fmt.Errorf("bgp: line %d: want prefix|origin", lineno)
+		}
+		prefix, err := netip.ParsePrefix(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("bgp: line %d: %w", lineno, err)
+		}
+		origin, err := asn.Parse(o)
+		if err != nil {
+			return nil, fmt.Errorf("bgp: line %d: %w", lineno, err)
+		}
+		if err := t.Announce(prefix, origin); err != nil {
+			return nil, fmt.Errorf("bgp: line %d: %w", lineno, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+func ipv4Bits(addr netip.Addr) uint32 {
+	b := addr.As4()
+	return uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3])
+}
+
+func bitsToAddr(bits uint32) netip.Addr {
+	return netip.AddrFrom4([4]byte{byte(bits >> 24), byte(bits >> 16), byte(bits >> 8), byte(bits)})
+}

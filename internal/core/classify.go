@@ -1,0 +1,168 @@
+package core
+
+import (
+	"strings"
+
+	"hoiho/internal/rex"
+)
+
+// Classification is the §4 quality grade of an NC.
+type Classification uint8
+
+const (
+	// Poor: PPV <= 50% or fewer than two unique congruent ASNs.
+	Poor Classification = iota
+	// Promising: at least two unique congruent ASNs with PPV >= 50%.
+	Promising
+	// Good: at least three unique congruent ASNs with PPV >= 80%.
+	Good
+)
+
+func (c Classification) String() string {
+	switch c {
+	case Good:
+		return "good"
+	case Promising:
+		return "promising"
+	default:
+		return "poor"
+	}
+}
+
+// Usable reports whether the classification is good or promising — the
+// NCs §4 calls usable.
+func (c Classification) Usable() bool { return c >= Promising }
+
+// Classify applies the paper's thresholds: good requires at least three
+// unique extracted ASNs congruent with training ASNs and PPV >= 80%;
+// promising requires at least two with PPV >= 50%; everything else is
+// poor.
+func (s *Set) Classify(e Eval) Classification {
+	switch {
+	case e.UniqueTP >= 3 && e.PPV() >= 0.8:
+		return Good
+	case e.UniqueTP >= 2 && e.PPV() >= 0.5:
+		return Promising
+	default:
+		return Poor
+	}
+}
+
+// Style is the table-1 taxonomy of how and where an operator embedded
+// ASNs in hostnames.
+type Style uint8
+
+const (
+	// StyleSimple: the hostname is only "as<ASN>.<suffix>".
+	StyleSimple Style = iota
+	// StyleStart: "as<ASN>" at the start, more information after.
+	StyleStart
+	// StyleEnd: "as<ASN>" as the last part before the suffix, more
+	// information before.
+	StyleEnd
+	// StyleBare: the ASN is not prefaced with alphabetic characters.
+	StyleBare
+	// StyleComplex: the ASN is in the middle, uses an annotation other
+	// than "as", or the NC needs multiple regexes.
+	StyleComplex
+)
+
+func (st Style) String() string {
+	switch st {
+	case StyleSimple:
+		return "simple"
+	case StyleStart:
+		return "start"
+	case StyleEnd:
+		return "end"
+	case StyleBare:
+		return "bare"
+	default:
+		return "complex"
+	}
+}
+
+// StyleOf classifies an NC into the table-1 taxonomy.
+func StyleOf(nc *NC) Style {
+	if len(nc.Regexes) != 1 {
+		return StyleComplex
+	}
+	r := nc.Regexes[0]
+	toks := r.Tokens()
+	cap := -1
+	for i, t := range toks {
+		if t.Kind == rex.KindCapture {
+			cap = i
+		}
+	}
+	if cap < 0 {
+		return StyleComplex
+	}
+
+	// The literal context immediately before the capture, within the same
+	// punctuation-delimited part.
+	pre := ""
+	if cap > 0 && toks[cap-1].Kind == rex.KindLit {
+		pre = toks[cap-1].Lit
+		// Only the portion after the last punctuation shares the ASN's part.
+		if i := strings.LastIndexAny(pre, ".-_"); i >= 0 {
+			pre = pre[i+1:]
+		}
+	}
+	asPrefaced := strings.HasSuffix(pre, "as")
+
+	// Does anything variable precede / follow the capture's part (before
+	// the suffix literal)?
+	varBefore, varAfter := false, false
+	for i, t := range toks {
+		variable := t.Kind == rex.KindExcl || t.Kind == rex.KindClass ||
+			t.Kind == rex.KindDotPlus || t.Kind == rex.KindAlt
+		if i < cap && (variable || (t.Kind == rex.KindLit && strings.ContainsAny(t.Lit, ".-_"))) {
+			varBefore = true
+		}
+		if i > cap && variable {
+			varAfter = true
+		}
+	}
+	if r.LeftOpen() {
+		varBefore = true
+	}
+	// Context between capture and suffix: a literal containing punctuation
+	// after the capture means additional fixed structure; the final suffix
+	// literal alone (".example.com") does not count as "more information"
+	// unless it holds extra parts — the generator always renders the
+	// registered domain as the tail literal, so anything beyond
+	// "."+suffix counts.
+	if cap+1 < len(toks) {
+		last := toks[len(toks)-1]
+		if last.Kind == rex.KindLit {
+			tail := strings.TrimSuffix(last.Lit, "."+nc.Suffix)
+			if tail != last.Lit && tail != "" {
+				varAfter = true
+			}
+		}
+	}
+	// Post-capture literal context inside the ASN part ("(\d+)cust")
+	// signals a non-"as" annotation shape: treat as complex below via pre
+	// check only when pre is not "as"-shaped.
+
+	switch {
+	case asPrefaced && pre == "as" && !varBefore && !varAfter:
+		return StyleSimple
+	case asPrefaced && !varBefore:
+		return StyleStart
+	case asPrefaced && !varAfter:
+		return StyleEnd
+	case asPrefaced:
+		return StyleComplex // "as" in the middle of the hostname
+	case pre == "":
+		// No alphabetic preface at all.
+		if !varBefore || !varAfter {
+			return StyleBare
+		}
+		return StyleComplex
+	default:
+		// Prefaced with something other than "as".
+		return StyleComplex
+	}
+}

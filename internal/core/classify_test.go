@@ -1,0 +1,111 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestClassifyThresholds(t *testing.T) {
+	set, err := NewSet("x.net", nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		e    Eval
+		want Classification
+	}{
+		{Eval{TP: 10, Matches: 10, UniqueTP: 5}, Good},            // PPV 1.0
+		{Eval{TP: 8, FP: 2, Matches: 10, UniqueTP: 3}, Good},      // PPV 0.8
+		{Eval{TP: 7, FP: 3, Matches: 10, UniqueTP: 3}, Promising}, // PPV 0.7
+		{Eval{TP: 8, FP: 2, Matches: 10, UniqueTP: 2}, Promising}, // only 2 unique
+		{Eval{TP: 5, FP: 5, Matches: 10, UniqueTP: 2}, Promising}, // PPV 0.5 boundary
+		{Eval{TP: 4, FP: 6, Matches: 10, UniqueTP: 4}, Poor},      // PPV 0.4
+		{Eval{TP: 9, FP: 1, Matches: 10, UniqueTP: 1}, Poor},      // 1 unique
+		{Eval{}, Poor}, // empty
+		{Eval{TP: 100, FP: 24, Matches: 124, UniqueTP: 50}, Good},      // PPV 0.806
+		{Eval{TP: 100, FP: 26, Matches: 126, UniqueTP: 50}, Promising}, // PPV 0.794
+	}
+	for i, c := range cases {
+		if got := set.Classify(c.e); got != c.want {
+			t.Errorf("case %d: Classify(%+v) = %v, want %v", i, c.e, got, c.want)
+		}
+	}
+}
+
+func TestClassificationUsable(t *testing.T) {
+	if Poor.Usable() || !Promising.Usable() || !Good.Usable() {
+		t.Error("Usable wrong")
+	}
+	if Good.String() != "good" || Promising.String() != "promising" || Poor.String() != "poor" {
+		t.Error("String wrong")
+	}
+}
+
+func TestATPAndPPV(t *testing.T) {
+	e := Eval{TP: 11, FP: 3, FN: 0, Matches: 14}
+	if e.ATP() != 8 {
+		t.Errorf("ATP = %d", e.ATP())
+	}
+	if ppv := e.PPV(); ppv < 0.785 || ppv > 0.786 {
+		t.Errorf("PPV = %f", ppv)
+	}
+	if (Eval{}).PPV() != 0 {
+		t.Error("empty PPV should be 0")
+	}
+	neg := Eval{TP: 2, FP: 5, FN: 4, Matches: 7}
+	if neg.ATP() != -7 {
+		t.Errorf("negative ATP = %d", neg.ATP())
+	}
+}
+
+func styleNC(t *testing.T, suffix string, srcs ...string) *NC {
+	t.Helper()
+	return &NC{Suffix: suffix, Regexes: parseAll(t, srcs)}
+}
+
+func TestStyleOf(t *testing.T) {
+	cases := []struct {
+		nc   *NC
+		want Style
+	}{
+		// Table 1's archetypes.
+		{styleNC(t, "example.com", `^as(\d+)\.example\.com$`), StyleSimple},
+		{styleNC(t, "example.com", `^as(\d+)\.[a-z]+\.example\.com$`), StyleStart},
+		{styleNC(t, "example.com", `^as(\d+)-[^-]+-[^\.]+\.example\.com$`), StyleStart},
+		{styleNC(t, "example.com", `^[a-z\d]+\.as(\d+)\.example\.com$`), StyleEnd},
+		{styleNC(t, "nts.ch", `^.+\.as(\d+)\.nts\.ch$`), StyleEnd},
+		{styleNC(t, "nts.ch", `as(\d+)\.nts\.ch$`), StyleEnd},
+		{styleNC(t, "example.com", `^(\d+)\.[a-z]+\d+\.example\.com$`), StyleBare},
+		{styleNC(t, "example.com", `^(\d+)\.example\.com$`), StyleBare},
+		{styleNC(t, "example.com", `^[a-z]+\.(\d+)\.example\.com$`), StyleBare},
+		// ASN in the middle with "as" preface: complex.
+		{styleNC(t, "example.com", `^[a-z]+\.as(\d+)\.[a-z]+\.example\.com$`), StyleComplex},
+		// Annotation other than "as": complex.
+		{styleNC(t, "example.com", `^gw(\d+)\.example\.com$`), StyleComplex},
+		// Multiple regexes: complex.
+		{styleNC(t, "equinix.com",
+			`^(?:p|s)?(\d+)\.[a-z\d]+\.equinix\.com$`,
+			`^(\d+)-.+\.equinix\.com$`), StyleComplex},
+		// ASN in the middle without preface: complex.
+		{styleNC(t, "example.com", `^[a-z]+\.(\d+)\.[a-z]+\.example\.com$`), StyleComplex},
+		// "gw-as" context: the part-local preface is "as" (after the
+		// dash); the ASN ends the hostname with fixed content before it.
+		{styleNC(t, "init7.net", `^gw-as(\d+)\.init7\.net$`), StyleEnd},
+	}
+	for _, c := range cases {
+		if got := StyleOf(c.nc); got != c.want {
+			t.Errorf("StyleOf(%v) = %v, want %v", c.nc.Strings(), got, c.want)
+		}
+	}
+}
+
+func TestStyleStrings(t *testing.T) {
+	want := map[Style]string{
+		StyleSimple: "simple", StyleStart: "start", StyleEnd: "end",
+		StyleBare: "bare", StyleComplex: "complex",
+	}
+	for st, w := range want {
+		if st.String() != w {
+			t.Errorf("%v.String() = %q", w, st.String())
+		}
+	}
+}

@@ -1,0 +1,206 @@
+package core
+
+import (
+	"hoiho/internal/rex"
+)
+
+// Phase 1 (§3.2): generate base regexes.
+//
+// For every training hostname containing an apparent ASN, the generator
+// emits candidate regexes that capture the ASN with (\d+), embed the
+// alphanumeric characters sharing the ASN's punctuation-delimited part as
+// literals (e.g. the "p" of "p714"), keep the suffix as a literal, and
+// cover the remaining parts with exclusion components ([^\.]+, [^-]+),
+// or with a single ".+" (at most once per regex), or by leaving the
+// regex unanchored on the left (figure 2's "as(\d+)\.nts\.ch$").
+
+// exclMode selects which adjacent delimiters an exclusion component
+// excludes, mirroring the paper's "[^\.]+ and [^-]+ ... depending on the
+// punctuation at the beginning and end of each portion".
+type exclMode uint8
+
+const (
+	exclBoth  exclMode = iota // exclude both adjacent delimiters
+	exclLeft                  // exclude only the preceding delimiter
+	exclRight                 // exclude only the following delimiter
+)
+
+// generate builds the deduplicated base-regex pool for the set.
+func (s *Set) generate() []*rex.Regex {
+	seen := make(map[string]*rex.Regex)
+	limit := s.opts.maxGenItems()
+	n := 0
+	for i := range s.items {
+		p := &s.items[i]
+		if !p.apparent {
+			continue
+		}
+		if n >= limit {
+			break
+		}
+		n++
+		for _, r := range s.candidatesForItem(p) {
+			key := r.String()
+			if _, ok := seen[key]; !ok {
+				seen[key] = r
+			}
+		}
+	}
+	out := make([]*rex.Regex, 0, len(seen))
+	for _, r := range seen {
+		out = append(out, r)
+	}
+	return out
+}
+
+// candidatesForItem enumerates base regexes for one hostname.
+func (s *Set) candidatesForItem(p *prepped) []*rex.Regex {
+	sufParts, ok := p.name.SuffixParts(s.Suffix)
+	if !ok {
+		return nil
+	}
+	parts := p.name.Parts
+	sufStart := len(parts) - sufParts
+	if sufStart <= 0 {
+		// Hostname is just the suffix: nothing to capture.
+		return nil
+	}
+	// Literal for the registered-domain tail, including its leading
+	// delimiter (the delimiter of the part preceding the suffix).
+	sufLit := string(parts[sufStart-1].Delim) + p.name.Full[parts[sufStart].Start:]
+
+	var out []*rex.Regex
+	typo := !s.opts.DisableTypoCredit
+	for _, run := range p.name.DigitRuns() {
+		if run.Part >= sufStart {
+			continue // ASN embedded in the registered domain itself: skip
+		}
+		if inSpans(p.ipSpans, run.Start, run.End()) {
+			continue
+		}
+		if !Congruent(run.Text, p.ASN, typo) {
+			continue
+		}
+		k := run.Part
+		part := parts[k]
+		ctxPre := part.Text[:run.Start-part.Start]
+		ctxPost := part.Text[run.End()-part.Start:]
+
+		for _, mode := range []exclMode{exclBoth, exclLeft, exclRight} {
+			for _, leftKind := range []string{"full", "dotplus", "open"} {
+				for _, rightKind := range []string{"full", "dotplus"} {
+					if leftKind == "dotplus" && rightKind == "dotplus" {
+						continue // at most one ".+" per regex (§3.2)
+					}
+					r := s.assemble(p, k, ctxPre, ctxPost, sufStart, sufLit, mode, leftKind, rightKind)
+					if r != nil {
+						out = append(out, r)
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// assemble builds one candidate regex; nil when the combination is
+// degenerate (e.g. a ".+" with no parts to cover).
+func (s *Set) assemble(p *prepped, k int, ctxPre, ctxPost string, sufStart int, sufLit string, mode exclMode, leftKind, rightKind string) *rex.Regex {
+	parts := p.name.Parts
+	var toks []rex.Token
+	leftOpen := false
+
+	switch leftKind {
+	case "full":
+		for j := 0; j < k; j++ {
+			toks = append(toks, s.component(p, j, mode), rex.Lit(string(parts[j].Delim)))
+		}
+	case "dotplus":
+		if k == 0 {
+			return nil
+		}
+		toks = append(toks, rex.DotPlus(), rex.Lit(string(parts[k-1].Delim)))
+	case "open":
+		if k == 0 {
+			return nil // identical to "full" with no left parts
+		}
+		leftOpen = true
+	}
+
+	toks = append(toks, rex.Lit(ctxPre), rex.Capture(), rex.Lit(ctxPost))
+
+	switch rightKind {
+	case "full":
+		for j := k + 1; j < sufStart; j++ {
+			toks = append(toks, rex.Lit(string(parts[j-1].Delim)), s.component(p, j, mode))
+		}
+	case "dotplus":
+		if k+1 >= sufStart {
+			return nil
+		}
+		toks = append(toks, rex.Lit(string(parts[k].Delim)), rex.DotPlus())
+	}
+	toks = append(toks, rex.Lit(sufLit))
+
+	var (
+		r   *rex.Regex
+		err error
+	)
+	if leftOpen {
+		r, err = rex.NewOpen(toks...)
+	} else {
+		r, err = rex.New(toks...)
+	}
+	if err != nil {
+		return nil
+	}
+	return r
+}
+
+// component builds the variable component for part j: an exclusion class
+// over the adjacent delimiters selected by mode, or an exact literal for
+// empty parts (consecutive punctuation).
+func (s *Set) component(p *prepped, j int, mode exclMode) rex.Token {
+	parts := p.name.Parts
+	if parts[j].Text == "" {
+		return rex.Lit("")
+	}
+	var before, after byte
+	if j > 0 {
+		before = parts[j-1].Delim
+	}
+	after = parts[j].Delim
+	var excl []byte
+	add := func(c byte) {
+		if c == 0 {
+			return
+		}
+		for _, e := range excl {
+			if e == c {
+				return
+			}
+		}
+		excl = append(excl, c)
+	}
+	switch mode {
+	case exclBoth:
+		add(before)
+		add(after)
+	case exclLeft:
+		add(before)
+		if len(excl) == 0 {
+			add(after)
+		}
+	case exclRight:
+		add(after)
+		if len(excl) == 0 {
+			add(before)
+		}
+	}
+	if len(excl) == 0 {
+		// No adjacent punctuation at all (single-part hostname); exclude
+		// '.' so the component cannot cross into the suffix.
+		excl = []byte{'.'}
+	}
+	return rex.Excl(string(excl))
+}

@@ -1,0 +1,28 @@
+package core
+
+import (
+	"testing"
+
+	"hoiho/internal/hostname"
+	"hoiho/internal/rex"
+)
+
+func parseName(h string) (hostname.Name, error) { return hostname.Parse(h) }
+
+func mustParseRegex(t testing.TB, src string) *rex.Regex {
+	t.Helper()
+	r, err := rex.Parse(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	return r
+}
+
+func parseAll(t testing.TB, srcs []string) []*rex.Regex {
+	t.Helper()
+	out := make([]*rex.Regex, len(srcs))
+	for i, s := range srcs {
+		out[i] = mustParseRegex(t, s)
+	}
+	return out
+}

@@ -1,0 +1,212 @@
+// Package core implements Hoiho's ASN naming-convention learner, the
+// primary contribution of "Learning to Extract and Use ASNs in Hostnames"
+// (IMC 2020). Given router hostnames annotated with training ASNs
+// (inferred by RouterToAsAssignment or bdrmapIT, or recorded by operators
+// in PeeringDB), it learns, per domain suffix, a naming convention (NC):
+// an ordered set of regular expressions that extract the ASN embedded in
+// each hostname.
+//
+// The learner proceeds in the paper's four phases: base-regex generation
+// (§3.2), merging similar regexes (§3.3), character-class embedding
+// (§3.4), and regex-set construction (§3.5), ranking candidates by
+// ATP = TP − (FP + FN) (§3.1) and selecting the final NC per §3.6.
+package core
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+
+	"hoiho/internal/asn"
+	"hoiho/internal/editdist"
+	"hoiho/internal/hostname"
+	"hoiho/internal/psl"
+)
+
+// Item is one training observation: a router interface hostname and the
+// ASN the training method inferred (or an operator recorded) for the
+// router that owns the interface. Addr, when valid, is the interface
+// address, used to disqualify numbers that are really IP-address
+// fragments (figure 3b).
+type Item struct {
+	Hostname string
+	Addr     netip.Addr
+	ASN      asn.ASN
+}
+
+// prepped caches the per-item parsing work the evaluator needs.
+type prepped struct {
+	Item
+	name     hostname.Name
+	ipSpans  []hostname.Span
+	apparent bool // hostname contains an apparent ASN (outside IP spans)
+}
+
+// Set is the training data for one suffix, ready for evaluation.
+type Set struct {
+	Suffix string
+	items  []prepped
+	opts   Options
+}
+
+// Options tunes the learner. The zero value enables every phase with the
+// paper's behavior; the Disable*/RankByPPV switches exist for the
+// ablation experiments described in DESIGN.md.
+type Options struct {
+	// DisableTypoCredit turns off the §3.1 rule that credits a TP when the
+	// extracted number is within Damerau-Levenshtein distance one of the
+	// training ASN with matching first/last digits and length >= 3.
+	DisableTypoCredit bool
+	// DisableMerge skips phase 2 (§3.3).
+	DisableMerge bool
+	// DisableClasses skips phase 3 (§3.4).
+	DisableClasses bool
+	// DisableSets skips phase 4 (§3.5): the NC is the single best regex.
+	DisableSets bool
+	// RankByPPV ranks candidate regexes by positive predictive value
+	// instead of ATP (an ablation; the paper argues ATP is the right
+	// metric because it rewards coverage).
+	RankByPPV bool
+	// MaxGenItems bounds how many items seed base-regex generation
+	// (deterministic head sample). 0 means the default (256).
+	MaxGenItems int
+	// MaxCandidates bounds the candidate pool after each phase.
+	// 0 means the default (768).
+	MaxCandidates int
+	// MaxSetStarts bounds how many top-ranked regexes seed phase-4 set
+	// construction. 0 means the default (8).
+	MaxSetStarts int
+	// MaxSetSize bounds the number of regexes in an NC. 0 means the
+	// default (5).
+	MaxSetSize int
+}
+
+func (o Options) maxGenItems() int {
+	if o.MaxGenItems <= 0 {
+		return 256
+	}
+	return o.MaxGenItems
+}
+
+func (o Options) maxCandidates() int {
+	if o.MaxCandidates <= 0 {
+		return 768
+	}
+	return o.MaxCandidates
+}
+
+func (o Options) maxSetStarts() int {
+	if o.MaxSetStarts <= 0 {
+		return 8
+	}
+	return o.MaxSetStarts
+}
+
+func (o Options) maxSetSize() int {
+	if o.MaxSetSize <= 0 {
+		return 5
+	}
+	return o.MaxSetSize
+}
+
+// NewSet parses and indexes training items for one suffix. Items whose
+// hostname fails to parse, does not end with the suffix, or has no
+// training ASN are dropped.
+func NewSet(suffix string, items []Item, opts Options) (*Set, error) {
+	if suffix == "" {
+		return nil, fmt.Errorf("core: empty suffix")
+	}
+	s := &Set{Suffix: suffix, opts: opts}
+	for _, it := range items {
+		if it.ASN == asn.None {
+			continue
+		}
+		name, err := hostname.Parse(it.Hostname)
+		if err != nil {
+			continue
+		}
+		if _, ok := name.SuffixParts(suffix); !ok {
+			continue
+		}
+		p := prepped{Item: it, name: name}
+		p.ipSpans = name.EmbeddedIPSpans(it.Addr)
+		p.apparent = hasApparentASN(p, opts)
+		s.items = append(s.items, p)
+	}
+	return s, nil
+}
+
+// Len returns the number of usable training items.
+func (s *Set) Len() int { return len(s.items) }
+
+// Items returns the usable training items (hostname order preserved).
+func (s *Set) Items() []Item {
+	out := make([]Item, len(s.items))
+	for i, p := range s.items {
+		out[i] = p.Item
+	}
+	return out
+}
+
+// Congruent implements the paper's §3.1 congruence test between a number
+// extracted from a hostname and the training ASN: exact digit-string
+// equality, or — when typo credit is enabled — a Damerau-Levenshtein
+// distance of one with identical first and last characters and both
+// numbers at least three digits long (catching typos like figure 3a
+// without crediting coincidences).
+func Congruent(extracted string, train asn.ASN, typoCredit bool) bool {
+	d := train.Digits()
+	if extracted == d {
+		return true
+	}
+	if !typoCredit || len(extracted) < 3 || len(d) < 3 {
+		return false
+	}
+	if extracted[0] != d[0] || extracted[len(extracted)-1] != d[len(d)-1] {
+		return false
+	}
+	return editdist.WithinOne(extracted, d)
+}
+
+// hasApparentASN reports whether the hostname contains a numeric string
+// congruent with the training ASN outside any embedded-IP span (§3.1's
+// "apparent ASN", the condition for charging a false negative).
+func hasApparentASN(p prepped, opts Options) bool {
+	for _, r := range p.name.DigitRuns() {
+		if inSpans(p.ipSpans, r.Start, r.End()) {
+			continue
+		}
+		if Congruent(r.Text, p.ASN, !opts.DisableTypoCredit) {
+			return true
+		}
+	}
+	return false
+}
+
+func inSpans(spans []hostname.Span, start, end int) bool {
+	for _, s := range spans {
+		if s.Overlaps(start, end) {
+			return true
+		}
+	}
+	return false
+}
+
+// GroupItems buckets items by registered domain using the supplied public
+// suffix list, returning the suffixes in sorted order alongside the map.
+func GroupItems(list *psl.List, items []Item) (map[string][]Item, []string) {
+	groups := make(map[string][]Item)
+	for _, it := range items {
+		reg, ok := list.RegisteredDomain(it.Hostname)
+		if !ok {
+			continue
+		}
+		groups[reg] = append(groups[reg], it)
+	}
+	suffixes := make([]string, 0, len(groups))
+	for s := range groups {
+		suffixes = append(suffixes, s)
+	}
+	sort.Strings(suffixes)
+	return groups, suffixes
+}

@@ -1,0 +1,90 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"hoiho/internal/rex"
+)
+
+// ncJSON is the serialized form of an NC, stable across releases so that
+// learned conventions can be shared as validation data (paper
+// contribution 4).
+type ncJSON struct {
+	Suffix        string   `json:"suffix"`
+	Regexes       []string `json:"regexes"`
+	Class         string   `json:"class"`
+	Single        bool     `json:"single,omitempty"`
+	TP            int      `json:"tp"`
+	FP            int      `json:"fp"`
+	FN            int      `json:"fn"`
+	Matches       int      `json:"matches"`
+	UniqueTP      int      `json:"unique_tp"`
+	UniqueExtract int      `json:"unique_extract"`
+}
+
+// MarshalJSON serializes the NC with its regexes in source form.
+func (nc *NC) MarshalJSON() ([]byte, error) {
+	return json.Marshal(ncJSON{
+		Suffix:        nc.Suffix,
+		Regexes:       nc.Strings(),
+		Class:         nc.Class.String(),
+		Single:        nc.Single,
+		TP:            nc.Eval.TP,
+		FP:            nc.Eval.FP,
+		FN:            nc.Eval.FN,
+		Matches:       nc.Eval.Matches,
+		UniqueTP:      nc.Eval.UniqueTP,
+		UniqueExtract: nc.Eval.UniqueExtract,
+	})
+}
+
+// UnmarshalJSON restores an NC. Regexes are re-parsed from their source
+// form; the structured token view is not needed once a convention is
+// being applied rather than learned, so the regexes are wrapped as
+// opaque compiled patterns via parseRegex.
+func (nc *NC) UnmarshalJSON(data []byte) error {
+	var j ncJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return err
+	}
+	nc.Suffix = j.Suffix
+	nc.Regexes = nil
+	for _, src := range j.Regexes {
+		r, err := rex.Parse(src)
+		if err != nil {
+			return fmt.Errorf("core: nc %s: %w", j.Suffix, err)
+		}
+		nc.Regexes = append(nc.Regexes, r)
+	}
+	switch j.Class {
+	case "good":
+		nc.Class = Good
+	case "promising":
+		nc.Class = Promising
+	case "poor":
+		nc.Class = Poor
+	default:
+		return fmt.Errorf("core: nc %s: unknown class %q", j.Suffix, j.Class)
+	}
+	nc.Single = j.Single
+	nc.Eval = Eval{
+		TP: j.TP, FP: j.FP, FN: j.FN, Matches: j.Matches,
+		UniqueTP: j.UniqueTP, UniqueExtract: j.UniqueExtract,
+	}
+	return nil
+}
+
+// MarshalNCs serializes a slice of NCs as indented JSON.
+func MarshalNCs(ncs []*NC) ([]byte, error) {
+	return json.MarshalIndent(ncs, "", "  ")
+}
+
+// UnmarshalNCs parses a slice of NCs.
+func UnmarshalNCs(data []byte) ([]*NC, error) {
+	var ncs []*NC
+	if err := json.Unmarshal(data, &ncs); err != nil {
+		return nil, err
+	}
+	return ncs, nil
+}

@@ -1,0 +1,66 @@
+package core
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestNCJSONRoundTrip(t *testing.T) {
+	set, err := NewSet("equinix.com", figure4Items(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nc := set.Learn()
+	if nc == nil {
+		t.Fatal("no NC")
+	}
+	data, err := MarshalNCs([]*NC{nc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ncs, err := UnmarshalNCs(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ncs) != 1 {
+		t.Fatalf("round trip produced %d NCs", len(ncs))
+	}
+	got := ncs[0]
+	if got.Suffix != nc.Suffix || got.Class != nc.Class || got.Single != nc.Single {
+		t.Errorf("metadata mismatch: %+v vs %+v", got, nc)
+	}
+	if got.Eval != nc.Eval {
+		t.Errorf("eval mismatch: %+v vs %+v", got.Eval, nc.Eval)
+	}
+	if len(got.Regexes) != len(nc.Regexes) {
+		t.Fatalf("regex count mismatch")
+	}
+	for i := range got.Regexes {
+		if got.Regexes[i].String() != nc.Regexes[i].String() {
+			t.Errorf("regex %d: %q vs %q", i, got.Regexes[i], nc.Regexes[i])
+		}
+	}
+	// Behavioral equivalence on the training hostnames.
+	for _, it := range figure4Items() {
+		a1, ok1 := nc.Extract(it.Hostname)
+		a2, ok2 := got.Extract(it.Hostname)
+		if a1 != a2 || ok1 != ok2 {
+			t.Errorf("Extract(%s) diverged after round trip: %q,%v vs %q,%v",
+				it.Hostname, a1, ok1, a2, ok2)
+		}
+	}
+}
+
+func TestNCUnmarshalErrors(t *testing.T) {
+	cases := []string{
+		`{"suffix":"x.com","regexes":["^("],"class":"good"}`,
+		`{"suffix":"x.com","regexes":["^as(\\d+)\\.x\\.com$"],"class":"excellent"}`,
+		`{bogus`,
+	}
+	for _, c := range cases {
+		var nc NC
+		if err := json.Unmarshal([]byte(c), &nc); err == nil {
+			t.Errorf("Unmarshal(%q) should error", c)
+		}
+	}
+}

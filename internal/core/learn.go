@@ -1,0 +1,418 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"hoiho/internal/psl"
+	"hoiho/internal/rex"
+)
+
+// NC is a learned naming convention for one suffix: an ordered set of
+// regexes (most hostnames are matched by the first; later regexes catch
+// alternate formats, §3.5), its evaluation on the training data, and its
+// §4 classification.
+type NC struct {
+	Suffix  string
+	Regexes []*rex.Regex
+	Eval    Eval
+	Class   Classification
+	// Single marks figure 2-style conventions whose every extraction is
+	// one organization's ASN (the "single NCs" of §4 / table 1).
+	Single bool
+}
+
+// Extract applies the NC to a hostname, returning the extracted ASN
+// digits from the first matching regex.
+func (nc *NC) Extract(host string) (string, bool) {
+	for _, r := range nc.Regexes {
+		if asn, _, _, ok := r.Extract(host); ok {
+			return asn, true
+		}
+	}
+	return "", false
+}
+
+// Strings renders the NC's regexes.
+func (nc *NC) Strings() []string {
+	out := make([]string, len(nc.Regexes))
+	for i, r := range nc.Regexes {
+		out[i] = r.String()
+	}
+	return out
+}
+
+// Learn runs the full four-phase pipeline on the set and returns the best
+// NC, or nil when no hostname contains an apparent ASN (the suffix has no
+// learnable ASN convention).
+func (s *Set) Learn() *NC {
+	base := s.generate()
+	if len(base) == 0 {
+		return nil
+	}
+
+	pool := base
+	if !s.opts.DisableMerge {
+		pool = s.mergePhase(pool)
+	}
+	cands := s.score(pool)
+	s.rank(cands)
+	cands = s.truncate(cands)
+
+	if !s.opts.DisableClasses {
+		cands = s.classPhase(cands)
+		s.rank(cands)
+		cands = s.truncate(cands)
+	}
+
+	var ncs []candidateNC
+	for i, c := range cands {
+		// Every single regex is an NC candidate.
+		if i < 32 {
+			ncs = append(ncs, candidateNC{regexes: []*rex.Regex{c.regex}, eval: c.eval})
+		}
+	}
+	if !s.opts.DisableSets {
+		ncs = append(ncs, s.setPhase(cands)...)
+	}
+	best := s.selectBest(ncs)
+	if best == nil {
+		return nil
+	}
+	nc := &NC{Suffix: s.Suffix, Regexes: best.regexes, Eval: best.eval}
+	nc.Class = s.Classify(nc.Eval)
+	nc.Single = nc.Eval.TP > 0 && nc.Eval.UniqueExtract == 1
+	return nc
+}
+
+// score evaluates each regex in the pool.
+func (s *Set) score(pool []*rex.Regex) []scored {
+	out := make([]scored, 0, len(pool))
+	for _, r := range pool {
+		if _, err := r.Compile(); err != nil {
+			continue
+		}
+		out = append(out, scored{regex: r, eval: s.Evaluate(r)})
+	}
+	return out
+}
+
+func (s *Set) truncate(cands []scored) []scored {
+	if max := s.opts.maxCandidates(); len(cands) > max {
+		return cands[:max]
+	}
+	return cands
+}
+
+// mergePhase implements §3.3: repeatedly merge pairs of regexes that
+// differ by a single simple string into alternations, keeping both the
+// originals and the merged forms in the pool (ranking decides winners).
+func (s *Set) mergePhase(pool []*rex.Regex) []*rex.Regex {
+	seen := make(map[string]bool, len(pool))
+	for _, r := range pool {
+		seen[r.String()] = true
+	}
+	work := pool
+	for round := 0; round < 3 && len(work) > 0; round++ {
+		var produced []*rex.Regex
+		// Bucket by token count to cut the pairing quadratic: merges only
+		// apply to regexes whose lengths differ by at most one.
+		byLen := make(map[int][]*rex.Regex)
+		for _, r := range pool {
+			byLen[r.NumTokens()] = append(byLen[r.NumTokens()], r)
+		}
+		for _, r := range work {
+			n := r.NumTokens()
+			for _, m := range []int{n - 1, n, n + 1} {
+				for _, o := range byLen[m] {
+					if o == r {
+						continue
+					}
+					merged, ok := rex.Merge(r, o)
+					if !ok {
+						continue
+					}
+					key := merged.String()
+					if seen[key] {
+						continue
+					}
+					seen[key] = true
+					produced = append(produced, merged)
+				}
+			}
+			if len(pool)+len(produced) > 4*s.opts.maxCandidates() {
+				break
+			}
+		}
+		pool = append(pool, produced...)
+		work = produced
+	}
+	return pool
+}
+
+// classPhase implements §3.4: for each ranked candidate, replace
+// exclusion components with the narrowest character class covering the
+// substrings those components matched across the training data, adding
+// the specialized regex to the pool.
+func (s *Set) classPhase(cands []scored) []scored {
+	seen := make(map[string]bool, len(cands))
+	for _, c := range cands {
+		seen[c.regex.String()] = true
+	}
+	out := cands
+	for _, c := range cands {
+		r := s.embedClasses(c.regex)
+		if r == nil {
+			continue
+		}
+		key := r.String()
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out = append(out, scored{regex: r, eval: s.Evaluate(r)})
+	}
+	return out
+}
+
+// embedClasses returns a copy of r with every exclusion component whose
+// matched substrings admit a character class replaced by that class; nil
+// when nothing changed.
+func (s *Set) embedClasses(r *rex.Regex) *rex.Regex {
+	toks := r.Tokens()
+	exclIdx := make([]int, 0, 2)
+	for i, t := range toks {
+		if t.Kind == rex.KindExcl {
+			exclIdx = append(exclIdx, i)
+		}
+	}
+	if len(exclIdx) == 0 {
+		return nil
+	}
+	samples := make(map[int][]string, len(exclIdx))
+	for i := range s.items {
+		p := &s.items[i]
+		spans, ok := r.TokenSpans(p.name.Full)
+		if !ok {
+			continue
+		}
+		for _, ti := range exclIdx {
+			sp := spans[ti]
+			if sp[0] >= 0 && sp[1] > sp[0] {
+				samples[ti] = append(samples[ti], p.name.Full[sp[0]:sp[1]])
+			}
+		}
+	}
+	changed := false
+	for _, ti := range exclIdx {
+		cl, ok := rex.NarrowestClass(samples[ti])
+		if !ok {
+			continue
+		}
+		toks[ti] = rex.ClassTok(cl)
+		changed = true
+	}
+	if !changed {
+		return nil
+	}
+	var (
+		nr  *rex.Regex
+		err error
+	)
+	if r.LeftOpen() {
+		nr, err = rex.NewOpen(toks...)
+	} else {
+		nr, err = rex.New(toks...)
+	}
+	if err != nil {
+		return nil
+	}
+	return nr
+}
+
+// candidateNC is an NC candidate produced by phase 4.
+type candidateNC struct {
+	regexes []*rex.Regex
+	eval    Eval
+}
+
+// setPhase implements §3.5: starting from each of the top-ranked regexes,
+// greedily add lower-ranked regexes whenever the combination's ATP
+// exceeds the working set's.
+func (s *Set) setPhase(cands []scored) []candidateNC {
+	starts := s.opts.maxSetStarts()
+	if starts > len(cands) {
+		starts = len(cands)
+	}
+	var out []candidateNC
+	for st := 0; st < starts; st++ {
+		set := []*rex.Regex{cands[st].regex}
+		cur := cands[st].eval
+		for j := st + 1; j < len(cands) && len(set) < s.opts.maxSetSize(); j++ {
+			trial := append(append([]*rex.Regex(nil), set...), cands[j].regex)
+			ev := s.Evaluate(trial...)
+			if ev.ATP() > cur.ATP() {
+				set, cur = trial, ev
+			}
+		}
+		if len(set) > 1 {
+			out = append(out, candidateNC{regexes: set, eval: cur})
+		}
+	}
+	return out
+}
+
+// selectBest implements §3.6: rank NCs by ATP and pick the top, then
+// allow a lower-ranked NC expressed in fewer regexes to take over if it
+// matches at least as many hostnames, has at least as many TPs, and at
+// most one extra FP (less opportunity for over-fitting).
+func (s *Set) selectBest(ncs []candidateNC) *candidateNC {
+	if len(ncs) == 0 {
+		return nil
+	}
+	sort.SliceStable(ncs, func(i, j int) bool {
+		a, b := ncs[i], ncs[j]
+		if a.eval.ATP() != b.eval.ATP() {
+			return a.eval.ATP() > b.eval.ATP()
+		}
+		if len(a.regexes) != len(b.regexes) {
+			return len(a.regexes) < len(b.regexes)
+		}
+		if a.eval.TP != b.eval.TP {
+			return a.eval.TP > b.eval.TP
+		}
+		sa, sb := ncSpecificity(a), ncSpecificity(b)
+		if sa != sb {
+			return sa > sb
+		}
+		return ncKey(a) < ncKey(b)
+	})
+	best := &ncs[0]
+	for i := 1; i < len(ncs); i++ {
+		nc := &ncs[i]
+		if len(nc.regexes) < len(best.regexes) &&
+			nc.eval.Matches >= best.eval.Matches &&
+			nc.eval.TP >= best.eval.TP &&
+			nc.eval.FP <= best.eval.FP+1 {
+			best = nc
+		}
+	}
+	return best
+}
+
+func ncSpecificity(nc candidateNC) int {
+	sum := 0
+	for _, r := range nc.regexes {
+		sum += specificity(r)
+	}
+	return sum
+}
+
+func ncKey(nc candidateNC) string {
+	key := ""
+	for _, r := range nc.regexes {
+		key += r.String() + "\n"
+	}
+	return key
+}
+
+// Learner runs the pipeline over many suffixes.
+type Learner struct {
+	Opts Options
+	// MinItems is the minimum number of usable training items a suffix
+	// needs before learning is attempted (default 4: below that, a regex
+	// cannot demonstrate multiple distinct congruent ASNs).
+	MinItems int
+	// Workers bounds the suffixes learned concurrently; 0 means
+	// GOMAXPROCS, 1 forces serial execution.
+	Workers int
+}
+
+// LearnSuffix builds a set for one suffix and learns its NC.
+func (l *Learner) LearnSuffix(suffix string, items []Item) (*NC, error) {
+	set, err := NewSet(suffix, items, l.Opts)
+	if err != nil {
+		return nil, err
+	}
+	min := l.MinItems
+	if min <= 0 {
+		min = 4
+	}
+	if set.Len() < min {
+		return nil, nil
+	}
+	return set.Learn(), nil
+}
+
+// LearnAll groups items by registered domain and learns an NC per suffix,
+// returning conventions sorted by suffix. Suffixes with no learnable
+// convention are omitted. Suffixes are independent, so they are learned
+// concurrently (bounded by Workers); results are deterministic regardless
+// of parallelism.
+func (l *Learner) LearnAll(list *psl.List, items []Item) ([]*NC, error) {
+	if list == nil {
+		return nil, fmt.Errorf("core: nil public suffix list")
+	}
+	groups, suffixes := GroupItems(list, items)
+
+	workers := l.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(suffixes) {
+		workers = len(suffixes)
+	}
+	if workers <= 1 {
+		var out []*NC
+		for _, suf := range suffixes {
+			nc, err := l.LearnSuffix(suf, groups[suf])
+			if err != nil {
+				return nil, fmt.Errorf("core: suffix %s: %w", suf, err)
+			}
+			if nc != nil {
+				out = append(out, nc)
+			}
+		}
+		return out, nil
+	}
+
+	// Fan out one job per suffix; slot results by index to keep the
+	// suffix-sorted order independent of scheduling.
+	results := make([]*NC, len(suffixes))
+	errs := make([]error, len(suffixes))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				suf := suffixes[i]
+				nc, err := l.LearnSuffix(suf, groups[suf])
+				if err != nil {
+					errs[i] = fmt.Errorf("core: suffix %s: %w", suf, err)
+					continue
+				}
+				results[i] = nc
+			}
+		}()
+	}
+	for i := range suffixes {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+
+	var out []*NC
+	for i, nc := range results {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+		if nc != nil {
+			out = append(out, nc)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,131 @@
+// Package editdist implements string edit distances used by Hoiho when
+// deciding whether an extracted number is a plausible typo of a training
+// ASN (Damerau 1964; Levenshtein 1966).
+//
+// The paper ("Learning to Extract and Use ASNs in Hostnames", IMC 2020,
+// §3.1) credits a regex extraction as a true positive when the extracted
+// number and the training ASN have a Damerau-Levenshtein distance of one,
+// share their first and last characters, and are both at least three
+// digits long. This package supplies the distance primitives; the policy
+// lives in internal/core.
+package editdist
+
+// Levenshtein returns the Levenshtein distance between a and b: the
+// minimum number of single-character insertions, deletions, and
+// substitutions required to transform a into b.
+func Levenshtein(a, b string) int {
+	return distance(a, b, false)
+}
+
+// OSA returns the optimal string alignment distance between a and b:
+// Levenshtein distance extended with transposition of two adjacent
+// characters, where no substring is edited more than once. For the
+// single-edit decisions Hoiho makes (distance <= 1), OSA and the full
+// Damerau-Levenshtein distance agree, so this is the variant used by
+// DamerauLevenshtein below.
+func OSA(a, b string) int {
+	return distance(a, b, true)
+}
+
+// DamerauLevenshtein returns the Damerau-Levenshtein distance between a
+// and b restricted to adjacent transpositions (the optimal string
+// alignment variant). For the thresholds used in this codebase
+// (distance one) it is exact.
+func DamerauLevenshtein(a, b string) int {
+	return OSA(a, b)
+}
+
+// distance computes edit distance with an optional adjacent-transposition
+// edit. It runs in O(len(a)*len(b)) time and O(len(b)) space without
+// transpositions, O(2*len(b)) with.
+func distance(a, b string, transpose bool) int {
+	la, lb := len(a), len(b)
+	if la == 0 {
+		return lb
+	}
+	if lb == 0 {
+		return la
+	}
+	// prev2 is row i-2 (needed for transpositions), prev is row i-1,
+	// cur is row i of the dynamic programming table.
+	prev2 := make([]int, lb+1)
+	prev := make([]int, lb+1)
+	cur := make([]int, lb+1)
+	for j := 0; j <= lb; j++ {
+		prev[j] = j
+	}
+	for i := 1; i <= la; i++ {
+		cur[0] = i
+		for j := 1; j <= lb; j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			d := min3(
+				prev[j]+1,      // deletion
+				cur[j-1]+1,     // insertion
+				prev[j-1]+cost, // substitution or match
+			)
+			if transpose && i > 1 && j > 1 &&
+				a[i-1] == b[j-2] && a[i-2] == b[j-1] {
+				if t := prev2[j-2] + 1; t < d {
+					d = t
+				}
+			}
+			cur[j] = d
+		}
+		prev2, prev, cur = prev, cur, prev2
+	}
+	return prev[lb]
+}
+
+// WithinOne reports whether a and b are within Damerau-Levenshtein
+// distance one of each other. It avoids the full dynamic program for the
+// common cases, making it cheap enough to call per candidate number.
+func WithinOne(a, b string) bool {
+	la, lb := len(a), len(b)
+	switch {
+	case a == b:
+		return true
+	case la == lb:
+		// Either exactly one substitution, or one adjacent transposition.
+		i := 0
+		for i < la && a[i] == b[i] {
+			i++
+		}
+		// i is the first mismatch; i < la because a != b.
+		if a[i+1:] == b[i+1:] {
+			return true // single substitution
+		}
+		if i+1 < la && a[i] == b[i+1] && a[i+1] == b[i] && a[i+2:] == b[i+2:] {
+			return true // adjacent transposition
+		}
+		return false
+	case la == lb+1:
+		return oneDeletion(a, b)
+	case lb == la+1:
+		return oneDeletion(b, a)
+	default:
+		return false
+	}
+}
+
+// oneDeletion reports whether deleting exactly one character from long
+// yields short. len(long) must equal len(short)+1.
+func oneDeletion(long, short string) bool {
+	i := 0
+	for i < len(short) && long[i] == short[i] {
+		i++
+	}
+	return long[i+1:] == short[i:]
+}
+
+func min3(a, b, c int) int {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
+}

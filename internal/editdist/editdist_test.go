@@ -1,0 +1,212 @@
+package editdist
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestLevenshteinBasic(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"a", "", 1},
+		{"", "abc", 3},
+		{"abc", "abc", 0},
+		{"kitten", "sitting", 3},
+		{"flaw", "lawn", 2},
+		{"gumbo", "gambol", 2},
+		{"701", "701", 0},
+		{"24940", "20940", 1},
+		{"202073", "205073", 1},
+		{"20732", "207032", 1},
+	}
+	for _, c := range cases {
+		if got := Levenshtein(c.a, c.b); got != c.want {
+			t.Errorf("Levenshtein(%q,%q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestOSATransposition(t *testing.T) {
+	cases := []struct {
+		a, b     string
+		lev, osa int
+	}{
+		{"ab", "ba", 2, 1},
+		{"1234", "1243", 2, 1},
+		{"ca", "abc", 3, 3},
+		{"12345", "12354", 2, 1},
+		{"15576", "15567", 2, 1},
+	}
+	for _, c := range cases {
+		if got := Levenshtein(c.a, c.b); got != c.lev {
+			t.Errorf("Levenshtein(%q,%q) = %d, want %d", c.a, c.b, got, c.lev)
+		}
+		if got := OSA(c.a, c.b); got != c.osa {
+			t.Errorf("OSA(%q,%q) = %d, want %d", c.a, c.b, got, c.osa)
+		}
+	}
+}
+
+func TestDamerauLevenshteinIsOSA(t *testing.T) {
+	if DamerauLevenshtein("ab", "ba") != 1 {
+		t.Fatal("transposition should cost 1")
+	}
+}
+
+// TestWithinOneMatchesDistance cross-checks the fast path against the
+// dynamic program on exhaustive short digit strings.
+func TestWithinOneMatchesDistance(t *testing.T) {
+	alphabet := "012"
+	var words []string
+	var gen func(prefix string, depth int)
+	gen = func(prefix string, depth int) {
+		words = append(words, prefix)
+		if depth == 0 {
+			return
+		}
+		for _, c := range alphabet {
+			gen(prefix+string(c), depth-1)
+		}
+	}
+	gen("", 4)
+	for _, a := range words {
+		for _, b := range words {
+			want := OSA(a, b) <= 1
+			if got := WithinOne(a, b); got != want {
+				t.Fatalf("WithinOne(%q,%q) = %v, OSA = %d", a, b, got, OSA(a, b))
+			}
+		}
+	}
+}
+
+// Property: distance is a metric (identity, symmetry, triangle inequality).
+func TestLevenshteinMetricProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	word := func() string {
+		n := rng.Intn(8)
+		var sb strings.Builder
+		for i := 0; i < n; i++ {
+			sb.WriteByte(byte('0' + rng.Intn(10)))
+		}
+		return sb.String()
+	}
+	for i := 0; i < 2000; i++ {
+		a, b, c := word(), word(), word()
+		dab := Levenshtein(a, b)
+		dba := Levenshtein(b, a)
+		if dab != dba {
+			t.Fatalf("symmetry violated: d(%q,%q)=%d d(%q,%q)=%d", a, b, dab, b, a, dba)
+		}
+		if (dab == 0) != (a == b) {
+			t.Fatalf("identity violated for %q,%q: d=%d", a, b, dab)
+		}
+		dac := Levenshtein(a, c)
+		dcb := Levenshtein(c, b)
+		if dab > dac+dcb {
+			t.Fatalf("triangle violated: d(%q,%q)=%d > d(%q,%q)+d(%q,%q)=%d",
+				a, b, dab, a, c, c, b, dac+dcb)
+		}
+	}
+}
+
+// Property: edit distance is bounded below by the length difference and
+// above by the length of the longer string.
+func TestLevenshteinBoundsQuick(t *testing.T) {
+	f := func(a, b string) bool {
+		if len(a) > 32 {
+			a = a[:32]
+		}
+		if len(b) > 32 {
+			b = b[:32]
+		}
+		d := Levenshtein(a, b)
+		lo := len(a) - len(b)
+		if lo < 0 {
+			lo = -lo
+		}
+		hi := len(a)
+		if len(b) > hi {
+			hi = len(b)
+		}
+		return d >= lo && d <= hi
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a single random edit yields WithinOne == true.
+func TestWithinOneAfterSingleEdit(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 2000; i++ {
+		n := 1 + rng.Intn(8)
+		b := make([]byte, n)
+		for j := range b {
+			b[j] = byte('0' + rng.Intn(10))
+		}
+		orig := string(b)
+		var edited string
+		switch rng.Intn(4) {
+		case 0: // substitution
+			j := rng.Intn(n)
+			c := make([]byte, n)
+			copy(c, b)
+			c[j] = byte('0' + rng.Intn(10))
+			edited = string(c)
+		case 1: // deletion
+			j := rng.Intn(n)
+			edited = orig[:j] + orig[j+1:]
+		case 2: // insertion
+			j := rng.Intn(n + 1)
+			edited = orig[:j] + string(byte('0'+rng.Intn(10))) + orig[j:]
+		case 3: // transposition
+			if n < 2 {
+				edited = orig
+			} else {
+				j := rng.Intn(n - 1)
+				c := make([]byte, n)
+				copy(c, b)
+				c[j], c[j+1] = c[j+1], c[j]
+				edited = string(c)
+			}
+		}
+		if !WithinOne(orig, edited) {
+			t.Fatalf("WithinOne(%q,%q) = false after single edit", orig, edited)
+		}
+	}
+}
+
+func TestWithinOneRejectsTwoEdits(t *testing.T) {
+	cases := [][2]string{
+		{"12345", "13254"},
+		{"100", "001"},
+		{"7018", "8107"},
+		{"1", "100"},
+		{"209", "92"},
+	}
+	for _, c := range cases {
+		if OSA(c[0], c[1]) <= 1 {
+			t.Fatalf("bad test vector %v: OSA=%d", c, OSA(c[0], c[1]))
+		}
+		if WithinOne(c[0], c[1]) {
+			t.Errorf("WithinOne(%q,%q) = true, want false", c[0], c[1])
+		}
+	}
+}
+
+func BenchmarkLevenshteinASN(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Levenshtein("206616", "205616")
+	}
+}
+
+func BenchmarkWithinOneASN(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		WithinOne("206616", "205616")
+	}
+}

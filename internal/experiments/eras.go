@@ -1,0 +1,224 @@
+// Package experiments regenerates every table and figure in the paper's
+// evaluation (§4-§5) on the synthetic substrate: 17 ITDK-style training
+// sets spanning 2010-2020 (RouterToAsAssignment through February 2017,
+// bdrmapIT after) plus two PeeringDB snapshots, the NC classification
+// series (figure 5), training-data PPV series (figure 6), the taxonomy
+// (table 1), the modified-bdrmapIT validation (table 2 and the §5
+// headline numbers), the single-NC suffix analysis (§4), and the
+// full-PTR expansion (§7).
+package experiments
+
+import (
+	"fmt"
+	"net/netip"
+
+	"hoiho/internal/asn"
+	"hoiho/internal/bdrmapit"
+	"hoiho/internal/core"
+	"hoiho/internal/itdk"
+	"hoiho/internal/peeringdb"
+	"hoiho/internal/psl"
+	"hoiho/internal/rtaa"
+	"hoiho/internal/topo"
+)
+
+// Era describes one training-set vintage.
+type Era struct {
+	Name   string
+	Index  int
+	Method string // "rtaa" or "bdrmapit"
+	// frac is the era's position in [0,1] across the decade; sizing and
+	// quality knobs scale with it.
+	frac float64
+}
+
+// ITDKEras returns the 17 ITDK vintages: 12 annotated by
+// RouterToAsAssignment (July 2010 - February 2017) and 5 by bdrmapIT
+// (August 2017 - January 2020), as in the paper.
+func ITDKEras() []Era {
+	names := []string{
+		"2010-07", "2011-01", "2011-07", "2012-01", "2012-07", "2013-01",
+		"2013-07", "2014-04", "2015-01", "2015-08", "2016-03", "2017-02",
+		"2017-08", "2018-03", "2019-01", "2019-04", "2020-01",
+	}
+	eras := make([]Era, len(names))
+	for i, n := range names {
+		method := "rtaa"
+		if i >= 12 {
+			method = "bdrmapit"
+		}
+		eras[i] = Era{
+			Name:   "itdk-" + n,
+			Index:  i,
+			Method: method,
+			frac:   float64(i) / float64(len(names)-1),
+		}
+	}
+	return eras
+}
+
+// Scale shrinks or grows every era's AS counts; 1.0 is the full-size
+// reproduction, smaller values give fast test/bench runs over the same
+// code paths.
+type Scale float64
+
+func (s Scale) apply(n float64) int {
+	v := int(n * float64(s))
+	if v < 1 {
+		return 1
+	}
+	return v
+}
+
+// eraConfig derives the topology configuration for an era.
+func eraConfig(e Era, scale Scale) topo.Config {
+	grow := 0.55 + 0.45*e.frac // the Internet grows over the decade
+	cfg := topo.Config{
+		Seed:                7000 + int64(e.Index),
+		Tier1:               5,
+		Transit:             scale.apply(48 * grow),
+		Access:              scale.apply(36 * grow),
+		REN:                 scale.apply(8),
+		Stub:                scale.apply(220 * grow),
+		IXPs:                scale.apply(34 * grow),
+		AdoptionTransit:     0.30 + 0.38*e.frac,
+		AdoptionIXP:         0.60 + 0.32*e.frac,
+		OwnASNRate:          0.30,
+		StaleRate:           0.02,
+		TypoRate:            0.008,
+		MissingRate:         0.08,
+		PlainNameRate:       0.6,
+		IPNameRate:          0.5,
+		SiblingRate:         0.12,
+		VPs:                 12 + e.Index,
+		IXPMemberProb:       0.32,
+		IXPPeerProb:         0.75,
+		NeighborsPerBorder:  8,
+		HopLossRate:         0.01,
+		ProbeFilterRate:     0.12,
+		RespondLoopbackRate: 0.25,
+		SiblingLabelRate:    0.10,
+		BackupLinkRate:      3.0,
+		ProbeCoverage:       0.75,
+		ThirdPartyRate:      0.08,
+	}
+	return cfg
+}
+
+// aliasCompleteness improves over the decade (MIDAR and friends).
+func aliasCompleteness(e Era) float64 { return 0.60 + 0.20*e.frac }
+
+// Run is the product of one era's pipeline.
+type Run struct {
+	Era      Era
+	World    *topo.Internet
+	Graph    *itdk.Graph
+	Snapshot *itdk.Snapshot
+	Items    []core.Item
+	NCs      []*core.NC
+	// Annotations are the per-node training annotations used.
+	Annotations map[int]asn.ASN
+}
+
+// ixpSet returns the ASNs of the world's IXP LANs.
+func ixpSet(world *topo.Internet) map[asn.ASN]bool {
+	out := make(map[asn.ASN]bool)
+	for _, a := range world.ASes {
+		if a.Class == topo.IXP {
+			out[a.ASN] = true
+		}
+	}
+	return out
+}
+
+func ptrFor(world *topo.Internet) func(netip.Addr) string {
+	return func(a netip.Addr) string {
+		if ifc := world.Interface(a); ifc != nil {
+			return ifc.Hostname
+		}
+		return ""
+	}
+}
+
+// RunITDKEra executes the full pipeline for one ITDK era: build the
+// world, probe it, assemble the ITDK, annotate routers with the era's
+// method, and learn NCs.
+func RunITDKEra(e Era, scale Scale, list *psl.List) (*Run, error) {
+	world, err := topo.Build(eraConfig(e, scale))
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %s: %w", e.Name, err)
+	}
+	corpus := world.TraceAll()
+	aliases := itdk.TruthAliases(world).Degrade(eraConfig(e, scale).Seed^0xa11a5, aliasCompleteness(e))
+	graph := itdk.BuildGraph(corpus, aliases, world.Table, ptrFor(world))
+
+	var ann map[int]asn.ASN
+	switch e.Method {
+	case "rtaa":
+		ann = rtaa.Annotate(graph, world.Rel)
+	case "bdrmapit":
+		an := &bdrmapit.Annotator{Graph: graph, Rel: world.Rel, Orgs: world.Orgs, IXPs: ixpSet(world)}
+		ann = an.Annotate()
+	default:
+		return nil, fmt.Errorf("experiments: unknown method %q", e.Method)
+	}
+	snap := itdk.FromGraph(graph, ann, e.Name, e.Method)
+	items := snap.TrainingItems()
+	learner := &core.Learner{}
+	ncs, err := learner.LearnAll(list, items)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %s: %w", e.Name, err)
+	}
+	return &Run{
+		Era: e, World: world, Graph: graph, Snapshot: snap,
+		Items: items, NCs: ncs, Annotations: ann,
+	}, nil
+}
+
+// RunPDBEra builds a PeeringDB training set from an already-built world
+// and learns NCs from the member-recorded ASNs.
+func RunPDBEra(name string, world *topo.Internet, seed int64, list *psl.List) (*Run, error) {
+	snap := peeringdb.Synthesize(world, name, peeringdb.SynthOptions{
+		Seed:        seed,
+		ErrorRate:   0.02,
+		OrgMainRate: 0.02,
+	})
+	items := snap.TrainingItems(ptrFor(world))
+	learner := &core.Learner{}
+	ncs, err := learner.LearnAll(list, items)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %s: %w", name, err)
+	}
+	return &Run{
+		Era:   Era{Name: name, Method: "peeringdb"},
+		World: world, Items: items, NCs: ncs,
+	}, nil
+}
+
+// ClassCounts tallies NC classifications.
+type ClassCounts struct {
+	Good, Promising, Poor int
+	Usable, Single        int
+}
+
+// Count classifies a learned NC set.
+func Count(ncs []*core.NC) ClassCounts {
+	var c ClassCounts
+	for _, nc := range ncs {
+		switch nc.Class {
+		case core.Good:
+			c.Good++
+		case core.Promising:
+			c.Promising++
+		default:
+			c.Poor++
+		}
+		if nc.Class.Usable() {
+			c.Usable++
+		}
+		if nc.Single {
+			c.Single++
+		}
+	}
+	return c
+}

@@ -1,0 +1,236 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"hoiho/internal/asn"
+	"hoiho/internal/core"
+	"hoiho/internal/psl"
+)
+
+// Figure5Row is one point of figure 5: NC classification counts per
+// training set.
+type Figure5Row struct {
+	Name      string
+	Method    string
+	Good      int
+	Promising int
+	Poor      int
+}
+
+// Figure6Row is one point of figure 6: agreement between training and
+// extracted ASNs over the usable NCs, with and without sibling credit.
+type Figure6Row struct {
+	Name       string
+	Method     string
+	PPV        float64
+	PPVSibling float64
+	TPs        int
+	Matches    int
+}
+
+// PPVOnTraining computes figure 6's quantity for one run: aggregate
+// TP/(TP+FP) of the usable NCs evaluated on their training items. With
+// sibling credit, extractions whose ASN is a sibling of the training ASN
+// count as agreeing (the paper: siblings added ~1% for RTAA and ~2% for
+// bdrmapIT inferences).
+func PPVOnTraining(ncs []*core.NC, items []core.Item, list *psl.List, orgs *asn.Orgs, siblingCredit bool) (ppv float64, tps, matches int) {
+	groups, _ := core.GroupItems(list, items)
+	for _, nc := range ncs {
+		if !nc.Class.Usable() {
+			continue
+		}
+		set, err := core.NewSet(nc.Suffix, groups[nc.Suffix], core.Options{})
+		if err != nil {
+			continue
+		}
+		_, exts := set.EvaluateDetailed(nc.Regexes...)
+		for _, e := range exts {
+			switch e.Outcome {
+			case core.OutcomeTP:
+				tps++
+				matches++
+			case core.OutcomeFP:
+				matches++
+				if siblingCredit && orgs != nil {
+					if a, err := asn.Parse(e.ASN); err == nil && orgs.Siblings(a, e.Item.ASN) {
+						tps++
+					}
+				}
+			}
+		}
+	}
+	if matches == 0 {
+		return 0, 0, 0
+	}
+	return float64(tps) / float64(matches), tps, matches
+}
+
+// Figure5 runs every ITDK era plus the PeeringDB snapshots and returns
+// the classification series. The final two worlds double as the
+// PeeringDB sources. It also returns the runs for reuse by downstream
+// experiments.
+func Figure5(scale Scale, list *psl.List) ([]Figure5Row, []Figure6Row, []*Run, error) {
+	var f5 []Figure5Row
+	var f6 []Figure6Row
+	var runs []*Run
+	for _, e := range ITDKEras() {
+		run, err := RunITDKEra(e, scale, list)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		runs = append(runs, run)
+		c := Count(run.NCs)
+		f5 = append(f5, Figure5Row{Name: e.Name, Method: e.Method, Good: c.Good, Promising: c.Promising, Poor: c.Poor})
+		ppv, tps, m := PPVOnTraining(run.NCs, run.Items, list, run.World.Orgs, false)
+		sib, _, _ := PPVOnTraining(run.NCs, run.Items, list, run.World.Orgs, true)
+		f6 = append(f6, Figure6Row{Name: e.Name, Method: e.Method, PPV: ppv, PPVSibling: sib, TPs: tps, Matches: m})
+	}
+	// Two PeeringDB snapshots from the two most recent worlds.
+	pdbWorlds := []*Run{runs[len(runs)-2], runs[len(runs)-1]}
+	pdbNames := []string{"pdb-2019-08", "pdb-2020-02"}
+	for i, src := range pdbWorlds {
+		run, err := RunPDBEra(pdbNames[i], src.World, 500+int64(i), list)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		runs = append(runs, run)
+		c := Count(run.NCs)
+		f5 = append(f5, Figure5Row{Name: run.Era.Name, Method: "peeringdb", Good: c.Good, Promising: c.Promising, Poor: c.Poor})
+		ppv, tps, m := PPVOnTraining(run.NCs, run.Items, list, src.World.Orgs, false)
+		sib, _, _ := PPVOnTraining(run.NCs, run.Items, list, src.World.Orgs, true)
+		f6 = append(f6, Figure6Row{Name: run.Era.Name, Method: "peeringdb", PPV: ppv, PPVSibling: sib, TPs: tps, Matches: m})
+	}
+	return f5, f6, runs, nil
+}
+
+// Table1Row is one taxonomy line: the share of usable (multi-ASN) and
+// single (own-ASN) conventions in each style.
+type Table1Row struct {
+	Style       core.Style
+	UsablePct   float64
+	SinglePct   float64
+	UsableCount int
+	SingleCount int
+}
+
+// Table1 classifies the union of usable and single NCs from the final
+// ITDK and PeeringDB runs into the paper's taxonomy.
+func Table1(itdkRun, pdbRun *Run) []Table1Row {
+	// Union by suffix; the ITDK training set takes precedence (the paper
+	// observed that larger training sets yield less specific regexes).
+	bySuffix := make(map[string]*core.NC)
+	for _, nc := range pdbRun.NCs {
+		bySuffix[nc.Suffix] = nc
+	}
+	for _, nc := range itdkRun.NCs {
+		bySuffix[nc.Suffix] = nc
+	}
+	var usable, single []*core.NC
+	for _, nc := range bySuffix {
+		switch {
+		case nc.Single:
+			single = append(single, nc)
+		case nc.Class.Usable():
+			usable = append(usable, nc)
+		}
+	}
+	counts := make(map[core.Style][2]int)
+	for _, nc := range usable {
+		c := counts[core.StyleOf(nc)]
+		c[0]++
+		counts[core.StyleOf(nc)] = c
+	}
+	for _, nc := range single {
+		c := counts[core.StyleOf(nc)]
+		c[1]++
+		counts[core.StyleOf(nc)] = c
+	}
+	styles := []core.Style{core.StyleSimple, core.StyleStart, core.StyleEnd, core.StyleBare, core.StyleComplex}
+	rows := make([]Table1Row, 0, len(styles))
+	for _, st := range styles {
+		c := counts[st]
+		row := Table1Row{Style: st, UsableCount: c[0], SingleCount: c[1]}
+		if len(usable) > 0 {
+			row.UsablePct = 100 * float64(c[0]) / float64(len(usable))
+		}
+		if len(single) > 0 {
+			row.SinglePct = 100 * float64(c[1]) / float64(len(single))
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// FormatTable renders rows of cells as a markdown table.
+func FormatTable(header []string, rows [][]string) string {
+	var sb strings.Builder
+	sb.WriteString("| " + strings.Join(header, " | ") + " |\n")
+	seps := make([]string, len(header))
+	for i := range seps {
+		seps[i] = "---"
+	}
+	sb.WriteString("| " + strings.Join(seps, " | ") + " |\n")
+	for _, r := range rows {
+		sb.WriteString("| " + strings.Join(r, " | ") + " |\n")
+	}
+	return sb.String()
+}
+
+// SuffixOriginAnalysis reproduces §4's single-NC investigation: the
+// share of single NCs whose suffix belongs to the organization of the
+// extracted ASN.
+func SuffixOriginAnalysis(run *Run) (ownOrg, other int) {
+	suffixOwner := make(map[string]asn.ASN)
+	for _, a := range run.World.ASes {
+		suffixOwner[a.Suffix] = a.ASN
+	}
+	groups, _ := core.GroupItems(psl.Default(), run.Items)
+	for _, nc := range run.NCs {
+		// Only conventions with enough matches constitute the paper's
+		// "single NCs"; degenerate one-extraction regexes are noise.
+		if !nc.Single || nc.Eval.TP < 3 {
+			continue
+		}
+		// Dominant extracted ASN over the suffix's items.
+		votes := make(map[asn.ASN]int)
+		for _, it := range groups[nc.Suffix] {
+			if digits, ok := nc.Extract(it.Hostname); ok {
+				if a, err := asn.Parse(digits); err == nil {
+					votes[a]++
+				}
+			}
+		}
+		if len(votes) == 0 {
+			continue
+		}
+		var best asn.ASN
+		bestN := -1
+		keys := make([]asn.ASN, 0, len(votes))
+		for a := range votes {
+			keys = append(keys, a)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		for _, a := range keys {
+			if votes[a] > bestN {
+				best, bestN = a, votes[a]
+			}
+		}
+		if owner, ok := suffixOwner[nc.Suffix]; ok && run.World.Orgs.Siblings(owner, best) {
+			ownOrg++
+		} else {
+			other++
+		}
+	}
+	return ownOrg, other
+}
+
+// Pct formats a ratio as a percentage string.
+func Pct(num, den int) string {
+	if den == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.1f%%", 100*float64(num)/float64(den))
+}

@@ -1,0 +1,45 @@
+package experiments
+
+import (
+	"testing"
+)
+
+func TestFormatTable(t *testing.T) {
+	got := FormatTable([]string{"a", "b"}, [][]string{{"1", "2"}, {"3", "4"}})
+	want := "| a | b |\n| --- | --- |\n| 1 | 2 |\n| 3 | 4 |\n"
+	if got != want {
+		t.Errorf("FormatTable:\n%q\nwant\n%q", got, want)
+	}
+}
+
+func TestPct(t *testing.T) {
+	if Pct(1, 2) != "50.0%" || Pct(0, 0) != "n/a" || Pct(3, 3) != "100.0%" {
+		t.Error("Pct wrong")
+	}
+}
+
+func TestOneIn(t *testing.T) {
+	if OneIn(7.94) != "1/7.9" || OneIn(0) != "1/inf" || OneIn(-1) != "1/inf" {
+		t.Errorf("OneIn wrong: %s %s", OneIn(7.94), OneIn(0))
+	}
+}
+
+func TestScaleApply(t *testing.T) {
+	if Scale(0.5).apply(10) != 5 || Scale(0.01).apply(10) != 1 || Scale(2).apply(3) != 6 {
+		t.Error("Scale.apply wrong")
+	}
+}
+
+func TestCountClassifications(t *testing.T) {
+	run, err := RunITDKEra(ITDKEras()[16], 0.2, pslDefault())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := Count(run.NCs)
+	if c.Good+c.Promising+c.Poor != len(run.NCs) {
+		t.Errorf("counts do not partition: %+v over %d NCs", c, len(run.NCs))
+	}
+	if c.Usable != c.Good+c.Promising {
+		t.Errorf("usable != good+promising: %+v", c)
+	}
+}

@@ -1,0 +1,5 @@
+package experiments
+
+import "hoiho/internal/psl"
+
+func pslDefault() *psl.List { return psl.Default() }

@@ -1,0 +1,89 @@
+// Package itdk assembles Internet Topology Data Kit style snapshots from
+// traceroute corpora: alias-resolved router nodes, per-node topological
+// state (subsequent interfaces and destination ASes), AS annotations from
+// a router-ownership method, and the (hostname, training ASN) pairs Hoiho
+// learns from.
+package itdk
+
+import (
+	"math/rand"
+	"net/netip"
+	"sort"
+
+	"hoiho/internal/topo"
+)
+
+// Aliases maps interface addresses to router node identifiers, the
+// product of alias resolution (MIDAR et al. in the real ITDK).
+type Aliases struct {
+	byAddr map[netip.Addr]int
+	next   int
+}
+
+// NewAliases returns an empty alias map.
+func NewAliases() *Aliases {
+	return &Aliases{byAddr: make(map[netip.Addr]int)}
+}
+
+// Assign places addr in node id.
+func (a *Aliases) Assign(addr netip.Addr, id int) {
+	a.byAddr[addr] = id
+	if id >= a.next {
+		a.next = id + 1
+	}
+}
+
+// NodeOf returns the node holding addr. Unknown addresses are assigned a
+// fresh singleton node (alias resolution never saw them), which is what
+// the ITDK does for addresses observed only once.
+func (a *Aliases) NodeOf(addr netip.Addr) int {
+	if id, ok := a.byAddr[addr]; ok {
+		return id
+	}
+	id := a.next
+	a.next++
+	a.byAddr[addr] = id
+	return id
+}
+
+// Len returns the number of mapped addresses.
+func (a *Aliases) Len() int { return len(a.byAddr) }
+
+// TruthAliases builds the ground-truth alias map from a synthetic
+// topology: every interface is bound to its true router.
+func TruthAliases(in *topo.Internet) *Aliases {
+	a := NewAliases()
+	for _, ifc := range in.Interfaces() {
+		a.Assign(ifc.Addr, ifc.Router.ID)
+	}
+	a.next = len(in.Routers)
+	return a
+}
+
+// Degrade simulates incomplete alias resolution: each address stays
+// correctly aliased with probability completeness, and otherwise becomes
+// its own singleton node — the dominant failure mode of probe-based
+// alias resolution, and the situation where ownership heuristics must
+// reason from a single supplier-assigned address. The receiver is not
+// modified.
+func (a *Aliases) Degrade(seed int64, completeness float64) *Aliases {
+	rng := rand.New(rand.NewSource(seed))
+	out := NewAliases()
+	// Deterministic iteration order.
+	addrs := make([]netip.Addr, 0, len(a.byAddr))
+	for addr := range a.byAddr {
+		addrs = append(addrs, addr)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i].Less(addrs[j]) })
+	next := a.next
+	for _, addr := range addrs {
+		if rng.Float64() < completeness {
+			out.Assign(addr, a.byAddr[addr])
+		} else {
+			out.Assign(addr, next)
+			next++
+		}
+	}
+	out.next = next
+	return out
+}

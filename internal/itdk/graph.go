@@ -1,0 +1,110 @@
+package itdk
+
+import (
+	"net/netip"
+	"sort"
+
+	"hoiho/internal/asn"
+	"hoiho/internal/bgp"
+	"hoiho/internal/traceroute"
+)
+
+// Node is an alias-resolved router with the topological state bdrmapIT
+// reasons over (§5 of the paper): the interfaces observed on it, the
+// interfaces observed immediately after it in traceroute paths, and the
+// ASes of destinations whose traces traversed it.
+type Node struct {
+	ID     int
+	Ifaces []netip.Addr
+	// Subs counts subsequent interfaces: Subs[b] is how many times an
+	// interface of this node was immediately followed by address b.
+	Subs map[netip.Addr]int
+	// DestASNs counts the origin ASes of destinations probed through
+	// this node.
+	DestASNs map[asn.ASN]int
+}
+
+// SubsAddrs returns the subsequent interfaces, sorted.
+func (n *Node) SubsAddrs() []netip.Addr {
+	out := make([]netip.Addr, 0, len(n.Subs))
+	for a := range n.Subs {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// Graph is the observed router-level graph.
+type Graph struct {
+	Nodes  []*Node // sorted by ID
+	Table  *bgp.Table
+	byID   map[int]*Node
+	byAddr map[netip.Addr]*Node
+	// Hostnames maps observed addresses to their PTR records ("" or
+	// absent when unnamed).
+	Hostnames map[netip.Addr]string
+}
+
+// Node returns the node with the given id, or nil.
+func (g *Graph) Node(id int) *Node { return g.byID[id] }
+
+// NodeOf returns the node holding addr, or nil.
+func (g *Graph) NodeOf(addr netip.Addr) *Node { return g.byAddr[addr] }
+
+// Origin is the BGP origin of addr per the graph's table.
+func (g *Graph) Origin(addr netip.Addr) asn.ASN { return g.Table.Origin(addr) }
+
+// BuildGraph assembles the observed graph from a traceroute corpus, an
+// alias map, a BGP table, and a PTR lookup (may be nil). Only addresses
+// observed in the corpus become part of the graph, as in the ITDK.
+func BuildGraph(corpus *traceroute.Corpus, aliases *Aliases, table *bgp.Table, ptr func(netip.Addr) string) *Graph {
+	g := &Graph{
+		Table:     table,
+		byID:      make(map[int]*Node),
+		byAddr:    make(map[netip.Addr]*Node),
+		Hostnames: make(map[netip.Addr]string),
+	}
+	node := func(addr netip.Addr) *Node {
+		if n, ok := g.byAddr[addr]; ok {
+			return n
+		}
+		id := aliases.NodeOf(addr)
+		n, ok := g.byID[id]
+		if !ok {
+			n = &Node{ID: id, Subs: make(map[netip.Addr]int), DestASNs: make(map[asn.ASN]int)}
+			g.byID[id] = n
+		}
+		n.Ifaces = append(n.Ifaces, addr)
+		g.byAddr[addr] = n
+		if ptr != nil {
+			if h := ptr(addr); h != "" {
+				g.Hostnames[addr] = h
+			}
+		}
+		return n
+	}
+	for _, p := range corpus.Paths {
+		dstASN := table.Origin(p.Dst)
+		var prev *Node
+		for _, h := range p.Hops {
+			if !h.Responded() {
+				prev = nil
+				continue
+			}
+			cur := node(h.Addr)
+			if dstASN != asn.None {
+				cur.DestASNs[dstASN]++
+			}
+			if prev != nil && prev != cur {
+				prev.Subs[h.Addr]++
+			}
+			prev = cur
+		}
+	}
+	for _, n := range g.byID {
+		sort.Slice(n.Ifaces, func(i, j int) bool { return n.Ifaces[i].Less(n.Ifaces[j]) })
+		g.Nodes = append(g.Nodes, n)
+	}
+	sort.Slice(g.Nodes, func(i, j int) bool { return g.Nodes[i].ID < g.Nodes[j].ID })
+	return g
+}

@@ -1,0 +1,236 @@
+package itdk
+
+import (
+	"bytes"
+	"net/netip"
+	"strings"
+	"testing"
+
+	"hoiho/internal/asn"
+	"hoiho/internal/topo"
+)
+
+func addr(s string) netip.Addr { return netip.MustParseAddr(s) }
+
+func buildWorld(t testing.TB) (*topo.Internet, *Aliases) {
+	t.Helper()
+	in, err := topo.Build(topo.DefaultConfig(99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in, TruthAliases(in)
+}
+
+func TestTruthAliases(t *testing.T) {
+	in, al := buildWorld(t)
+	if al.Len() != len(in.ByAddr) {
+		t.Errorf("alias count %d != interface count %d", al.Len(), len(in.ByAddr))
+	}
+	for _, ifc := range in.Interfaces() {
+		if al.NodeOf(ifc.Addr) != ifc.Router.ID {
+			t.Fatalf("alias of %v wrong", ifc.Addr)
+		}
+	}
+	// Unknown addresses get fresh singleton nodes, distinct each time.
+	a := al.NodeOf(addr("203.0.113.1"))
+	b := al.NodeOf(addr("203.0.113.2"))
+	if a == b {
+		t.Error("distinct unknown addrs share a node")
+	}
+	if al.NodeOf(addr("203.0.113.1")) != a {
+		t.Error("repeat lookup must be stable")
+	}
+}
+
+func TestDegrade(t *testing.T) {
+	in, al := buildWorld(t)
+	deg := al.Degrade(1, 0.5)
+	if deg.Len() != al.Len() {
+		t.Fatalf("degrade changed address count")
+	}
+	same, split := 0, 0
+	for _, ifc := range in.Interfaces() {
+		if deg.NodeOf(ifc.Addr) == ifc.Router.ID {
+			same++
+		} else {
+			split++
+		}
+	}
+	if same == 0 || split == 0 {
+		t.Errorf("degrade(0.5) same=%d split=%d; want both nonzero", same, split)
+	}
+	// Roughly half (within generous bounds).
+	frac := float64(same) / float64(same+split)
+	if frac < 0.35 || frac > 0.65 {
+		t.Errorf("completeness fraction = %.2f, want ~0.5", frac)
+	}
+	// completeness=1 is the identity.
+	full := al.Degrade(2, 1.0)
+	for _, ifc := range in.Interfaces() {
+		if full.NodeOf(ifc.Addr) != ifc.Router.ID {
+			t.Fatal("degrade(1.0) changed aliases")
+		}
+	}
+	// Determinism.
+	d2 := al.Degrade(1, 0.5)
+	for _, ifc := range in.Interfaces() {
+		if deg.NodeOf(ifc.Addr) != d2.NodeOf(ifc.Addr) {
+			t.Fatal("degrade not deterministic")
+		}
+	}
+}
+
+func TestBuildGraph(t *testing.T) {
+	in, al := buildWorld(t)
+	corpus := in.TraceAll()
+	ptr := func(a netip.Addr) string {
+		if ifc := in.Interface(a); ifc != nil {
+			return ifc.Hostname
+		}
+		return ""
+	}
+	g := BuildGraph(corpus, al, in.Table, ptr)
+	if len(g.Nodes) == 0 {
+		t.Fatal("empty graph")
+	}
+	// Every graph interface was observed in the corpus and is indexed.
+	obs := make(map[netip.Addr]bool)
+	for _, a := range corpus.Addrs() {
+		obs[a] = true
+	}
+	total := 0
+	for _, n := range g.Nodes {
+		total += len(n.Ifaces)
+		for _, a := range n.Ifaces {
+			if !obs[a] {
+				t.Fatalf("graph iface %v not observed", a)
+			}
+			if g.NodeOf(a) != n {
+				t.Fatalf("NodeOf(%v) inconsistent", a)
+			}
+		}
+	}
+	if total != len(obs) {
+		t.Errorf("graph ifaces %d != observed %d", total, len(obs))
+	}
+	// Subsequent interfaces come from consecutive hops.
+	subs := 0
+	for _, n := range g.Nodes {
+		subs += len(n.Subs)
+		for a := range n.Subs {
+			if g.NodeOf(a) == n {
+				t.Error("self-loop in Subs")
+			}
+		}
+	}
+	if subs == 0 {
+		t.Error("no subsequent interfaces recorded")
+	}
+	// Destination ASNs populated.
+	withDest := 0
+	for _, n := range g.Nodes {
+		if len(n.DestASNs) > 0 {
+			withDest++
+		}
+	}
+	if withDest < len(g.Nodes)/2 {
+		t.Errorf("only %d/%d nodes have dest ASNs", withDest, len(g.Nodes))
+	}
+	// Hostnames surfaced via ptr callback.
+	if len(g.Hostnames) == 0 {
+		t.Error("no hostnames in graph")
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	in, al := buildWorld(t)
+	corpus := in.TraceAll()
+	g := BuildGraph(corpus, al, in.Table, func(a netip.Addr) string {
+		if ifc := in.Interface(a); ifc != nil {
+			return ifc.Hostname
+		}
+		return ""
+	})
+	ann := make(map[int]asn.ASN)
+	for _, n := range g.Nodes {
+		ann[n.ID] = g.Origin(n.Ifaces[0])
+	}
+	snap := FromGraph(g, ann, "itdk-test", "rtaa")
+	if snap.NumInterfaces() == 0 {
+		t.Fatal("empty snapshot")
+	}
+	items := snap.TrainingItems()
+	if len(items) == 0 {
+		t.Fatal("no training items")
+	}
+	for _, it := range items {
+		if it.Hostname == "" || it.ASN == asn.None {
+			t.Fatalf("bad item %+v", it)
+		}
+	}
+	var buf bytes.Buffer
+	if _, err := snap.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Parse(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "itdk-test" || got.Method != "rtaa" {
+		t.Errorf("header lost: %q %q", got.Name, got.Method)
+	}
+	if len(got.Nodes) != len(snap.Nodes) {
+		t.Fatalf("node count %d != %d", len(got.Nodes), len(snap.Nodes))
+	}
+	if got.NumInterfaces() != snap.NumInterfaces() {
+		t.Errorf("interface count changed")
+	}
+	if len(got.TrainingItems()) != len(items) {
+		t.Errorf("training items %d != %d", len(got.TrainingItems()), len(items))
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"node N1 10.0.0.1",          // missing colon
+		"node Nx: 10.0.0.1",         // bad id
+		"node N1: bogus",            // bad addr
+		"node.AS N9 100",            // unknown node
+		"ptr 10.0.0.1",              // short ptr
+		"ptr bogus host.example",    // bad addr
+		"garbage line",              // unknown
+		"node.AS Nx 100\nnode N1: ", // bad node.AS
+	}
+	for _, b := range bad {
+		if _, err := Parse(strings.NewReader(b)); err == nil {
+			t.Errorf("Parse(%q) should error", b)
+		}
+	}
+}
+
+func TestTrainingItemsSkipUnannotated(t *testing.T) {
+	s := &Snapshot{Nodes: []NodeRecord{
+		{ID: 1, Addrs: []netip.Addr{addr("10.0.0.1")}, Hostnames: []string{"a.x.com"}, ASN: 0},
+		{ID: 2, Addrs: []netip.Addr{addr("10.0.0.2")}, Hostnames: []string{""}, ASN: 100},
+		{ID: 3, Addrs: []netip.Addr{addr("10.0.0.3")}, Hostnames: []string{"b.x.com"}, ASN: 200},
+	}}
+	items := s.TrainingItems()
+	if len(items) != 1 || items[0].Hostname != "b.x.com" {
+		t.Errorf("items = %+v", items)
+	}
+}
+
+func BenchmarkBuildGraph(b *testing.B) {
+	in, al := buildWorld(b)
+	corpus := in.TraceAll()
+	ptr := func(a netip.Addr) string {
+		if ifc := in.Interface(a); ifc != nil {
+			return ifc.Hostname
+		}
+		return ""
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BuildGraph(corpus, al, in.Table, ptr)
+	}
+}

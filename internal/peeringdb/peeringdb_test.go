@@ -1,0 +1,108 @@
+package peeringdb
+
+import (
+	"bytes"
+	"net/netip"
+	"testing"
+
+	"hoiho/internal/asn"
+	"hoiho/internal/topo"
+)
+
+func buildWorld(t testing.TB) *topo.Internet {
+	t.Helper()
+	in, err := topo.Build(topo.DefaultConfig(123))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+func TestSynthesize(t *testing.T) {
+	in := buildWorld(t)
+	snap := Synthesize(in, "pdb-test", SynthOptions{Seed: 1, ErrorRate: 0.04, OrgMainRate: 0.05})
+	if len(snap.Records) == 0 {
+		t.Fatal("no records")
+	}
+	correct, wrong := 0, 0
+	for _, r := range snap.Records {
+		ix := in.AS(r.IXPASN)
+		if ix == nil || ix.Class != topo.IXP {
+			t.Fatalf("record %v references non-IXP %v", r.Addr, r.IXPASN)
+		}
+		if !ix.LAN.Contains(r.Addr) {
+			t.Errorf("record %v outside LAN %v", r.Addr, ix.LAN)
+		}
+		truth := in.OwnerOf(r.Addr)
+		if r.ASN == truth {
+			correct++
+		} else {
+			wrong++
+		}
+	}
+	frac := float64(correct) / float64(correct+wrong)
+	if frac < 0.85 || frac == 1.0 {
+		t.Errorf("recorded-correct fraction = %.3f; want high but imperfect", frac)
+	}
+}
+
+func TestSynthesizeDeterminism(t *testing.T) {
+	in := buildWorld(t)
+	a := Synthesize(in, "s", SynthOptions{Seed: 9, ErrorRate: 0.1})
+	b := Synthesize(in, "s", SynthOptions{Seed: 9, ErrorRate: 0.1})
+	if len(a.Records) != len(b.Records) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a.Records {
+		if a.Records[i] != b.Records[i] {
+			t.Fatalf("record %d differs", i)
+		}
+	}
+}
+
+func TestTrainingItems(t *testing.T) {
+	in := buildWorld(t)
+	snap := Synthesize(in, "pdb-test", SynthOptions{Seed: 2})
+	ptr := func(a netip.Addr) string {
+		if ifc := in.Interface(a); ifc != nil {
+			return ifc.Hostname
+		}
+		return ""
+	}
+	items := snap.TrainingItems(ptr)
+	if len(items) == 0 {
+		t.Fatal("no items")
+	}
+	for _, it := range items {
+		if it.Hostname == "" || it.ASN == asn.None || !it.Addr.IsValid() {
+			t.Fatalf("bad item %+v", it)
+		}
+	}
+	if got := snap.TrainingItems(nil); got != nil {
+		t.Error("nil ptr should produce no items")
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	in := buildWorld(t)
+	snap := Synthesize(in, "pdb-rt", SynthOptions{Seed: 3})
+	var buf bytes.Buffer
+	if _, err := snap.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != snap.Name || len(got.Records) != len(snap.Records) {
+		t.Fatal("round trip lost data")
+	}
+	for i := range got.Records {
+		if got.Records[i] != snap.Records[i] {
+			t.Fatalf("record %d differs", i)
+		}
+	}
+	if _, err := Parse(bytes.NewReader([]byte("{bogus"))); err == nil {
+		t.Error("bad JSON should error")
+	}
+}

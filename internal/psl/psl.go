@@ -1,0 +1,244 @@
+// Package psl implements the Mozilla Public Suffix List algorithm
+// (https://publicsuffix.org/list/), which Hoiho uses to group router
+// hostnames by the registered domain suffix under which an operator
+// chooses its naming convention (paper §3).
+//
+// A List is built from rules of three kinds:
+//
+//   - normal rules ("com", "org.nz") name a public suffix;
+//   - wildcard rules ("*.ck") make every direct child a public suffix;
+//   - exception rules ("!www.ck") override a wildcard.
+//
+// Lookup follows the canonical algorithm: the longest matching rule wins,
+// exception rules beat all others, and an unlisted TLD is treated as a
+// public suffix (the implicit "*" rule).
+package psl
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// List is a compiled public suffix list. The zero value is not usable;
+// construct one with Parse, Default, or FromRules.
+type List struct {
+	// rules maps a rule's label sequence (reversed, dot-joined) to its kind.
+	rules map[string]ruleKind
+	// maxLabels is the largest number of labels in any rule, bounding lookups.
+	maxLabels int
+}
+
+type ruleKind uint8
+
+const (
+	ruleNormal ruleKind = iota
+	ruleWildcard
+	ruleException
+)
+
+// Parse reads a public suffix list in the standard text format: one rule
+// per line, // comments, blank lines ignored. Both the ICANN and private
+// sections are honored (the distinction does not matter for grouping).
+func Parse(r io.Reader) (*List, error) {
+	l := &List{rules: make(map[string]ruleKind)}
+	sc := bufio.NewScanner(r)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "//") {
+			continue
+		}
+		// Rules end at the first whitespace.
+		if i := strings.IndexAny(line, " \t"); i >= 0 {
+			line = line[:i]
+		}
+		if err := l.addRule(line); err != nil {
+			return nil, fmt.Errorf("psl: line %d: %w", lineno, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("psl: %w", err)
+	}
+	return l, nil
+}
+
+// FromRules builds a list from explicit rule strings, e.g.
+// FromRules("com", "org.nz", "*.ck", "!www.ck"). It is convenient for
+// tests and synthetic topologies.
+func FromRules(rules ...string) (*List, error) {
+	l := &List{rules: make(map[string]ruleKind)}
+	for _, r := range rules {
+		if err := l.addRule(r); err != nil {
+			return nil, err
+		}
+	}
+	return l, nil
+}
+
+// Default returns a list compiled from the embedded snapshot of the
+// public suffix list (see snapshot.go), sufficient for the suffixes used
+// throughout this repository and its experiments.
+func Default() *List {
+	l, err := Parse(strings.NewReader(snapshot))
+	if err != nil {
+		panic("psl: embedded snapshot invalid: " + err.Error())
+	}
+	return l
+}
+
+func (l *List) addRule(rule string) error {
+	kind := ruleNormal
+	switch {
+	case strings.HasPrefix(rule, "!"):
+		kind = ruleException
+		rule = rule[1:]
+	case strings.HasPrefix(rule, "*."):
+		kind = ruleWildcard
+		rule = rule[2:]
+	case rule == "*":
+		kind = ruleWildcard
+		rule = ""
+	}
+	rule = strings.ToLower(strings.TrimSuffix(rule, "."))
+	if rule == "" && kind != ruleWildcard {
+		return fmt.Errorf("empty rule")
+	}
+	labels := strings.Split(rule, ".")
+	for _, lab := range labels {
+		if lab == "" && rule != "" {
+			return fmt.Errorf("rule %q has empty label", rule)
+		}
+	}
+	n := len(labels)
+	if kind == ruleWildcard {
+		n++ // the wildcard label itself
+	}
+	if n > l.maxLabels {
+		l.maxLabels = n
+	}
+	l.rules[rule] = kind
+	return nil
+}
+
+// PublicSuffix returns the public suffix of domain and whether the match
+// came from an explicit rule (as opposed to the implicit "*" fallback).
+// The domain must be a normalized hostname; a trailing dot is tolerated.
+func (l *List) PublicSuffix(domain string) (suffix string, explicit bool) {
+	domain = normalize(domain)
+	if domain == "" {
+		return "", false
+	}
+	labels := strings.Split(domain, ".")
+	// Walk from the most specific candidate suffix to the least.
+	// Track the best (longest) match.
+	bestLen := 0 // number of labels in the winning suffix
+	bestExplicit := false
+	for i := 0; i < len(labels); i++ {
+		cand := strings.Join(labels[i:], ".")
+		kind, ok := l.rules[cand]
+		if !ok {
+			continue
+		}
+		switch kind {
+		case ruleException:
+			// Exception: the public suffix is the rule minus its
+			// leftmost label. This always wins.
+			n := len(labels) - i - 1
+			if n <= 0 {
+				return "", false
+			}
+			return strings.Join(labels[i+1:], "."), true
+		case ruleWildcard:
+			// Wildcard matches one extra label to the left, if present.
+			n := len(labels) - i + 1
+			if i == 0 {
+				n = len(labels) // cannot extend beyond the domain
+			}
+			if n > bestLen {
+				bestLen, bestExplicit = n, true
+			}
+		case ruleNormal:
+			n := len(labels) - i
+			if n > bestLen {
+				bestLen, bestExplicit = n, true
+			}
+		}
+	}
+	if bestLen == 0 {
+		// Implicit "*" rule: the TLD is a public suffix.
+		return labels[len(labels)-1], false
+	}
+	if bestLen >= len(labels) {
+		return domain, bestExplicit
+	}
+	return strings.Join(labels[len(labels)-bestLen:], "."), bestExplicit
+}
+
+// RegisteredDomain returns the registrable domain (public suffix plus one
+// label, often called eTLD+1) for domain. ok is false when the domain is
+// itself a public suffix or is empty.
+func (l *List) RegisteredDomain(domain string) (reg string, ok bool) {
+	domain = normalize(domain)
+	if domain == "" {
+		return "", false
+	}
+	suffix, _ := l.PublicSuffix(domain)
+	if suffix == domain {
+		return "", false
+	}
+	rest := strings.TrimSuffix(domain, "."+suffix)
+	if rest == domain {
+		return "", false
+	}
+	i := strings.LastIndexByte(rest, '.')
+	return rest[i+1:] + "." + suffix, true
+}
+
+// GroupByRegisteredDomain buckets hostnames by their registrable domain.
+// Hostnames with no registrable domain (bare TLDs, empty strings) are
+// dropped. Bucket ordering within a suffix preserves input order; the
+// returned map's keys can be sorted by the caller for determinism.
+func (l *List) GroupByRegisteredDomain(hostnames []string) map[string][]string {
+	groups := make(map[string][]string)
+	for _, h := range hostnames {
+		if reg, ok := l.RegisteredDomain(h); ok {
+			groups[reg] = append(groups[reg], h)
+		}
+	}
+	return groups
+}
+
+// Suffixes returns all explicit rules, sorted, primarily for debugging
+// and tests.
+func (l *List) Suffixes() []string {
+	out := make([]string, 0, len(l.rules))
+	for r, k := range l.rules {
+		switch k {
+		case ruleWildcard:
+			if r == "" {
+				out = append(out, "*")
+			} else {
+				out = append(out, "*."+r)
+			}
+		case ruleException:
+			out = append(out, "!"+r)
+		default:
+			out = append(out, r)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the number of explicit rules in the list.
+func (l *List) Len() int { return len(l.rules) }
+
+func normalize(domain string) string {
+	domain = strings.ToLower(strings.TrimSpace(domain))
+	domain = strings.TrimSuffix(domain, ".")
+	return domain
+}

@@ -1,0 +1,148 @@
+package psl
+
+// snapshot is an embedded subset of the Mozilla Public Suffix List
+// (https://publicsuffix.org/list/), trimmed to the effective TLDs that
+// appear in this repository's experiments, examples, and tests. The full
+// list can be supplied at runtime via Parse; the algorithm is identical.
+const snapshot = `
+// ===BEGIN ICANN DOMAINS===
+
+// generic TLDs
+com
+net
+org
+edu
+gov
+mil
+int
+info
+biz
+name
+
+// infrastructure
+arpa
+in-addr.arpa
+ip6.arpa
+
+// country-code TLDs used in the paper and experiments
+ad
+ae
+ar
+com.ar
+net.ar
+at
+co.at
+or.at
+au
+com.au
+net.au
+org.au
+be
+br
+com.br
+net.br
+org.br
+ca
+nb.ca
+on.ca
+qc.ca
+ch
+cl
+cn
+com.cn
+net.cn
+cz
+de
+dk
+es
+com.es
+fi
+fr
+gr
+hk
+com.hk
+hu
+id
+ie
+il
+co.il
+in
+co.in
+it
+jp
+ac.jp
+co.jp
+ne.jp
+or.jp
+kr
+co.kr
+lu
+mx
+com.mx
+my
+com.my
+nl
+no
+nz
+ac.nz
+co.nz
+geek.nz
+gen.nz
+govt.nz
+maori.nz
+net.nz
+org.nz
+school.nz
+pl
+com.pl
+net.pl
+pt
+ro
+rs
+ru
+se
+sg
+com.sg
+si
+sk
+th
+co.th
+tr
+com.tr
+tw
+com.tw
+ua
+com.ua
+net.ua
+uk
+ac.uk
+co.uk
+gov.uk
+net.uk
+org.uk
+us
+uy
+com.uy
+net.uy
+org.uy
+za
+co.za
+net.za
+
+// wildcard and exception rules (kept for algorithm coverage)
+*.ck
+!www.ck
+*.bd
+*.kawasaki.jp
+!city.kawasaki.jp
+
+// ===END ICANN DOMAINS===
+// ===BEGIN PRIVATE DOMAINS===
+
+// private-section examples exercised in tests
+blogspot.com
+github.io
+s3.amazonaws.com
+
+// ===END PRIVATE DOMAINS===
+`

@@ -1,0 +1,146 @@
+package rex
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestParseRoundTrip(t *testing.T) {
+	srcs := []string{
+		`^(\d+)\.[^\.]+\.equinix\.com$`,
+		`^p(\d+)\.[^\.]+\.equinix\.com$`,
+		`^(?:p|s)?(\d+)\.[a-z\d]+\.equinix\.com$`,
+		`^(\d+)-.+\.equinix\.com$`,
+		`as(\d+)\.nts\.ch$`,
+		`^.+\.as(\d+)\.nts\.ch$`,
+		`^as(\d+)-[^-]+-[^\.-]+\.example\.com$`,
+		`^[a-z]+(\d+)\d+\.y\.net$`,
+		`^(?:p|s)(\d+)\.x\.com$`,
+		`^as(\d+)_[a-z]+\.x\.com$`,
+	}
+	for _, src := range srcs {
+		r, err := Parse(src)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", src, err)
+			continue
+		}
+		if got := r.String(); got != src {
+			t.Errorf("Parse(%q).String() = %q", src, got)
+		}
+	}
+}
+
+func TestParseRejects(t *testing.T) {
+	bad := []string{
+		"",
+		"^as(\\d+)\\.x\\.com", // no $
+		`^(\d+)(\d+)$`,        // two captures would fail build
+		`^[^\.]+$`,            // no capture
+		`^(\d+)[a-$`,          // unterminated class
+		`^(?:p|s(\d+)$`,       // unterminated group
+		`^(\d+)*$`,            // stray metachar
+		`^(\d+)\$`,            // trailing backslash before $ consumed
+		`^a|b(\d+)$`,          // top-level alternation unsupported
+	}
+	for _, src := range bad {
+		if r, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) = %q, want error", src, r)
+		}
+	}
+}
+
+func TestParseSemantics(t *testing.T) {
+	r := MustParse(`^(?:p|s)?(\d+)\.[a-z\d]+\.equinix\.com$`)
+	if asn, _, _, ok := r.Extract("s24115.tyo.equinix.com"); !ok || asn != "24115" {
+		t.Errorf("Extract = %q,%v", asn, ok)
+	}
+	open := MustParse(`as(\d+)\.nts\.ch$`)
+	if !open.LeftOpen() {
+		t.Error("should be left-open")
+	}
+	if asn, _, _, ok := open.Extract("01.r.cba.ch.bl.cust.as15576.nts.ch"); !ok || asn != "15576" {
+		t.Errorf("open Extract = %q,%v", asn, ok)
+	}
+}
+
+// Property: rendering then parsing reproduces an equal regex for randomly
+// assembled token sequences.
+func TestParseRenderQuick(t *testing.T) {
+	f := func(a, b, c uint8, opt, open bool) bool {
+		toks := []Token{}
+		switch a % 4 {
+		case 0:
+			toks = append(toks, Lit("as"))
+		case 1:
+			toks = append(toks, Alt(opt, "p", "s"))
+		case 2:
+			toks = append(toks, Excl(".-"))
+		case 3:
+			toks = append(toks, ClassTok(Class(b%3)))
+		}
+		toks = append(toks, Capture())
+		switch c % 3 {
+		case 0:
+			toks = append(toks, Lit("."), DotPlus())
+		case 1:
+			toks = append(toks, Lit("-"), Excl("-"))
+		case 2:
+			toks = append(toks, ClassTok(Class(c%3)))
+		}
+		toks = append(toks, Lit(".example.com"))
+		var (
+			r   *Regex
+			err error
+		)
+		if open {
+			r, err = NewOpen(toks...)
+		} else {
+			r, err = New(toks...)
+		}
+		if err != nil {
+			return false
+		}
+		p, err := Parse(r.String())
+		if err != nil {
+			return false
+		}
+		return p.Equal(r)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMergeableAltsGuards(t *testing.T) {
+	a := MustNew(Capture(), Lit("-"), DotPlus(), Lit(".equinix.com"))
+	b := MustNew(Capture(), Lit("."), DotPlus(), Lit(".equinix.com"))
+	if m, ok := Merge(a, b); ok {
+		t.Errorf("punctuation alternation should not merge: %v", m)
+	}
+	// Alphanumeric differences still merge.
+	c := MustNew(Lit("p"), Capture(), Lit(".x.com"))
+	d := MustNew(Lit("s"), Capture(), Lit(".x.com"))
+	if _, ok := Merge(c, d); !ok {
+		t.Error("p/s should merge")
+	}
+	// Shared punctuation prefix with alnum difference merges.
+	e := MustNew(Excl("."), Lit("-as"), Capture(), Lit(".x.com"))
+	f := MustNew(Excl("."), Lit("-"), Capture(), Lit(".x.com"))
+	m, ok := Merge(e, f)
+	if !ok {
+		t.Fatal("-as/- should merge")
+	}
+	if m.String() != `^[^\.]+(?:-|-as)(\d+)\.x\.com$` {
+		t.Errorf("merged = %q", m.String())
+	}
+	// Left-open and anchored regexes never merge.
+	g := MustNew(Lit("as"), Capture(), Lit(".x.com"))
+	h, err := NewOpen(Lit("as"), Capture(), Lit(".x.com"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hp := h
+	if _, ok := Merge(g, hp); ok {
+		t.Error("anchoring mismatch should not merge")
+	}
+}

@@ -1,0 +1,67 @@
+// Package rtaa reimplements RouterToAsAssignment, the router-ownership
+// heuristic of Huffaker et al. (PAM 2010) that annotated the 2010-2017
+// ITDKs (paper §2.1): for each alias-resolved router, elect the AS that
+// announces the longest matching prefix for the most of the router's
+// interfaces, breaking ties by preferring the AS with the smaller degree,
+// then the lower ASN.
+//
+// Because the heuristic only consults the router's own interface
+// addresses, routers observed with a single supplier-assigned
+// interconnection address are attributed to the supplying AS — the error
+// mode that motivates hostname evidence in the paper.
+package rtaa
+
+import (
+	"sort"
+
+	"hoiho/internal/asn"
+	"hoiho/internal/itdk"
+)
+
+// Annotate infers an owner for every node in the graph. rel supplies AS
+// degrees for the tie-break; it may be nil, in which case ties fall
+// through to the lower ASN.
+func Annotate(g *itdk.Graph, rel *asn.Relationships) map[int]asn.ASN {
+	out := make(map[int]asn.ASN, len(g.Nodes))
+	for _, n := range g.Nodes {
+		out[n.ID] = electNode(g, n, rel)
+	}
+	return out
+}
+
+func electNode(g *itdk.Graph, n *itdk.Node, rel *asn.Relationships) asn.ASN {
+	votes := make(map[asn.ASN]int)
+	for _, a := range n.Ifaces {
+		if origin := g.Origin(a); origin != asn.None {
+			votes[origin]++
+		}
+	}
+	return Elect(votes, rel)
+}
+
+// Elect runs the RouterToAsAssignment election over a vote multiset:
+// most votes, then smallest degree, then lowest ASN. It returns asn.None
+// for an empty multiset.
+func Elect(votes map[asn.ASN]int, rel *asn.Relationships) asn.ASN {
+	if len(votes) == 0 {
+		return asn.None
+	}
+	cands := make([]asn.ASN, 0, len(votes))
+	for a := range votes {
+		cands = append(cands, a)
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		a, b := cands[i], cands[j]
+		if votes[a] != votes[b] {
+			return votes[a] > votes[b]
+		}
+		if rel != nil {
+			da, db := rel.Degree(a), rel.Degree(b)
+			if da != db {
+				return da < db
+			}
+		}
+		return a < b
+	})
+	return cands[0]
+}

@@ -1,0 +1,123 @@
+package rtaa
+
+import (
+	"net/netip"
+	"testing"
+
+	"hoiho/internal/asn"
+	"hoiho/internal/bgp"
+	"hoiho/internal/itdk"
+	"hoiho/internal/traceroute"
+)
+
+func addr(s string) netip.Addr { return netip.MustParseAddr(s) }
+
+func TestElect(t *testing.T) {
+	rel := asn.NewRelationships()
+	rel.AddP2C(100, 200) // 100 has degree 1 after this edge
+	rel.AddP2C(100, 300)
+	rel.AddP2C(50, 100)
+	// degrees: 100 -> 3, 200 -> 1, 300 -> 1, 50 -> 1
+	cases := []struct {
+		votes map[asn.ASN]int
+		want  asn.ASN
+	}{
+		{map[asn.ASN]int{}, asn.None},
+		{map[asn.ASN]int{100: 3, 200: 1}, 100},
+		{map[asn.ASN]int{100: 1, 200: 1}, 200},  // degree tie-break: 1 < 3
+		{map[asn.ASN]int{300: 1, 200: 1}, 200},  // equal degree: lower ASN
+		{map[asn.ASN]int{999: 2, 1000: 2}, 999}, // unknown degrees: lower ASN
+	}
+	for i, c := range cases {
+		if got := Elect(c.votes, rel); got != c.want {
+			t.Errorf("case %d: Elect = %v, want %v", i, got, c.want)
+		}
+	}
+	// nil relationships: pure vote count then ASN.
+	if got := Elect(map[asn.ASN]int{7: 1, 3: 1}, nil); got != 3 {
+		t.Errorf("nil rel Elect = %v", got)
+	}
+}
+
+// TestAnnotateSupplierBias reproduces the documented weakness: a router
+// observed only through a supplier-assigned address is attributed to the
+// supplier.
+func TestAnnotateSupplierBias(t *testing.T) {
+	table := &bgp.Table{}
+	if err := table.Announce(netip.MustParsePrefix("10.0.0.0/16"), 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := table.Announce(netip.MustParsePrefix("10.1.0.0/16"), 200); err != nil {
+		t.Fatal(err)
+	}
+	al := itdk.NewAliases()
+	al.Assign(addr("10.0.0.1"), 0) // X core
+	al.Assign(addr("10.0.1.2"), 1) // Y border, X-numbered (truth: Y)
+	al.Assign(addr("10.1.0.1"), 2) // Y core
+	corpus := &traceroute.Corpus{}
+	corpus.Add(traceroute.Path{
+		VP: "vp", Dst: addr("10.1.0.9"),
+		Hops: []traceroute.Hop{
+			{Addr: addr("10.0.0.1")},
+			{Addr: addr("10.0.1.2")},
+			{Addr: addr("10.1.0.1")},
+		},
+	})
+	g := itdk.BuildGraph(corpus, al, table, nil)
+	ann := Annotate(g, nil)
+	if ann[0] != 100 {
+		t.Errorf("X core = %v, want 100", ann[0])
+	}
+	if ann[1] != 100 {
+		t.Errorf("Y border = %v; RTAA should (wrongly) say 100", ann[1])
+	}
+	if ann[2] != 200 {
+		t.Errorf("Y core = %v, want 200", ann[2])
+	}
+}
+
+// TestAnnotateElectionAcrossInterfaces: with aliases intact, the majority
+// of a router's interfaces decides.
+func TestAnnotateElectionAcrossInterfaces(t *testing.T) {
+	table := &bgp.Table{}
+	if err := table.Announce(netip.MustParsePrefix("10.0.0.0/16"), 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := table.Announce(netip.MustParsePrefix("10.1.0.0/16"), 200); err != nil {
+		t.Fatal(err)
+	}
+	al := itdk.NewAliases()
+	al.Assign(addr("10.0.1.2"), 1) // supplier-assigned
+	al.Assign(addr("10.1.0.1"), 1) // own
+	al.Assign(addr("10.1.0.5"), 1) // own
+	corpus := &traceroute.Corpus{}
+	corpus.Add(traceroute.Path{
+		VP: "vp", Dst: addr("10.1.0.9"),
+		Hops: []traceroute.Hop{
+			{Addr: addr("10.0.1.2")},
+			{Addr: addr("10.1.0.1")},
+			{Addr: addr("10.1.0.5")},
+		},
+	})
+	g := itdk.BuildGraph(corpus, al, table, nil)
+	ann := Annotate(g, nil)
+	if ann[1] != 200 {
+		t.Errorf("router = %v, want 200 (2 of 3 interfaces)", ann[1])
+	}
+}
+
+func TestAnnotateUnroutedInterfaces(t *testing.T) {
+	table := &bgp.Table{}
+	al := itdk.NewAliases()
+	al.Assign(addr("10.0.0.1"), 0)
+	corpus := &traceroute.Corpus{}
+	corpus.Add(traceroute.Path{
+		VP: "vp", Dst: addr("10.1.0.9"),
+		Hops: []traceroute.Hop{{Addr: addr("10.0.0.1")}},
+	})
+	g := itdk.BuildGraph(corpus, al, table, nil)
+	ann := Annotate(g, nil)
+	if ann[0] != asn.None {
+		t.Errorf("unrouted router annotated %v", ann[0])
+	}
+}

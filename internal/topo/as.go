@@ -1,0 +1,202 @@
+// Package topo synthesizes a router-level Internet with the properties
+// the paper's pipeline depends on: a valley-free AS hierarchy, interdomain
+// links numbered out of the supplying AS's address space (/30s, as in
+// §2.1), per-operator hostname conventions that may embed neighbor or own
+// ASNs in the table-1 styles, and realistic noise (stale names, typos,
+// missing PTRs, IP-derived names). It stands in for the real Internet
+// that CAIDA's Ark traceroutes measure when building the ITDK — the
+// substitution DESIGN.md documents.
+package topo
+
+import (
+	"net/netip"
+
+	"hoiho/internal/asn"
+	"hoiho/internal/bgp"
+)
+
+// Class categorizes an AS, mirroring the network classes the paper's
+// validation spans (Tier-1, transit, access, stub, research & education,
+// IXP).
+type Class uint8
+
+const (
+	Tier1 Class = iota
+	Transit
+	Access
+	REN
+	Stub
+	IXP
+)
+
+func (c Class) String() string {
+	switch c {
+	case Tier1:
+		return "tier1"
+	case Transit:
+		return "transit"
+	case Access:
+		return "access"
+	case REN:
+		return "ren"
+	case Stub:
+		return "stub"
+	default:
+		return "ixp"
+	}
+}
+
+// Style is a hostname-convention archetype from the paper's table 1.
+type Style uint8
+
+const (
+	StyleNone    Style = iota // interfaces named without ASNs
+	StyleSimple               // as<ASN>.<suffix>
+	StyleStart                // as<ASN>-<pop>-<if>.<suffix>
+	StyleEnd                  // <if>.<pop>.as<ASN>.<suffix>
+	StyleBare                 // <ASN>.<pop><n>.<suffix>
+	StyleComplex              // <if>.as<ASN>.<pop>.<suffix> (ASN mid-name)
+)
+
+func (s Style) String() string {
+	switch s {
+	case StyleSimple:
+		return "simple"
+	case StyleStart:
+		return "start"
+	case StyleEnd:
+		return "end"
+	case StyleBare:
+		return "bare"
+	case StyleComplex:
+		return "complex"
+	default:
+		return "none"
+	}
+}
+
+// Naming is an operator's hostname policy for the addresses it supplies.
+type Naming struct {
+	Style Style
+	// LabelsNeighbor: the operator embeds the ASN of the neighbor
+	// operating the router (figure 1). False means it embeds its own ASN
+	// even on addresses supplied to neighbors (figure 2, nts.ch).
+	LabelsNeighbor bool
+	// Stale is the probability a neighbor-labelled hostname embeds an
+	// outdated (wrong) ASN (Zhang et al. 2006; paper §6).
+	Stale float64
+	// Typo is the probability an embedded ASN suffers a single-character
+	// typo (figure 3a).
+	Typo float64
+	// SiblingLabel is the probability the operator labels a port with a
+	// sibling of the neighbor's ASN (the org's primary ASN).
+	SiblingLabel float64
+	// BarePrefix: a bare-style operator that sometimes prefixes the ASN
+	// with a single letter (the paper's Equinix "p714"/"s714" ports).
+	BarePrefix bool
+	// Missing is the probability an interface has no PTR record.
+	Missing float64
+}
+
+// AS is one autonomous system in the synthetic Internet.
+type AS struct {
+	ASN    asn.ASN
+	Org    asn.OrgID
+	Class  Class
+	Name   string       // short operator name, e.g. "korvatel"
+	Suffix string       // registered domain, e.g. "korvatel.net"
+	Block  netip.Prefix // address block announced in BGP
+	// Naming is nil when the operator does not run DNS for its addresses.
+	Naming *Naming
+	// IPNames: the operator names addresses after the IP (figure 3b),
+	// common for access networks.
+	IPNames bool
+	// RespondsToProbes: destinations in this AS answer traceroute.
+	RespondsToProbes bool
+
+	Core    *Router
+	Borders []*Router
+	// Dest is the probed destination address (a loopback on Core).
+	Dest netip.Addr
+	// LAN is the peering LAN prefix for IXP ASes.
+	LAN netip.Prefix
+
+	alloc  *bgp.Allocator
+	popSeq int
+	// size is an abstract network-size score: providers are always
+	// chosen from strictly larger networks, and attachment probability is
+	// proportional to size, giving the AS graph its skewed degree
+	// distribution.
+	size float64
+	// members lists an IXP's member ASes.
+	members []*AS
+}
+
+// Members returns an IXP's member ASes (nil for non-IXPs).
+func (a *AS) Members() []*AS { return a.members }
+
+// Router is a router with ground-truth ownership.
+type Router struct {
+	ID     int
+	Owner  asn.ASN
+	Ifaces []*Interface
+	// Loopback is the router's own-AS address, which it may use when
+	// answering traceroute (Config.RespondLoopbackRate).
+	Loopback *Interface
+}
+
+// Interface is an addressed router interface.
+type Interface struct {
+	Addr     netip.Addr
+	Hostname string // "" when no PTR record exists
+	Router   *Router
+	// Supplier is the AS out of whose block the address was assigned —
+	// the AS whose DNS names the address.
+	Supplier asn.ASN
+	// EmbeddedASN is the ground-truth ASN written into the hostname
+	// (after stale substitution, before typos); asn.None when the
+	// hostname embeds no ASN.
+	EmbeddedASN asn.ASN
+	// StaleName marks hostnames whose embedded ASN is wrong (stale).
+	StaleName bool
+}
+
+// LinkKind distinguishes link roles.
+type LinkKind uint8
+
+const (
+	LinkIntra LinkKind = iota // border <-> core inside one AS
+	LinkInter                 // point-to-point interdomain /30
+	LinkIXP                   // via an IXP peering LAN
+)
+
+// Link joins two interfaces.
+type Link struct {
+	A, B *Interface
+	Kind LinkKind
+}
+
+// Other returns the far end of the link from r's interface, or nil when r
+// is on neither end.
+func (l *Link) Other(r *Router) *Interface {
+	switch {
+	case l.A.Router == r:
+		return l.B
+	case l.B.Router == r:
+		return l.A
+	default:
+		return nil
+	}
+}
+
+// Side returns r's own interface on the link, or nil.
+func (l *Link) Side(r *Router) *Interface {
+	switch {
+	case l.A.Router == r:
+		return l.A
+	case l.B.Router == r:
+		return l.B
+	default:
+		return nil
+	}
+}

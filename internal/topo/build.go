@@ -1,0 +1,733 @@
+package topo
+
+import (
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"sort"
+
+	"hoiho/internal/asn"
+	"hoiho/internal/bgp"
+)
+
+// Internet is a generated router-level topology with ground truth.
+type Internet struct {
+	Cfg     Config
+	ASes    []*AS // sorted by ASN
+	Routers []*Router
+	Links   []*Link
+	ByAddr  map[netip.Addr]*Interface
+	Rel     *asn.Relationships
+	Orgs    *asn.Orgs
+	Table   *bgp.Table
+	// VPs are the vantage-point ASes.
+	VPs []*AS
+
+	byASN     map[asn.ASN]*AS
+	edgeLinks map[edgeKey]*Link
+	intraLink map[*Router]*Link // border router -> its link to the AS core
+	adj       adjacency
+	routes    map[asn.ASN]*routeTable
+	nextRID   int
+}
+
+type edgeKey struct{ lo, hi asn.ASN }
+
+func keyOf(a, b asn.ASN) edgeKey {
+	if a < b {
+		return edgeKey{a, b}
+	}
+	return edgeKey{b, a}
+}
+
+// edge is a planned interdomain adjacency.
+type edge struct {
+	a, b asn.ASN // for p2c: a is the provider
+	kind asn.RelKind
+	via  *AS // non-nil: peering across this IXP's LAN
+}
+
+// AS returns the AS with the given number, or nil.
+func (in *Internet) AS(a asn.ASN) *AS { return in.byASN[a] }
+
+// Interface returns the interface holding addr, or nil.
+func (in *Internet) Interface(addr netip.Addr) *Interface { return in.ByAddr[addr] }
+
+// OwnerOf returns the ground-truth operator of the router holding addr.
+func (in *Internet) OwnerOf(addr netip.Addr) asn.ASN {
+	if ifc := in.ByAddr[addr]; ifc != nil {
+		return ifc.Router.Owner
+	}
+	return asn.None
+}
+
+// Interfaces returns all interfaces sorted by address.
+func (in *Internet) Interfaces() []*Interface {
+	out := make([]*Interface, 0, len(in.ByAddr))
+	for _, ifc := range in.ByAddr {
+		out = append(out, ifc)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Addr.Less(out[j].Addr) })
+	return out
+}
+
+// Build generates the Internet deterministically from cfg.
+func Build(cfg Config) (*Internet, error) {
+	if cfg.totalASes() == 0 {
+		return nil, fmt.Errorf("topo: empty config")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	in := &Internet{
+		Cfg:       cfg,
+		ByAddr:    make(map[netip.Addr]*Interface),
+		Rel:       asn.NewRelationships(),
+		Orgs:      asn.NewOrgs(),
+		Table:     &bgp.Table{},
+		byASN:     make(map[asn.ASN]*AS),
+		edgeLinks: make(map[edgeKey]*Link),
+		intraLink: make(map[*Router]*Link),
+		routes:    make(map[asn.ASN]*routeTable),
+	}
+	if err := in.makeASes(rng); err != nil {
+		return nil, err
+	}
+	in.makeOrgs(rng)
+	edges := in.makeRelationships(rng)
+	in.announce()
+	if err := in.makeRouters(rng, edges); err != nil {
+		return nil, err
+	}
+	in.buildAdjacency()
+	in.pickVPs(rng)
+	return in, nil
+}
+
+// makeASes creates the AS population: numbers, names, suffixes, blocks,
+// naming policies.
+func (in *Internet) makeASes(rng *rand.Rand) error {
+	space, err := bgp.NewAllocator(netip.MustParsePrefix("8.0.0.0/5"))
+	if err != nil {
+		return err
+	}
+	usedASN := make(map[asn.ASN]bool)
+	usedName := make(map[string]bool)
+	newASN := func() asn.ASN {
+		for {
+			var a asn.ASN
+			if rng.Float64() < 0.10 {
+				a = asn.ASN(196608 + rng.Intn(200000)) // 32-bit ASN
+			} else {
+				a = asn.ASN(1000 + rng.Intn(64000))
+			}
+			if !usedASN[a] {
+				usedASN[a] = true
+				return a
+			}
+		}
+	}
+	newName := func() string {
+		for {
+			n := genName(rng)
+			if !usedName[n] {
+				usedName[n] = true
+				return n
+			}
+		}
+	}
+	type classPlan struct {
+		class Class
+		count int
+		bits  int
+	}
+	plans := []classPlan{
+		{Tier1, in.Cfg.Tier1, 16},
+		{Transit, in.Cfg.Transit, 18},
+		{Access, in.Cfg.Access, 18},
+		{REN, in.Cfg.REN, 19},
+		{Stub, in.Cfg.Stub, 22},
+		{IXP, in.Cfg.IXPs, 21},
+	}
+	for _, p := range plans {
+		for i := 0; i < p.count; i++ {
+			block, err := space.Subnet(p.bits)
+			if err != nil {
+				return fmt.Errorf("topo: address space exhausted: %w", err)
+			}
+			name := newName()
+			a := &AS{
+				ASN:              newASN(),
+				Class:            p.class,
+				Name:             name,
+				Suffix:           genSuffix(rng, p.class, name),
+				Block:            block,
+				RespondsToProbes: rng.Float64() >= in.Cfg.ProbeFilterRate,
+				size:             sizeFor(rng, p.class),
+			}
+			a.alloc, err = bgp.NewAllocator(block)
+			if err != nil {
+				return err
+			}
+			in.assignNaming(rng, a)
+			in.ASes = append(in.ASes, a)
+			in.byASN[a.ASN] = a
+		}
+	}
+	sort.Slice(in.ASes, func(i, j int) bool { return in.ASes[i].ASN < in.ASes[j].ASN })
+	return nil
+}
+
+// sizeFor draws an abstract network size for an AS of the given class.
+func sizeFor(rng *rand.Rand, class Class) float64 {
+	switch class {
+	case Tier1:
+		return 2000 + rng.Float64()*1000
+	case Transit:
+		return 80 + rng.Float64()*600
+	case Access:
+		return 20 + rng.Float64()*50
+	case REN:
+		return 25 + rng.Float64()*30
+	case Stub:
+		return 1 + rng.Float64()*4
+	default: // IXP
+		return 0
+	}
+}
+
+// biggerThan filters pool to ASes whose size exceeds factor times own's.
+func biggerThan(pool []*AS, own *AS, factor float64) []*AS {
+	var out []*AS
+	for _, a := range pool {
+		if a.size > own.size*factor {
+			out = append(out, a)
+		}
+	}
+	if len(out) == 0 {
+		return pool
+	}
+	return out
+}
+
+// carrier and IXP style distributions, tuned so the learned-NC taxonomy
+// lands near table 1 of the paper.
+var (
+	carrierStyles  = []Style{StyleStart, StyleEnd, StyleComplex, StyleBare, StyleSimple}
+	carrierWeights = []float64{0.64, 0.12, 0.14, 0.03, 0.07}
+	ixpStyles      = []Style{StyleSimple, StyleStart, StyleBare, StyleComplex, StyleEnd}
+	ixpWeights     = []float64{0.52, 0.33, 0.05, 0.07, 0.03}
+	// Operators that embed their own ASN favor the end of the hostname
+	// (table 1's Single column: 43.1% end).
+	ownStyles  = []Style{StyleEnd, StyleStart, StyleComplex, StyleBare, StyleSimple}
+	ownWeights = []float64{0.45, 0.24, 0.21, 0.07, 0.03}
+)
+
+func weightedStyle(rng *rand.Rand, styles []Style, weights []float64) Style {
+	x := rng.Float64()
+	acc := 0.0
+	for i, w := range weights {
+		acc += w
+		if x < acc {
+			return styles[i]
+		}
+	}
+	return styles[len(styles)-1]
+}
+
+func (in *Internet) assignNaming(rng *rand.Rand, a *AS) {
+	cfg := in.Cfg
+	switch a.Class {
+	case IXP:
+		if rng.Float64() < cfg.AdoptionIXP {
+			// Exchanges keep port records fresher than carriers
+			// (provisioning is automated), so halve the noise rates.
+			a.Naming = &Naming{
+				Style:          weightedStyle(rng, ixpStyles, ixpWeights),
+				LabelsNeighbor: true,
+				Stale:          cfg.StaleRate * 0.5,
+				Typo:           cfg.TypoRate * 0.5,
+				SiblingLabel:   cfg.SiblingLabelRate,
+				Missing:        cfg.MissingRate,
+				BarePrefix:     rng.Float64() < 0.5,
+			}
+		}
+	case Tier1, Transit, Access, REN:
+		if rng.Float64() < cfg.AdoptionTransit {
+			n := &Naming{
+				Style:          weightedStyle(rng, carrierStyles, carrierWeights),
+				LabelsNeighbor: true,
+				Stale:          cfg.StaleRate,
+				Typo:           cfg.TypoRate,
+				SiblingLabel:   cfg.SiblingLabelRate,
+				Missing:        cfg.MissingRate,
+				BarePrefix:     rng.Float64() < 0.4,
+			}
+			if rng.Float64() < cfg.OwnASNRate {
+				n.LabelsNeighbor = false
+				n.Style = weightedStyle(rng, ownStyles, ownWeights)
+			}
+			a.Naming = n
+		} else if a.Class == Access && rng.Float64() < cfg.IPNameRate {
+			a.IPNames = true
+		}
+	case Stub:
+		if rng.Float64() < cfg.IPNameRate*0.5 {
+			a.IPNames = true
+		}
+	}
+}
+
+// makeOrgs assigns organizations, merging some carriers into multi-ASN
+// organizations per Config.SiblingRate.
+func (in *Internet) makeOrgs(rng *rand.Rand) {
+	var prev *AS
+	for _, a := range in.ASes {
+		if prev != nil &&
+			(a.Class == Transit || a.Class == Access) &&
+			(prev.Class == Transit || prev.Class == Access) &&
+			rng.Float64() < in.Cfg.SiblingRate {
+			a.Org = prev.Org
+		} else {
+			a.Org = asn.OrgID("org-" + a.Name)
+		}
+		in.Orgs.Add(a.Org, a.ASN)
+		prev = a
+	}
+}
+
+// byClass returns ASes of the given classes, in ASN order.
+func (in *Internet) byClass(classes ...Class) []*AS {
+	var out []*AS
+	for _, a := range in.ASes {
+		for _, c := range classes {
+			if a.Class == c {
+				out = append(out, a)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// makeRelationships wires the AS-level graph and returns the edge list.
+func (in *Internet) makeRelationships(rng *rand.Rand) []edge {
+	var edges []edge
+	seen := make(map[edgeKey]bool)
+	addEdge := func(e edge) {
+		k := keyOf(e.a, e.b)
+		if e.a == e.b || seen[k] {
+			return
+		}
+		seen[k] = true
+		edges = append(edges, e)
+		if e.kind == asn.P2C {
+			in.Rel.AddP2C(e.a, e.b)
+		} else {
+			in.Rel.AddP2P(e.a, e.b)
+		}
+	}
+	t1 := in.byClass(Tier1)
+	transit := in.byClass(Transit)
+	access := in.byClass(Access)
+	ren := in.byClass(REN)
+	stub := in.byClass(Stub)
+	ixps := in.byClass(IXP)
+
+	// Tier-1 clique.
+	for i := range t1 {
+		for j := i + 1; j < len(t1); j++ {
+			addEdge(edge{t1[i].ASN, t1[j].ASN, asn.P2P, nil})
+		}
+	}
+	// Transit hierarchy: providers come from strictly larger networks.
+	for _, a := range transit {
+		nProv := 1 + rng.Intn(2)
+		pool := biggerThan(append(append([]*AS(nil), t1...), transit...), a, 1.5)
+		for _, p := range in.pickN(rng, pool, nProv) {
+			if p == a {
+				continue
+			}
+			addEdge(edge{p.ASN, a.ASN, asn.P2C, nil})
+		}
+	}
+	// Sparse transit peering.
+	for i := range transit {
+		for j := i + 1; j < len(transit); j++ {
+			if rng.Float64() < 0.12 {
+				addEdge(edge{transit[i].ASN, transit[j].ASN, asn.P2P, nil})
+			}
+		}
+	}
+	// Access networks: two providers from larger networks.
+	for _, a := range access {
+		pool := biggerThan(append(append([]*AS(nil), t1...), transit...), a, 1.5)
+		for _, p := range in.pickN(rng, pool, 2) {
+			addEdge(edge{p.ASN, a.ASN, asn.P2C, nil})
+		}
+	}
+	// R&E networks: providers plus an R&E peering mesh.
+	for _, a := range ren {
+		pool := append(append([]*AS(nil), t1...), transit...)
+		for _, p := range in.pickN(rng, pool, 1+rng.Intn(2)) {
+			addEdge(edge{p.ASN, a.ASN, asn.P2C, nil})
+		}
+	}
+	for i := range ren {
+		for j := i + 1; j < len(ren); j++ {
+			if rng.Float64() < 0.6 {
+				addEdge(edge{ren[i].ASN, ren[j].ASN, asn.P2P, nil})
+			}
+		}
+	}
+	// Stubs: one or two providers from transit/access.
+	for _, a := range stub {
+		pool := append(append([]*AS(nil), transit...), access...)
+		n := 1
+		if rng.Float64() < 0.3 {
+			n = 2
+		}
+		for _, p := range in.pickN(rng, pool, n) {
+			addEdge(edge{p.ASN, a.ASN, asn.P2C, nil})
+		}
+	}
+	// IXP membership and LAN peering.
+	eligible := append(append(append([]*AS(nil), transit...), access...), ren...)
+	for _, s := range stub {
+		if rng.Float64() < in.Cfg.IXPMemberProb/2 {
+			eligible = append(eligible, s)
+		}
+	}
+	for _, ix := range ixps {
+		var members []*AS
+		for _, a := range eligible {
+			if rng.Float64() < in.Cfg.IXPMemberProb {
+				members = append(members, a)
+			}
+		}
+		ix.members = members
+		// Route-server peerings: every member peers with the IXP's ASN in
+		// the relationship data (as in CAIDA's as-rel, where route-server
+		// ASNs appear with high degree). These are control-plane only; no
+		// physical edge is created, so traceroutes never traverse them.
+		for _, m := range members {
+			in.Rel.AddP2P(ix.ASN, m.ASN)
+		}
+		for i := range members {
+			for j := i + 1; j < len(members); j++ {
+				if rng.Float64() < in.Cfg.IXPPeerProb {
+					addEdge(edge{members[i].ASN, members[j].ASN, asn.P2P, ix})
+				}
+			}
+		}
+	}
+	return edges
+}
+
+// pickN chooses n distinct elements from pool with preferential
+// attachment: class weight times current degree, so larger networks
+// (Tier-1s, then big transits) attract customers with higher
+// probability. This yields the skewed degree distribution in which a
+// provider almost always has a larger degree than its customer — the
+// property the RouterToAsAssignment degree tie-break relies on.
+func (in *Internet) pickN(rng *rand.Rand, pool []*AS, n int) []*AS {
+	if n >= len(pool) {
+		return append([]*AS(nil), pool...)
+	}
+	weight := func(a *AS) float64 { return a.size + 0.1 }
+	chosen := make(map[int]bool, n)
+	out := make([]*AS, 0, n)
+	for len(out) < n {
+		total := 0.0
+		for i, a := range pool {
+			if !chosen[i] {
+				total += weight(a)
+			}
+		}
+		x := rng.Float64() * total
+		for i, a := range pool {
+			if chosen[i] {
+				continue
+			}
+			x -= weight(a)
+			if x <= 0 {
+				chosen[i] = true
+				out = append(out, a)
+				break
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ASN < out[j].ASN })
+	return out
+}
+
+// announce populates the BGP table.
+func (in *Internet) announce() {
+	for _, a := range in.ASes {
+		// Announce errors are impossible here: blocks are valid IPv4.
+		_ = in.Table.Announce(a.Block, a.ASN)
+	}
+}
+
+// newRouter registers a router owned by a.
+func (in *Internet) newRouter(a *AS) *Router {
+	r := &Router{ID: in.nextRID, Owner: a.ASN}
+	in.nextRID++
+	in.Routers = append(in.Routers, r)
+	return r
+}
+
+// addIface attaches an addressed interface to r.
+func (in *Internet) addIface(r *Router, addr netip.Addr, supplier asn.ASN) *Interface {
+	ifc := &Interface{Addr: addr, Router: r, Supplier: supplier}
+	r.Ifaces = append(r.Ifaces, ifc)
+	in.ByAddr[addr] = ifc
+	return ifc
+}
+
+// nameIface assigns the hostname chosen by the supplying AS.
+func (in *Internet) nameIface(rng *rand.Rand, ifc *Interface, supplier, owner *AS, ctx nameContext, staleWith asn.ASN) {
+	ctx.addr = ifc.Addr
+	// The sibling-labelling candidate is the owner org's primary
+	// (lowest-numbered) ASN, when the org has more than one.
+	siblingWith := asn.None
+	if sibs := in.Orgs.SiblingSet(owner.ASN); len(sibs) > 1 && sibs[0] != owner.ASN {
+		siblingWith = sibs[0]
+	}
+	host, embedded, stale := supplierHostname(rng, supplier, owner, ctx, staleWith, siblingWith, in.Cfg.PlainNameRate)
+	ifc.Hostname = host
+	ifc.EmbeddedASN = embedded
+	ifc.StaleName = stale
+}
+
+// makeRouters builds routers, intra-AS star links, interdomain /30s, IXP
+// LANs, and destination loopbacks.
+func (in *Internet) makeRouters(rng *rand.Rand, edges []edge) error {
+	// Group edges by AS for border sizing, in deterministic order.
+	edgesOf := make(map[asn.ASN][]int)
+	for i, e := range edges {
+		if e.via == nil {
+			edgesOf[e.a] = append(edgesOf[e.a], i)
+			edgesOf[e.b] = append(edgesOf[e.b], i)
+		} else {
+			// LAN peerings ride each member's designated IXP port router.
+			edgesOf[e.a] = append(edgesOf[e.a], i)
+			edgesOf[e.b] = append(edgesOf[e.b], i)
+		}
+	}
+
+	// Core and border routers.
+	for _, a := range in.ASes {
+		a.Core = in.newRouter(a)
+		n := len(edgesOf[a.ASN])
+		if a.Class == Stub || n == 0 {
+			a.Borders = []*Router{a.Core}
+		} else {
+			nb := (n + in.Cfg.NeighborsPerBorder - 1) / in.Cfg.NeighborsPerBorder
+			if nb > 6 {
+				nb = 6
+			}
+			for i := 0; i < nb; i++ {
+				b := in.newRouter(a)
+				a.Borders = append(a.Borders, b)
+				// Intra-AS /30 between border and core.
+				cAddr, bAddr, _, err := a.alloc.PointToPoint()
+				if err != nil {
+					return fmt.Errorf("topo: %s: %w", a.Suffix, err)
+				}
+				ci := in.addIface(a.Core, cAddr, a.ASN)
+				bi := in.addIface(b, bAddr, a.ASN)
+				pop := a.pop()
+				in.nameIface(rng, ci, a, a, nameContext{pop: pop}, asn.None)
+				in.nameIface(rng, bi, a, a, nameContext{pop: pop}, asn.None)
+				link := &Link{A: ci, B: bi, Kind: LinkIntra}
+				in.Links = append(in.Links, link)
+				in.intraLink[b] = link
+				// Border loopback, numbered and named by the operator.
+				loAddr, err := a.alloc.Addr()
+				if err != nil {
+					return fmt.Errorf("topo: %s: %w", a.Suffix, err)
+				}
+				lo := in.addIface(b, loAddr, a.ASN)
+				in.nameIface(rng, lo, a, a, nameContext{pop: pop}, asn.None)
+				b.Loopback = lo
+			}
+		}
+		// Destination loopback on the core.
+		dest, err := a.alloc.Addr()
+		if err != nil {
+			return fmt.Errorf("topo: %s: %w", a.Suffix, err)
+		}
+		a.Dest = dest
+		di := in.addIface(a.Core, dest, a.ASN)
+		in.nameIface(rng, di, a, a, nameContext{pop: a.pop()}, asn.None)
+		a.Core.Loopback = di
+	}
+
+	// borderFor assigns each AS's edges to its borders round-robin.
+	borderSeq := make(map[asn.ASN]int)
+	borderFor := func(a *AS) *Router {
+		i := borderSeq[a.ASN]
+		borderSeq[a.ASN]++
+		return a.Borders[i%len(a.Borders)]
+	}
+
+	// IXP LAN ports are created lazily, one per member per IXP. Peering
+	// LAN prefixes are carved from a dedicated pool and — as is typical
+	// for real exchanges — NOT announced in BGP, so LAN addresses have no
+	// origin AS; bdrmapIT learns about them from IXP prefix lists instead.
+	lanSpace, err := bgp.NewAllocator(netip.MustParsePrefix("16.0.0.0/8"))
+	if err != nil {
+		return err
+	}
+	lanPort := make(map[edgeKey]*Interface) // (ixp, member) -> LAN interface
+	lanIdx := make(map[asn.ASN]int)         // per-IXP port counter
+	memberPort := func(ix, member *AS) (*Interface, error) {
+		k := keyOf(ix.ASN, member.ASN)
+		if p, ok := lanPort[k]; ok {
+			return p, nil
+		}
+		if !ix.LAN.IsValid() {
+			lan, err := lanSpace.Subnet(24)
+			if err != nil {
+				return nil, fmt.Errorf("topo: %s LAN: %w", ix.Suffix, err)
+			}
+			ix.LAN = lan
+		}
+		addr, err := addrAt(ix.LAN, 1+lanIdx[ix.ASN])
+		if err != nil {
+			return nil, err
+		}
+		lanIdx[ix.ASN]++
+		r := borderFor(member)
+		ifc := in.addIface(r, addr, ix.ASN)
+		in.nameIface(rng, ifc, ix, member,
+			nameContext{pop: ix.pop(), ifIdx: 0}, in.staleNeighbor(rng, ix, member))
+		lanPort[k] = ifc
+		return ifc, nil
+	}
+
+	for _, e := range edges {
+		aAS, bAS := in.byASN[e.a], in.byASN[e.b]
+		if e.via != nil {
+			pa, err := memberPort(e.via, aAS)
+			if err != nil {
+				return err
+			}
+			pb, err := memberPort(e.via, bAS)
+			if err != nil {
+				return err
+			}
+			link := &Link{A: pa, B: pb, Kind: LinkIXP}
+			in.Links = append(in.Links, link)
+			in.edgeLinks[keyOf(e.a, e.b)] = link
+			continue
+		}
+		// Direct link: the provider supplies the /30 for p2c; the
+		// lower-numbered AS supplies for p2p.
+		supplier, neighbor := aAS, bAS
+		if e.kind == asn.P2P && bAS.ASN < aAS.ASN {
+			supplier, neighbor = bAS, aAS
+		}
+		sAddr, nAddr, _, err := supplier.alloc.PointToPoint()
+		if err != nil {
+			return fmt.Errorf("topo: %s: %w", supplier.Suffix, err)
+		}
+		sr, nr := borderFor(supplier), borderFor(neighbor)
+		si := in.addIface(sr, sAddr, supplier.ASN)
+		ni := in.addIface(nr, nAddr, supplier.ASN)
+		pop := supplier.pop()
+		in.nameIface(rng, si, supplier, supplier, nameContext{pop: pop}, asn.None)
+		in.nameIface(rng, ni, supplier, neighbor, nameContext{pop: pop},
+			in.staleNeighbor(rng, supplier, neighbor))
+		link := &Link{A: si, B: ni, Kind: LinkInter}
+		in.Links = append(in.Links, link)
+		in.edgeLinks[keyOf(e.a, e.b)] = link
+
+		// Redundant ports: named and addressed like the primary but never
+		// on a traceroute path (only full PTR sweeps see them, §7).
+		for backups := in.Cfg.BackupLinkRate; backups > 0; backups-- {
+			if backups < 1 && rng.Float64() >= backups {
+				break
+			}
+			bs, bn, _, err := supplier.alloc.PointToPoint()
+			if err != nil {
+				return fmt.Errorf("topo: %s: %w", supplier.Suffix, err)
+			}
+			bsi := in.addIface(sr, bs, supplier.ASN)
+			bni := in.addIface(nr, bn, supplier.ASN)
+			in.nameIface(rng, bsi, supplier, supplier, nameContext{pop: pop}, asn.None)
+			in.nameIface(rng, bni, supplier, neighbor, nameContext{pop: pop},
+				in.staleNeighbor(rng, supplier, neighbor))
+			in.Links = append(in.Links, &Link{A: bsi, B: bni, Kind: LinkInter})
+		}
+	}
+	return nil
+}
+
+// staleNeighbor picks the wrong ASN a stale hostname would carry: another
+// AS adjacent to the supplier (a previous tenant of the port).
+func (in *Internet) staleNeighbor(rng *rand.Rand, supplier, current *AS) asn.ASN {
+	var pool []asn.ASN
+	pool = append(pool, in.Rel.Customers(supplier.ASN)...)
+	pool = append(pool, in.Rel.Peers(supplier.ASN)...)
+	if supplier.Class == IXP {
+		for _, m := range supplier.members {
+			pool = append(pool, m.ASN)
+		}
+	}
+	var filtered []asn.ASN
+	for _, a := range pool {
+		if a != current.ASN {
+			filtered = append(filtered, a)
+		}
+	}
+	if len(filtered) == 0 {
+		// Fall back to any other AS.
+		for _, a := range in.ASes {
+			if a != current {
+				filtered = append(filtered, a.ASN)
+				break
+			}
+		}
+	}
+	if len(filtered) == 0 {
+		return asn.None
+	}
+	return filtered[rng.Intn(len(filtered))]
+}
+
+// addrAt returns the n-th address within prefix.
+func addrAt(prefix netip.Prefix, n int) (netip.Addr, error) {
+	if !prefix.Addr().Is4() {
+		return netip.Addr{}, fmt.Errorf("topo: prefix %v not IPv4", prefix)
+	}
+	size := 1 << (32 - prefix.Bits())
+	if n < 0 || n >= size {
+		return netip.Addr{}, fmt.Errorf("topo: offset %d outside %v", n, prefix)
+	}
+	b := prefix.Addr().As4()
+	v := uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3])
+	v += uint32(n)
+	return netip.AddrFrom4([4]byte{byte(v >> 24), byte(v >> 16), byte(v >> 8), byte(v)}), nil
+}
+
+// pickVPs selects vantage-point ASes across edge classes, evenly spread.
+func (in *Internet) pickVPs(rng *rand.Rand) {
+	cands := in.byClass(REN, Access, Stub)
+	if len(cands) == 0 {
+		cands = in.ASes
+	}
+	n := in.Cfg.VPs
+	if n <= 0 {
+		n = 1
+	}
+	if n > len(cands) {
+		n = len(cands)
+	}
+	step := len(cands) / n
+	if step == 0 {
+		step = 1
+	}
+	for i := 0; i < n; i++ {
+		in.VPs = append(in.VPs, cands[(i*step)%len(cands)])
+	}
+}

@@ -1,0 +1,112 @@
+package topo
+
+// Config parameterizes the synthetic Internet. Every field is
+// deterministic given Seed; the experiment harness scales these per
+// "era" to emulate the 2010-2020 ITDK series.
+type Config struct {
+	Seed int64
+
+	// AS counts per class.
+	Tier1, Transit, Access, REN, Stub, IXPs int
+
+	// AdoptionTransit is the fraction of Tier1/Transit/Access/REN
+	// operators whose DNS embeds ASNs; AdoptionIXP likewise for IXPs
+	// (IXPs adopted ASN labelling earlier and more widely).
+	AdoptionTransit float64
+	AdoptionIXP     float64
+	// OwnASNRate is the fraction of adopters who label their own ASN
+	// (figure 2) rather than the neighbor's.
+	OwnASNRate float64
+
+	// Noise rates applied to generated hostnames.
+	StaleRate, TypoRate, MissingRate float64
+	// PlainNameRate: operators without ASN conventions that still run
+	// PTR records (pop/interface-style names).
+	PlainNameRate float64
+	// IPNameRate: fraction of access/stub networks naming addresses
+	// after the IP (figure 3b).
+	IPNameRate float64
+
+	// SiblingRate is the fraction of transit/access operators merged into
+	// multi-ASN organizations (AS2Org-style siblings).
+	SiblingRate float64
+
+	// VPs is the number of traceroute vantage points.
+	VPs int
+
+	// IXPMemberProb is the probability an eligible AS joins a given IXP;
+	// IXPPeerProb the probability two members of a common IXP peer over
+	// its LAN.
+	IXPMemberProb float64
+	IXPPeerProb   float64
+
+	// NeighborsPerBorder controls how many interdomain neighbors share
+	// one border router.
+	NeighborsPerBorder int
+
+	// HopLossRate is the probability any hop fails to respond.
+	HopLossRate float64
+	// ProbeFilterRate is the fraction of ASes whose destination does not
+	// answer (traceroute ends at the last responding router).
+	ProbeFilterRate float64
+	// RespondLoopbackRate is the probability a router answers traceroute
+	// with its loopback address instead of the inbound interface (the
+	// behavior vrfinder studies); loopbacks are numbered from the
+	// operator's own space, so they anchor ownership elections.
+	RespondLoopbackRate float64
+	// SiblingLabelRate is the probability an operator labels a neighbor
+	// port with a sibling of the neighbor's ASN (the org's primary ASN,
+	// as in the paper's Microsoft AS8075 vs AS8069 example).
+	SiblingLabelRate float64
+	// BackupLinkRate is the expected number of additional (redundant)
+	// /30s per interdomain edge. Backup ports are addressed and named
+	// like primaries but never appear on traceroute paths, so they are
+	// only reachable through full PTR sweeps (§7's OpenINTEL analysis).
+	BackupLinkRate float64
+	// ProbeCoverage is the fraction of destination ASes each vantage
+	// point probes per cycle (Ark splits the probing space across
+	// monitors). 0 means probe everything.
+	ProbeCoverage float64
+	// ThirdPartyRate is the probability a router answers traceroute with
+	// one of its other interfaces (a third-party address), the classic
+	// artifact that misleads subsequent-origin reasoning.
+	ThirdPartyRate float64
+}
+
+// DefaultConfig returns a medium-sized Internet suitable for tests and
+// examples: a few hundred ASes, a few thousand interfaces.
+func DefaultConfig(seed int64) Config {
+	return Config{
+		Seed:                seed,
+		Tier1:               4,
+		Transit:             22,
+		Access:              18,
+		REN:                 6,
+		Stub:                110,
+		IXPs:                10,
+		AdoptionTransit:     0.55,
+		AdoptionIXP:         0.85,
+		OwnASNRate:          0.18,
+		StaleRate:           0.03,
+		TypoRate:            0.01,
+		MissingRate:         0.08,
+		PlainNameRate:       0.6,
+		IPNameRate:          0.5,
+		SiblingRate:         0.12,
+		VPs:                 14,
+		IXPMemberProb:       0.32,
+		IXPPeerProb:         0.5,
+		NeighborsPerBorder:  8,
+		HopLossRate:         0.01,
+		ProbeFilterRate:     0.12,
+		RespondLoopbackRate: 0.25,
+		SiblingLabelRate:    0.04,
+		BackupLinkRate:      1.0,
+		ProbeCoverage:       1.0,
+		ThirdPartyRate:      0.05,
+	}
+}
+
+func (c Config) totalASes() int {
+	return c.Tier1 + c.Transit + c.Access + c.REN + c.Stub + c.IXPs
+}

@@ -1,0 +1,5 @@
+package topo
+
+import "net/netip"
+
+func mustPfx(s string) netip.Prefix { return netip.MustParsePrefix(s) }

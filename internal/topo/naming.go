@@ -1,0 +1,250 @@
+package topo
+
+import (
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"strings"
+
+	"hoiho/internal/asn"
+)
+
+// Operator-name syllables and TLD pools for deterministic suffix
+// generation.
+var (
+	nameOnsets  = []string{"b", "c", "d", "f", "g", "k", "l", "m", "n", "p", "r", "s", "t", "v", "z"}
+	nameVowels  = []string{"a", "e", "i", "o", "u"}
+	nameCodas   = []string{"n", "r", "l", "s", "x", "m", "t", ""}
+	carrierTLDs = []string{"net", "com", "ch", "de", "fr", "pl", "nl", "net.uy", "co.uk", "com.br", "it", "se", "at"}
+	ixpTLDs     = []string{"ch", "de", "nz", "net", "org", "fr", "at"}
+	popCodes    = []string{
+		"nyc", "lax", "sjc", "iad", "ord", "dfw", "sea", "mia", "atl", "den",
+		"lhr", "fra", "ams", "cdg", "mad", "mil", "vie", "zrh", "arn", "waw",
+		"syd", "akl", "tyo", "sin", "hkg", "icn", "bom", "gru", "scl", "mex",
+	}
+	ifTypes = []string{"xe", "ge", "te", "hu", "be", "po", "et"}
+)
+
+// genName deterministically produces an operator name (2-3 syllables).
+func genName(rng *rand.Rand) string {
+	var sb strings.Builder
+	n := 2 + rng.Intn(2)
+	for i := 0; i < n; i++ {
+		sb.WriteString(nameOnsets[rng.Intn(len(nameOnsets))])
+		sb.WriteString(nameVowels[rng.Intn(len(nameVowels))])
+	}
+	sb.WriteString(nameCodas[rng.Intn(len(nameCodas))])
+	return sb.String()
+}
+
+// genSuffix produces the AS's registered domain.
+func genSuffix(rng *rand.Rand, class Class, name string) string {
+	if class == IXP {
+		tld := ixpTLDs[rng.Intn(len(ixpTLDs))]
+		switch rng.Intn(3) {
+		case 0:
+			return name + "-ix." + tld
+		case 1:
+			return name + "ix." + tld
+		default:
+			return "ix-" + name + "." + tld
+		}
+	}
+	return name + "." + carrierTLDs[rng.Intn(len(carrierTLDs))]
+}
+
+// pop returns a deterministic POP code for an AS, cycling through the
+// pool with a numeric disambiguator once the pool is exhausted.
+func (a *AS) pop() string {
+	p := popCodes[a.popSeq%len(popCodes)]
+	cycle := a.popSeq / len(popCodes)
+	a.popSeq++
+	if cycle > 0 {
+		return fmt.Sprintf("%s%d", p, cycle)
+	}
+	return p
+}
+
+// nameContext carries the identifiers hostname templates draw on.
+type nameContext struct {
+	pop   string
+	ifIdx int
+	addr  netip.Addr
+}
+
+// mutateASN applies a single-character typo to the ASN's digits.
+// Two-thirds of typos hit a middle digit (the kind figure 3a's rule
+// credits); the rest change the final digit (never credited).
+func mutateASN(rng *rand.Rand, a asn.ASN) string {
+	d := []byte(a.Digits())
+	if len(d) < 3 {
+		return string(d)
+	}
+	var pos int
+	if rng.Float64() < 0.67 {
+		pos = 1 + rng.Intn(len(d)-2) // middle digit
+	} else {
+		pos = len(d) - 1
+	}
+	orig := d[pos]
+	for {
+		c := byte('0' + rng.Intn(10))
+		if c != orig {
+			d[pos] = c
+			break
+		}
+	}
+	return string(d)
+}
+
+// renderASNName renders a hostname under supplier's suffix embedding the
+// given ASN digits in the supplier's style.
+func renderASNName(rng *rand.Rand, supplier *AS, digits string, ctx nameContext) string {
+	style := supplier.Naming.Style
+	switch style {
+	case StyleSimple:
+		if ctx.ifIdx == 0 {
+			return fmt.Sprintf("as%s.%s", digits, supplier.Suffix)
+		}
+		// Additional ports for the same member get a disambiguator.
+		return fmt.Sprintf("as%s-%d.%s", digits, ctx.ifIdx, supplier.Suffix)
+	case StyleStart:
+		return fmt.Sprintf("as%s-%s-%s%d.%s", digits, ctx.pop,
+			ifTypes[rng.Intn(len(ifTypes))], rng.Intn(10), supplier.Suffix)
+	case StyleEnd:
+		return fmt.Sprintf("%s%d-%d.%s.as%s.%s",
+			ifTypes[rng.Intn(len(ifTypes))], rng.Intn(10), rng.Intn(8),
+			ctx.pop, digits, supplier.Suffix)
+	case StyleBare:
+		prefix := ""
+		if supplier.Naming.BarePrefix {
+			// Equinix-style: a third of ports carry a p/s marker, a third
+			// use the dashed metro format (figure 4's two shapes).
+			switch rng.Intn(6) {
+			case 0:
+				prefix = "p"
+			case 1:
+				prefix = "s"
+			case 2, 3:
+				return fmt.Sprintf("%s-%s%d-ix.%s", digits, ctx.pop, rng.Intn(6), supplier.Suffix)
+			}
+		}
+		return fmt.Sprintf("%s%s.%s%d.%s", prefix, digits, ctx.pop, rng.Intn(4), supplier.Suffix)
+	case StyleComplex:
+		// Complex conventions need more than one regex (§3.5): two
+		// formats, both embedding the ASN mid-name.
+		if rng.Intn(2) == 0 {
+			return fmt.Sprintf("%s%d.as%s.%s.%s",
+				ifTypes[rng.Intn(len(ifTypes))], rng.Intn(10), digits,
+				ctx.pop, supplier.Suffix)
+		}
+		return fmt.Sprintf("as%s-%d.cust.%s.%s", digits, rng.Intn(8), ctx.pop, supplier.Suffix)
+	default:
+		return renderPlainName(rng, supplier, ctx)
+	}
+}
+
+// renderOwnName renders a hostname for an address supplied to a neighbor
+// under a figure 2-style own-ASN convention: the supplier's own ASN plus
+// a customer marker.
+func renderOwnName(rng *rand.Rand, supplier *AS, ctx nameContext) string {
+	return fmt.Sprintf("%02d.r.%s.%s.cust.as%d.%s",
+		rng.Intn(4), ctx.pop, genShort(rng), supplier.ASN, supplier.Suffix)
+}
+
+// renderOwnInternalName renders internal interfaces under an own-ASN
+// convention (the top rows of figure 2).
+func renderOwnInternalName(rng *rand.Rand, supplier *AS, ctx nameContext) string {
+	return fmt.Sprintf("%s%d-%d.%02d.p.%s.as%d.%s",
+		ifTypes[rng.Intn(len(ifTypes))], rng.Intn(10), rng.Intn(8),
+		rng.Intn(4), ctx.pop, supplier.ASN, supplier.Suffix)
+}
+
+// renderPlainName renders an interface name with no ASN annotation.
+func renderPlainName(rng *rand.Rand, supplier *AS, ctx nameContext) string {
+	switch rng.Intn(3) {
+	case 0:
+		return fmt.Sprintf("%s%d-%d.%s.%s",
+			ifTypes[rng.Intn(len(ifTypes))], rng.Intn(10), rng.Intn(8),
+			ctx.pop, supplier.Suffix)
+	case 1:
+		return fmt.Sprintf("core%d.%s.%s", rng.Intn(4)+1, ctx.pop, supplier.Suffix)
+	default:
+		return fmt.Sprintf("%s-%s%d.%s", ctx.pop,
+			ifTypes[rng.Intn(len(ifTypes))], rng.Intn(10), supplier.Suffix)
+	}
+}
+
+// renderIPName renders a figure 3b-style IP-derived hostname.
+func renderIPName(rng *rand.Rand, supplier *AS, addr netip.Addr) string {
+	o := addr.As4()
+	switch rng.Intn(3) {
+	case 0:
+		return fmt.Sprintf("%d-%d-%d-%d-static.hfc.%s", o[0], o[1], o[2], o[3], supplier.Suffix)
+	case 1:
+		return fmt.Sprintf("%d-%d-%d-%d.dia.stat.%s", o[0], o[1], o[2], o[3], supplier.Suffix)
+	default:
+		return fmt.Sprintf("host-%d-%d-%d-%d.%s", o[0], o[1], o[2], o[3], supplier.Suffix)
+	}
+}
+
+func genShort(rng *rand.Rand) string {
+	return nameOnsets[rng.Intn(len(nameOnsets))] +
+		nameVowels[rng.Intn(len(nameVowels))] +
+		nameOnsets[rng.Intn(len(nameOnsets))]
+}
+
+// supplierHostname computes the hostname the supplying AS assigns to an
+// address, together with the ground-truth embedded ASN and staleness.
+// owner is the AS operating the router holding the interface; staleWith
+// supplies a deterministic wrong ASN when the name goes stale.
+func supplierHostname(rng *rand.Rand, supplier, owner *AS, ctx nameContext, staleWith, siblingWith asn.ASN, plainRate float64) (host string, embedded asn.ASN, stale bool) {
+	n := supplier.Naming
+	if n == nil {
+		if supplier.IPNames && ctx.addr.IsValid() {
+			return renderIPName(rng, supplier, ctx.addr), asn.None, false
+		}
+		if rng.Float64() < plainRate {
+			return renderPlainName(rng, supplier, ctx), asn.None, false
+		}
+		return "", asn.None, false
+	}
+	if rng.Float64() < n.Missing {
+		return "", asn.None, false
+	}
+	if !n.LabelsNeighbor {
+		// Figure 2: the supplier's own ASN everywhere, rendered in the
+		// operator's chosen style. End-style supplied ports get the
+		// figure's "cust" form; other styles reuse the shared templates.
+		digits := supplier.ASN.Digits()
+		if rng.Float64() < n.Typo {
+			digits = mutateASN(rng, supplier.ASN)
+		}
+		if n.Style == StyleEnd {
+			if owner != supplier {
+				return renderOwnName(rng, supplier, ctx), supplier.ASN, false
+			}
+			return renderOwnInternalName(rng, supplier, ctx), supplier.ASN, false
+		}
+		return renderASNName(rng, supplier, digits, ctx), supplier.ASN, false
+	}
+	if owner == supplier {
+		// Internal interface of a neighbor-labelling operator: plain name.
+		return renderPlainName(rng, supplier, ctx), asn.None, false
+	}
+	embedded = owner.ASN
+	switch {
+	case rng.Float64() < n.Stale && staleWith != asn.None && staleWith != owner.ASN:
+		embedded = staleWith
+		stale = true
+	case rng.Float64() < n.SiblingLabel && siblingWith != asn.None && siblingWith != owner.ASN:
+		// The operator recorded the neighbor organization's primary ASN
+		// rather than the sibling actually peering here.
+		embedded = siblingWith
+	}
+	digits := embedded.Digits()
+	if rng.Float64() < n.Typo {
+		digits = mutateASN(rng, embedded)
+	}
+	return renderASNName(rng, supplier, digits, ctx), embedded, stale
+}

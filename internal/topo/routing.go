@@ -1,0 +1,192 @@
+package topo
+
+import (
+	"hoiho/internal/asn"
+)
+
+// Valley-free AS-level routing (Gao-Rexford): every path is a sequence of
+// customer-to-provider edges, at most one peer edge, then
+// provider-to-customer edges. Route preference at each AS is customer >
+// peer > provider, then shortest, then lowest next-hop ASN — the standard
+// model bdrmap/bdrmapIT assume when reasoning about traceroute paths.
+
+const unreachable = 1 << 30
+
+// adjacency caches neighbor lists per AS for fast route computation.
+type adjacency struct {
+	providers map[asn.ASN][]asn.ASN
+	customers map[asn.ASN][]asn.ASN
+	peers     map[asn.ASN][]asn.ASN
+}
+
+func (in *Internet) buildAdjacency() {
+	in.adj = adjacency{
+		providers: make(map[asn.ASN][]asn.ASN),
+		customers: make(map[asn.ASN][]asn.ASN),
+		peers:     make(map[asn.ASN][]asn.ASN),
+	}
+	for _, a := range in.ASes {
+		in.adj.providers[a.ASN] = in.Rel.Providers(a.ASN)
+		in.adj.customers[a.ASN] = in.Rel.Customers(a.ASN)
+		in.adj.peers[a.ASN] = in.Rel.Peers(a.ASN)
+	}
+}
+
+// routeTable holds distances toward one destination AS.
+type routeTable struct {
+	dst  asn.ASN
+	cust map[asn.ASN]int // reachable via customer chain (down only)
+	peer map[asn.ASN]int // via one peer then down
+	prov map[asn.ASN]int // via providers (up, maybe peer, then down)
+}
+
+func (rt *routeTable) custDist(a asn.ASN) int { return distOf(rt.cust, a) }
+func (rt *routeTable) peerDist(a asn.ASN) int { return distOf(rt.peer, a) }
+func (rt *routeTable) provDist(a asn.ASN) int { return distOf(rt.prov, a) }
+
+func distOf(m map[asn.ASN]int, a asn.ASN) int {
+	if d, ok := m[a]; ok {
+		return d
+	}
+	return unreachable
+}
+
+// best returns the preferred route stage and distance at a.
+func (rt *routeTable) best(a asn.ASN) (stage int, dist int) {
+	if d := rt.custDist(a); d < unreachable {
+		return 0, d
+	}
+	if d := rt.peerDist(a); d < unreachable {
+		return 1, d
+	}
+	if d := rt.provDist(a); d < unreachable {
+		return 2, d
+	}
+	return 3, unreachable
+}
+
+// score is the distance of a's best route of any stage.
+func (rt *routeTable) score(a asn.ASN) int {
+	_, d := rt.best(a)
+	return d
+}
+
+// routesTo computes (and caches) the route table toward dst.
+func (in *Internet) routesTo(dst asn.ASN) *routeTable {
+	if rt, ok := in.routes[dst]; ok {
+		return rt
+	}
+	rt := &routeTable{
+		dst:  dst,
+		cust: make(map[asn.ASN]int),
+		peer: make(map[asn.ASN]int),
+		prov: make(map[asn.ASN]int),
+	}
+	// Customer routes: BFS from dst along customer->provider edges.
+	rt.cust[dst] = 0
+	queue := []asn.ASN{dst}
+	for len(queue) > 0 {
+		c := queue[0]
+		queue = queue[1:]
+		for _, p := range in.adj.providers[c] {
+			if _, ok := rt.cust[p]; !ok {
+				rt.cust[p] = rt.cust[c] + 1
+				queue = append(queue, p)
+			}
+		}
+	}
+	// Peer routes: one peer edge into a customer route.
+	for _, a := range in.ASes {
+		bestD := unreachable
+		for _, y := range in.adj.peers[a.ASN] {
+			if d := rt.custDist(y); d+1 < bestD {
+				bestD = d + 1
+			}
+		}
+		if bestD < unreachable {
+			rt.peer[a.ASN] = bestD
+		}
+	}
+	// Provider routes: prov[x] = 1 + min over providers y of score(y).
+	// Bellman-Ford style iteration to a fixpoint (hierarchy depth is
+	// small).
+	for changed := true; changed; {
+		changed = false
+		for _, a := range in.ASes {
+			bestD := unreachable
+			for _, y := range in.adj.providers[a.ASN] {
+				if d := rt.score(y); d+1 < bestD {
+					bestD = d + 1
+				}
+			}
+			if bestD < rt.provDist(a.ASN) {
+				rt.prov[a.ASN] = bestD
+				changed = true
+			}
+		}
+	}
+	in.routes[dst] = rt
+	return rt
+}
+
+// ASPath returns the valley-free AS path from src to dst, inclusive, or
+// nil when dst is unreachable.
+func (in *Internet) ASPath(src, dst asn.ASN) []asn.ASN {
+	if src == dst {
+		return []asn.ASN{src}
+	}
+	if in.byASN[src] == nil || in.byASN[dst] == nil {
+		return nil
+	}
+	rt := in.routesTo(dst)
+	path := []asn.ASN{src}
+	cur := src
+	descending := false
+	for steps := 0; cur != dst; steps++ {
+		if steps > 64 {
+			return nil // defensive: should be unreachable
+		}
+		var next asn.ASN
+		switch {
+		case rt.custDist(cur) < unreachable:
+			// Descend along the customer chain.
+			next = in.bestByDist(in.adj.customers[cur], rt.cust, rt.custDist(cur)-1)
+			descending = true
+		case !descending && rt.peerDist(cur) < unreachable:
+			next = in.bestByDist(in.adj.peers[cur], rt.cust, rt.peerDist(cur)-1)
+			descending = true
+		case !descending && rt.provDist(cur) < unreachable:
+			next = in.bestByScore(in.adj.providers[cur], rt, rt.provDist(cur)-1)
+		default:
+			return nil
+		}
+		if next == asn.None {
+			return nil
+		}
+		path = append(path, next)
+		cur = next
+	}
+	return path
+}
+
+// bestByDist picks the lowest-numbered candidate whose entry in dists
+// equals want.
+func (in *Internet) bestByDist(cands []asn.ASN, dists map[asn.ASN]int, want int) asn.ASN {
+	for _, c := range cands { // cands are sorted by ASN
+		if d, ok := dists[c]; ok && d == want {
+			return c
+		}
+	}
+	return asn.None
+}
+
+// bestByScore picks the lowest-numbered candidate whose best-route score
+// equals want.
+func (in *Internet) bestByScore(cands []asn.ASN, rt *routeTable, want int) asn.ASN {
+	for _, c := range cands {
+		if rt.score(c) == want {
+			return c
+		}
+	}
+	return asn.None
+}

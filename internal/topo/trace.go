@@ -1,0 +1,131 @@
+package topo
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hoiho/internal/traceroute"
+)
+
+// TraceAll probes every destination AS from every vantage point,
+// emulating an Ark-style measurement cycle, and returns the corpus. The
+// result is deterministic for a given Config.
+func (in *Internet) TraceAll() *traceroute.Corpus {
+	rng := rand.New(rand.NewSource(in.Cfg.Seed ^ 0x74726163)) // "trac"
+	corpus := &traceroute.Corpus{}
+	coverage := in.Cfg.ProbeCoverage
+	if coverage <= 0 || coverage > 1 {
+		coverage = 1
+	}
+	for _, vp := range in.VPs {
+		for _, dst := range in.ASes {
+			if dst == vp {
+				continue
+			}
+			if rng.Float64() >= coverage {
+				continue
+			}
+			if p, ok := in.Trace(rng, vp, dst); ok {
+				corpus.Add(p)
+			}
+		}
+	}
+	return corpus
+}
+
+// Trace runs one traceroute from a vantage point in vp toward dst's
+// destination address. ok is false when dst is unreachable at the AS
+// level.
+func (in *Internet) Trace(rng *rand.Rand, vp, dst *AS) (traceroute.Path, bool) {
+	asPath := in.ASPath(vp.ASN, dst.ASN)
+	if asPath == nil {
+		return traceroute.Path{}, false
+	}
+	p := traceroute.Path{
+		VP:  fmt.Sprintf("vp-%d", vp.ASN),
+		Dst: dst.Dest,
+	}
+	record := func(ifc *Interface) {
+		if ifc == nil {
+			return
+		}
+		if rng.Float64() < in.Cfg.HopLossRate {
+			p.Hops = append(p.Hops, traceroute.Hop{})
+			return
+		}
+		// Some routers answer with a loopback rather than the inbound
+		// interface (vrfinder's outbound/loopback observation), and some
+		// answer with an unrelated third-party interface.
+		r := ifc.Router
+		switch {
+		case r.Loopback != nil && r.Loopback != ifc &&
+			rng.Float64() < in.Cfg.RespondLoopbackRate:
+			ifc = r.Loopback
+		case len(r.Ifaces) > 1 && rng.Float64() < in.Cfg.ThirdPartyRate:
+			ifc = r.Ifaces[rng.Intn(len(r.Ifaces))]
+		}
+		p.Hops = append(p.Hops, traceroute.Hop{Addr: ifc.Addr})
+	}
+
+	// First hop: the VP's core router answers with its loopback.
+	cur := vp.Core
+	if lo := in.ByAddr[vp.Dest]; lo != nil {
+		record(lo)
+	}
+
+	for i := 0; i+1 < len(asPath); i++ {
+		x, y := in.byASN[asPath[i]], in.byASN[asPath[i+1]]
+		link := in.edgeLinks[keyOf(x.ASN, y.ASN)]
+		if link == nil {
+			// Defensive: the edge should exist for every relationship.
+			return traceroute.Path{}, false
+		}
+		exit := link.Side(in.routerIn(link, x))
+		exitRouter := exit.Router
+		in.walkWithin(x, cur, exitRouter, record)
+		// Crossing: the next response comes from y's interface on the
+		// link (an address supplied by the supplier of the /30 or LAN).
+		entry := link.Side(in.routerIn(link, y))
+		record(entry)
+		cur = entry.Router
+	}
+
+	// Inside the destination AS, walk to the core and probe the target.
+	in.walkWithin(dst, cur, dst.Core, record)
+	if dst.RespondsToProbes && rng.Float64() >= in.Cfg.HopLossRate {
+		p.Hops = append(p.Hops, traceroute.Hop{Addr: dst.Dest})
+		p.Reached = true
+	}
+	return p, true
+}
+
+// routerIn returns the link endpoint router operated by a.
+func (in *Internet) routerIn(link *Link, a *AS) *Router {
+	if link.A.Router.Owner == a.ASN {
+		return link.A.Router
+	}
+	return link.B.Router
+}
+
+// walkWithin records the intra-AS hops moving from router cur to router
+// dst inside a (border -> core -> border star topology).
+func (in *Internet) walkWithin(a *AS, cur, dst *Router, record func(*Interface)) {
+	if cur == dst {
+		return
+	}
+	// Border to core: the core answers with its interface on the
+	// border's uplink.
+	if cur != a.Core {
+		if l := in.intraLink[cur]; l != nil {
+			record(l.Side(a.Core))
+		}
+		cur = a.Core
+	}
+	if cur == dst {
+		return
+	}
+	// Core to border: the border answers with its uplink interface.
+	if l := in.intraLink[dst]; l != nil {
+		record(l.Side(dst))
+	}
+}

@@ -1,0 +1,203 @@
+package topo
+
+import (
+	"math/rand"
+	"testing"
+
+	"hoiho/internal/asn"
+)
+
+func TestProbeCoverageReducesCorpus(t *testing.T) {
+	full := DefaultConfig(41)
+	full.ProbeCoverage = 1.0
+	half := DefaultConfig(41)
+	half.ProbeCoverage = 0.5
+	wf, err := Build(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wh, err := Build(half)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cf, ch := wf.TraceAll(), wh.TraceAll()
+	if ch.Len() >= cf.Len() {
+		t.Errorf("coverage 0.5 corpus (%d) not smaller than full (%d)", ch.Len(), cf.Len())
+	}
+	frac := float64(ch.Len()) / float64(cf.Len())
+	if frac < 0.4 || frac > 0.6 {
+		t.Errorf("coverage fraction = %.2f, want ~0.5", frac)
+	}
+}
+
+func TestBackupLinksInvisibleToTraceroute(t *testing.T) {
+	cfg := DefaultConfig(43)
+	cfg.BackupLinkRate = 2.0
+	world, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corpus := world.TraceAll()
+	observed := make(map[string]bool)
+	for _, p := range corpus.Paths {
+		for _, h := range p.Hops {
+			if h.Responded() {
+				observed[h.Addr.String()] = true
+			}
+		}
+	}
+	// Count interdomain link interfaces never observed: with backups at
+	// 2.0 they must be plentiful.
+	unseen := 0
+	for _, l := range world.Links {
+		if l.Kind != LinkInter {
+			continue
+		}
+		for _, ifc := range []*Interface{l.A, l.B} {
+			if !observed[ifc.Addr.String()] {
+				unseen++
+			}
+		}
+	}
+	if unseen < 100 {
+		t.Errorf("only %d unseen interdomain interfaces; backups should dominate", unseen)
+	}
+}
+
+func TestThirdPartyResponses(t *testing.T) {
+	cfg := DefaultConfig(47)
+	cfg.ThirdPartyRate = 0.5
+	cfg.HopLossRate = 0
+	world, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corpus := world.TraceAll()
+	// With a high third-party rate, some hops respond with an interface
+	// that is neither the inbound link end nor a loopback; detecting the
+	// exact set is involved, so assert the weaker, structural property:
+	// every responding address is still a real interface of some router.
+	for _, p := range corpus.Paths {
+		for _, h := range p.Hops {
+			if h.Responded() && world.Interface(h.Addr) == nil {
+				t.Fatalf("hop %v is not an interface", h.Addr)
+			}
+		}
+	}
+}
+
+func TestTraceUnreachableDst(t *testing.T) {
+	in := buildSmall(t, 53)
+	// An IXP AS is unreachable at the AS level (no providers): Trace must
+	// report !ok rather than fabricate a path.
+	var ix *AS
+	for _, a := range in.ASes {
+		if a.Class == IXP {
+			ix = a
+			break
+		}
+	}
+	if ix == nil {
+		t.Skip("no IXP in world")
+	}
+	rng := rand.New(rand.NewSource(1))
+	if _, ok := in.Trace(rng, in.VPs[0], ix); ok {
+		t.Error("trace to an unconnected IXP should fail")
+	}
+}
+
+func TestASPathUnknownASes(t *testing.T) {
+	in := buildSmall(t, 59)
+	if p := in.ASPath(999999999, in.ASes[0].ASN); p != nil {
+		t.Errorf("path from unknown AS = %v", p)
+	}
+	if p := in.ASPath(in.ASes[0].ASN, 999999999); p != nil {
+		t.Errorf("path to unknown AS = %v", p)
+	}
+	if p := in.ASPath(in.ASes[0].ASN, in.ASes[0].ASN); len(p) != 1 {
+		t.Errorf("self path = %v", p)
+	}
+}
+
+func TestLinkEndHelpers(t *testing.T) {
+	in := buildSmall(t, 61)
+	for _, l := range in.Links[:10] {
+		ra, rb := l.A.Router, l.B.Router
+		if l.Side(ra) != l.A || l.Side(rb) != l.B {
+			t.Fatal("Side wrong")
+		}
+		if l.Other(ra) != l.B || l.Other(rb) != l.A {
+			t.Fatal("Other wrong")
+		}
+		ghost := &Router{ID: -1}
+		if l.Side(ghost) != nil || l.Other(ghost) != nil {
+			t.Fatal("ghost router should get nil")
+		}
+	}
+}
+
+func TestClassAndStyleStrings(t *testing.T) {
+	classes := map[Class]string{
+		Tier1: "tier1", Transit: "transit", Access: "access",
+		REN: "ren", Stub: "stub", IXP: "ixp",
+	}
+	for c, w := range classes {
+		if c.String() != w {
+			t.Errorf("%v != %s", c, w)
+		}
+	}
+	styles := map[Style]string{
+		StyleNone: "none", StyleSimple: "simple", StyleStart: "start",
+		StyleEnd: "end", StyleBare: "bare", StyleComplex: "complex",
+	}
+	for s, w := range styles {
+		if s.String() != w {
+			t.Errorf("%v != %s", s, w)
+		}
+	}
+}
+
+func TestOwnerOfUnknown(t *testing.T) {
+	in := buildSmall(t, 67)
+	if in.OwnerOf(mustPfx("203.0.113.0/24").Addr()) != asn.None {
+		t.Error("unknown addr should have no owner")
+	}
+	ifc := in.Interfaces()[0]
+	if in.OwnerOf(ifc.Addr) != ifc.Router.Owner {
+		t.Error("OwnerOf mismatch")
+	}
+}
+
+func TestMembersAccessor(t *testing.T) {
+	in := buildSmall(t, 71)
+	foundMembers := false
+	for _, a := range in.ASes {
+		members := a.Members()
+		if a.Class != IXP && members != nil {
+			t.Errorf("non-IXP %s has members", a.Suffix)
+		}
+		if a.Class == IXP && len(members) > 0 {
+			foundMembers = true
+		}
+	}
+	if !foundMembers {
+		t.Error("no IXP has members")
+	}
+}
+
+// TestValleyFreeDeterminism: the AS path between two fixed ASes is stable
+// across repeated queries (cache consistency).
+func TestValleyFreeDeterminism(t *testing.T) {
+	in := buildSmall(t, 73)
+	src, dst := in.ASes[3].ASN, in.ASes[len(in.ASes)-3].ASN
+	p1 := in.ASPath(src, dst)
+	p2 := in.ASPath(src, dst)
+	if len(p1) != len(p2) {
+		t.Fatal("path lengths differ")
+	}
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			t.Fatal("paths differ between calls")
+		}
+	}
+}

@@ -1,0 +1,180 @@
+// Package traceroute defines the path data model shared by the synthetic
+// prober (internal/topo), the ITDK assembler (internal/itdk), and the
+// router-ownership heuristics (internal/rtaa, internal/bdrmapit).
+//
+// A Path records the interface addresses that responded hop by hop from a
+// vantage point toward a destination, the way scamper records traceroute
+// output for CAIDA's Ark measurements that feed the ITDK.
+package traceroute
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/netip"
+	"sort"
+	"strings"
+)
+
+// Hop is a single traceroute response. A zero Addr marks a non-responding
+// hop ("*").
+type Hop struct {
+	Addr netip.Addr
+}
+
+// Responded reports whether the hop carried a response.
+func (h Hop) Responded() bool { return h.Addr.IsValid() }
+
+func (h Hop) String() string {
+	if !h.Responded() {
+		return "*"
+	}
+	return h.Addr.String()
+}
+
+// Path is one traceroute.
+type Path struct {
+	// VP names the vantage point that launched the probe.
+	VP string
+	// Dst is the probed destination address.
+	Dst netip.Addr
+	// Hops are the responses in order; the destination's response, when
+	// received, is the final hop.
+	Hops []Hop
+	// Reached reports whether the destination responded.
+	Reached bool
+}
+
+// Responding returns the addresses of responding hops, in order.
+func (p Path) Responding() []netip.Addr {
+	out := make([]netip.Addr, 0, len(p.Hops))
+	for _, h := range p.Hops {
+		if h.Responded() {
+			out = append(out, h.Addr)
+		}
+	}
+	return out
+}
+
+// Corpus is a collection of traceroutes, the unit of input to ITDK
+// assembly.
+type Corpus struct {
+	Paths []Path
+}
+
+// Add appends a path.
+func (c *Corpus) Add(p Path) { c.Paths = append(c.Paths, p) }
+
+// Len returns the number of paths.
+func (c *Corpus) Len() int { return len(c.Paths) }
+
+// Addrs returns every distinct responding hop address observed, sorted.
+func (c *Corpus) Addrs() []netip.Addr {
+	seen := make(map[netip.Addr]struct{})
+	for _, p := range c.Paths {
+		for _, h := range p.Hops {
+			if h.Responded() {
+				seen[h.Addr] = struct{}{}
+			}
+		}
+	}
+	out := make([]netip.Addr, 0, len(seen))
+	for a := range seen {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// VPs returns the distinct vantage point names, sorted.
+func (c *Corpus) VPs() []string {
+	seen := make(map[string]struct{})
+	for _, p := range c.Paths {
+		seen[p.VP] = struct{}{}
+	}
+	out := make([]string, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// WriteTo serializes the corpus, one path per line:
+//
+//	vp|dst|reached|hop1,hop2,*,hop4
+func (c *Corpus) WriteTo(w io.Writer) (int64, error) {
+	var n int64
+	for _, p := range c.Paths {
+		hops := make([]string, len(p.Hops))
+		for i, h := range p.Hops {
+			hops[i] = h.String()
+		}
+		reached := "0"
+		if p.Reached {
+			reached = "1"
+		}
+		written, err := fmt.Fprintf(w, "%s|%s|%s|%s\n", p.VP, p.Dst, reached, strings.Join(hops, ","))
+		n += int64(written)
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}
+
+// Parse reads the WriteTo format ('#' comments and blank lines ignored).
+func Parse(r io.Reader) (*Corpus, error) {
+	c := &Corpus{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Split(line, "|")
+		if len(fields) != 4 {
+			return nil, fmt.Errorf("traceroute: line %d: want vp|dst|reached|hops", lineno)
+		}
+		dst, err := netip.ParseAddr(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("traceroute: line %d: %w", lineno, err)
+		}
+		p := Path{VP: fields[0], Dst: dst, Reached: fields[2] == "1"}
+		if fields[3] != "" {
+			for _, hs := range strings.Split(fields[3], ",") {
+				if hs == "*" {
+					p.Hops = append(p.Hops, Hop{})
+					continue
+				}
+				a, err := netip.ParseAddr(hs)
+				if err != nil {
+					return nil, fmt.Errorf("traceroute: line %d: hop %q: %w", lineno, hs, err)
+				}
+				p.Hops = append(p.Hops, Hop{Addr: a})
+			}
+		}
+		c.Add(p)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// AdjacentPairs calls fn for every consecutive pair of responding hops
+// (a, b) in every path, skipping pairs separated by a non-responding hop,
+// since an intervening "*" means a and b are not known to be adjacent
+// routers.
+func (c *Corpus) AdjacentPairs(fn func(a, b netip.Addr)) {
+	for _, p := range c.Paths {
+		for i := 0; i+1 < len(p.Hops); i++ {
+			if p.Hops[i].Responded() && p.Hops[i+1].Responded() {
+				fn(p.Hops[i].Addr, p.Hops[i+1].Addr)
+			}
+		}
+	}
+}

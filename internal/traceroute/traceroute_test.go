@@ -1,0 +1,136 @@
+package traceroute
+
+import (
+	"bytes"
+	"net/netip"
+	"strings"
+	"testing"
+)
+
+func addr(s string) netip.Addr { return netip.MustParseAddr(s) }
+
+func samplePath() Path {
+	return Path{
+		VP:  "vp1",
+		Dst: addr("10.9.0.1"),
+		Hops: []Hop{
+			{Addr: addr("10.1.0.1")},
+			{},
+			{Addr: addr("10.2.0.1")},
+			{Addr: addr("10.9.0.1")},
+		},
+		Reached: true,
+	}
+}
+
+func TestHopString(t *testing.T) {
+	if (Hop{}).String() != "*" || (Hop{}).Responded() {
+		t.Error("empty hop wrong")
+	}
+	h := Hop{Addr: addr("10.0.0.1")}
+	if h.String() != "10.0.0.1" || !h.Responded() {
+		t.Error("hop wrong")
+	}
+}
+
+func TestResponding(t *testing.T) {
+	got := samplePath().Responding()
+	if len(got) != 3 || got[0] != addr("10.1.0.1") || got[2] != addr("10.9.0.1") {
+		t.Errorf("Responding = %v", got)
+	}
+}
+
+func TestCorpusRoundTrip(t *testing.T) {
+	c := &Corpus{}
+	c.Add(samplePath())
+	c.Add(Path{VP: "vp2", Dst: addr("10.8.0.1"), Hops: []Hop{{Addr: addr("10.1.0.1")}}})
+	var buf bytes.Buffer
+	if _, err := c.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	if !strings.Contains(text, "vp1|10.9.0.1|1|10.1.0.1,*,10.2.0.1,10.9.0.1") {
+		t.Errorf("serialized:\n%s", text)
+	}
+	got, err := Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 2 {
+		t.Fatalf("Len = %d", got.Len())
+	}
+	p := got.Paths[0]
+	if p.VP != "vp1" || !p.Reached || len(p.Hops) != 4 || p.Hops[1].Responded() {
+		t.Errorf("path = %+v", p)
+	}
+	if got.Paths[1].Reached {
+		t.Error("vp2 path should be unreached")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"vp|10.0.0.1|1",
+		"vp|notanip|1|10.0.0.1",
+		"vp|10.0.0.1|1|bogus",
+	}
+	for _, b := range bad {
+		if _, err := Parse(strings.NewReader(b)); err == nil {
+			t.Errorf("Parse(%q) should error", b)
+		}
+	}
+	c, err := Parse(strings.NewReader("# comment\n\n"))
+	if err != nil || c.Len() != 0 {
+		t.Errorf("comments/blank should parse to empty corpus: %v %d", err, c.Len())
+	}
+}
+
+func TestAddrsAndVPs(t *testing.T) {
+	c := &Corpus{}
+	c.Add(samplePath())
+	c.Add(Path{VP: "vp0", Dst: addr("10.8.0.1"), Hops: []Hop{{Addr: addr("10.1.0.1")}}})
+	addrs := c.Addrs()
+	if len(addrs) != 3 {
+		t.Errorf("Addrs = %v", addrs)
+	}
+	for i := 1; i < len(addrs); i++ {
+		if !addrs[i-1].Less(addrs[i]) {
+			t.Error("Addrs not sorted")
+		}
+	}
+	vps := c.VPs()
+	if len(vps) != 2 || vps[0] != "vp0" || vps[1] != "vp1" {
+		t.Errorf("VPs = %v", vps)
+	}
+}
+
+func TestAdjacentPairsSkipsGaps(t *testing.T) {
+	c := &Corpus{}
+	c.Add(samplePath()) // 10.1.0.1, *, 10.2.0.1, 10.9.0.1
+	var pairs [][2]netip.Addr
+	c.AdjacentPairs(func(a, b netip.Addr) { pairs = append(pairs, [2]netip.Addr{a, b}) })
+	if len(pairs) != 1 {
+		t.Fatalf("pairs = %v", pairs)
+	}
+	if pairs[0] != [2]netip.Addr{addr("10.2.0.1"), addr("10.9.0.1")} {
+		t.Errorf("pair = %v", pairs[0])
+	}
+}
+
+func BenchmarkCorpusRoundTrip(b *testing.B) {
+	c := &Corpus{}
+	for i := 0; i < 1000; i++ {
+		c.Add(samplePath())
+	}
+	var buf bytes.Buffer
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if _, err := c.WriteTo(&buf); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := Parse(bytes.NewReader(buf.Bytes())); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
