@@ -7,12 +7,15 @@
 package hoiho_test
 
 import (
+	"fmt"
 	"testing"
 
 	"hoiho/internal/asnames"
 	"hoiho/internal/core"
 	"hoiho/internal/experiments"
+	"hoiho/internal/extract"
 	"hoiho/internal/psl"
+	"hoiho/internal/rex"
 )
 
 // benchScale keeps -bench=. fast; shapes are unchanged.
@@ -186,6 +189,81 @@ func BenchmarkFigure7Expansion(b *testing.B) {
 			b.Logf("observed=%d full=%d factor=%.2f", res.ObservedMatches, res.FullMatches, res.Factor)
 		}
 	}
+}
+
+// corpusWorkload builds a serving-scale workload: nNCs conventions over
+// distinct registered domains and nHosts hostnames, roughly 3/4 of which
+// match some convention (the rest miss by shape or suffix).
+func corpusWorkload(b *testing.B, nNCs, nHosts int) ([]*core.NC, []string) {
+	b.Helper()
+	ncs := make([]*core.NC, nNCs)
+	for i := range ncs {
+		suffix := fmt.Sprintf("carrier%04d.net", i)
+		r := rex.MustNew(rex.Lit("as"), rex.Capture(), rex.Lit("-"), rex.Excl("."), rex.Lit("."+suffix))
+		ncs[i] = &core.NC{Suffix: suffix, Regexes: []*rex.Regex{r}, Class: core.Good}
+	}
+	hosts := make([]string, nHosts)
+	for i := range hosts {
+		suffix := fmt.Sprintf("carrier%04d.net", i%nNCs)
+		switch i % 4 {
+		case 0, 1:
+			hosts[i] = fmt.Sprintf("as%d-pop%d.%s", 1000+i%60000, i%40, suffix)
+		case 2:
+			hosts[i] = fmt.Sprintf("lo0.core%d.%s", i%100, suffix) // suffix hit, regex miss
+		default:
+			hosts[i] = fmt.Sprintf("as%d-pop%d.unknown%d.org", 1000+i%60000, i%40, i%500) // unknown suffix
+		}
+	}
+	return ncs, hosts
+}
+
+// BenchmarkCorpusExtract pins the serving-engine speedup: the indexed,
+// sharded Corpus batch path versus the naive per-hostname scan over every
+// NC that the pre-engine consumers used (examples/openintel's old loop).
+// The acceptance bar is >= 5x on a 128-NC / 100k-hostname batch.
+func BenchmarkCorpusExtract(b *testing.B) {
+	ncs, hosts := corpusWorkload(b, 128, 100_000)
+
+	b.Run("corpus", func(b *testing.B) {
+		corpus := extract.New(ncs)
+		corpus.Extract(hosts[0]) // warm the compile-once caches outside the timer
+		b.ResetTimer()
+		hits := 0
+		for i := 0; i < b.N; i++ {
+			hits = 0
+			for _, r := range corpus.ExtractBatch(hosts) {
+				if r.OK {
+					hits++
+				}
+			}
+		}
+		b.ReportMetric(float64(len(hosts))*float64(b.N)/b.Elapsed().Seconds(), "hosts/s")
+		if hits != len(hosts)/2 {
+			b.Fatalf("hits = %d, want %d", hits, len(hosts)/2)
+		}
+	})
+
+	b.Run("linear-scan", func(b *testing.B) {
+		corpus := extract.New(ncs)
+		corpus.Extract(hosts[0]) // same pre-compiled regexes as above
+		b.ResetTimer()
+		hits := 0
+		for i := 0; i < b.N; i++ {
+			hits = 0
+			for _, host := range hosts {
+				for _, nc := range ncs {
+					if _, ok := nc.Extract(host); ok {
+						hits++
+						break
+					}
+				}
+			}
+		}
+		b.ReportMetric(float64(len(hosts))*float64(b.N)/b.Elapsed().Seconds(), "hosts/s")
+		if hits != len(hosts)/2 {
+			b.Fatalf("hits = %d, want %d", hits, len(hosts)/2)
+		}
+	})
 }
 
 // ablationBench learns the last era's conventions under modified learner

@@ -10,10 +10,19 @@
 // Output: learned conventions per suffix, as text or JSON (-json),
 // including per-regex evaluation and the good/promising/poor class.
 //
+// A learned corpus can be saved and re-applied at scale (§7's workflow):
+// -save writes the stable JSON form after learning, and -apply loads such
+// a file and streams hostnames through the extraction engine, emitting
+// one "hostname<TAB>asn" line per match. -classes restricts application
+// to the good or usable (good+promising) conventions.
+//
 // Example:
 //
 //	hoiho -format itdk itdk-2020-01.txt
 //	hoiho -json training.txt > ncs.json
+//	hoiho -save ncs.json training.txt
+//	hoiho -apply ncs.json -classes usable ptr-records.txt
+//	zcat ptr.gz | hoiho -apply ncs.json -
 package main
 
 import (
@@ -28,6 +37,7 @@ import (
 	"hoiho/internal/asn"
 	"hoiho/internal/asnames"
 	"hoiho/internal/core"
+	"hoiho/internal/extract"
 	"hoiho/internal/itdk"
 	"hoiho/internal/psl"
 )
@@ -51,11 +61,17 @@ func run(args []string, out io.Writer) error {
 	noTypo := fs.Bool("no-typo-credit", false, "ablation: disable the edit-distance-1 TP credit")
 	names := fs.Bool("names", false, "learn AS *name* conventions (§7 extension); plain input becomes \"hostname name\"")
 	matches := fs.Bool("matches", false, "show per-hostname classifications under each convention (the paper's data-supplement view)")
+	savePath := fs.String("save", "", "after learning, save the conventions as JSON to this file")
+	applyPath := fs.String("apply", "", "apply a saved conventions JSON to hostnames from <file> (or - for stdin); emits hostname<TAB>asn")
+	classes := fs.String("classes", "usable", "with -apply: which conventions to use: good, usable, or all")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() != 1 {
 		return fmt.Errorf("usage: hoiho [flags] <training-file>")
+	}
+	if *applyPath != "" {
+		return runApply(*applyPath, fs.Arg(0), out, *classes)
 	}
 
 	list := psl.Default()
@@ -113,6 +129,12 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 
+	if *savePath != "" {
+		if err := extract.New(ncs, extract.WithPSL(list)).SaveFile(*savePath); err != nil {
+			return err
+		}
+	}
+
 	if *jsonOut {
 		data, err := core.MarshalNCs(ncs)
 		if err != nil {
@@ -154,6 +176,70 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// runApply loads a saved corpus and streams hostnames through it,
+// emitting one "hostname<TAB>asn" line per extraction. hostsPath may be
+// "-" for stdin. Lines may carry extra whitespace-separated columns (as
+// in PTR dumps); only the first field is used.
+func runApply(corpusPath, hostsPath string, out io.Writer, classes string) error {
+	var opts []extract.Option
+	switch classes {
+	case "all":
+	case "usable":
+		opts = append(opts, extract.UsableOnly())
+	case "good":
+		opts = append(opts, extract.MinClass(core.Good))
+	default:
+		return fmt.Errorf("unknown -classes %q (want good, usable, or all)", classes)
+	}
+	corpus, err := extract.LoadFile(corpusPath, opts...)
+	if err != nil {
+		return err
+	}
+
+	var r io.Reader = os.Stdin
+	if hostsPath != "-" {
+		f, err := os.Open(hostsPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+
+	// Feed the scanner into the corpus's ordered streaming pipeline; the
+	// output arrives in input order, so results line up with the file.
+	in := make(chan string, 256)
+	scanErr := make(chan error, 1)
+	go func() {
+		defer close(in)
+		sc := bufio.NewScanner(r)
+		sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+		for sc.Scan() {
+			line := strings.TrimSpace(sc.Text())
+			if line == "" || strings.HasPrefix(line, "#") {
+				continue
+			}
+			if i := strings.IndexAny(line, " \t"); i >= 0 {
+				line = line[:i]
+			}
+			in <- line
+		}
+		scanErr <- sc.Err()
+	}()
+
+	w := bufio.NewWriter(out)
+	for res := range corpus.ExtractStream(in) {
+		if !res.OK {
+			continue
+		}
+		fmt.Fprintf(w, "%s\t%s\n", res.Hostname, res.ASN)
+	}
+	if err := <-scanErr; err != nil {
+		return err
+	}
+	return w.Flush()
 }
 
 // runNames learns AS-name conventions from "hostname name" lines.

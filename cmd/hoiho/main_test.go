@@ -147,6 +147,78 @@ func TestRunAblationFlags(t *testing.T) {
 	}
 }
 
+func TestRunSaveApply(t *testing.T) {
+	// Learn + save, then apply the saved corpus to unseen hostnames.
+	train := writeFile(t, "train.txt", plainTraining)
+	ncsPath := filepath.Join(t.TempDir(), "ncs.json")
+	var out bytes.Buffer
+	if err := run([]string{"-save", ncsPath, train}, &out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(ncsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ncs, err := core.UnmarshalNCs(data); err != nil || len(ncs) != 1 {
+		t.Fatalf("saved corpus: ncs=%v err=%v", ncs, err)
+	}
+
+	hosts := writeFile(t, "hosts.txt", `
+# PTR sweep; extra columns are ignored
+as64500-ams-xe9.example.net 192.0.2.1
+lo0.fra.example.net
+as65000-nyc-ge1.example.net
+not-this-suffix.example.org
+`)
+	out.Reset()
+	if err := run([]string{"-apply", ncsPath, hosts}, &out); err != nil {
+		t.Fatal(err)
+	}
+	want := "as64500-ams-xe9.example.net\t64500\nas65000-nyc-ge1.example.net\t65000\n"
+	if out.String() != want {
+		t.Errorf("apply output:\n%q\nwant:\n%q", out.String(), want)
+	}
+}
+
+func TestRunApplyClassRestriction(t *testing.T) {
+	// A hand-written corpus with one good and one poor convention.
+	ncsPath := writeFile(t, "ncs.json", `[
+  {"suffix":"good.net","regexes":["^as(\\d+)\\.good\\.net$"],"class":"good"},
+  {"suffix":"poor.net","regexes":["^as(\\d+)\\.poor\\.net$"],"class":"poor"}
+]`)
+	hosts := writeFile(t, "hosts.txt", "as100.good.net\nas200.poor.net\n")
+
+	cases := []struct {
+		classes string
+		want    string
+	}{
+		{"all", "as100.good.net\t100\nas200.poor.net\t200\n"},
+		{"usable", "as100.good.net\t100\n"},
+		{"good", "as100.good.net\t100\n"},
+	}
+	for _, c := range cases {
+		var out bytes.Buffer
+		if err := run([]string{"-apply", ncsPath, "-classes", c.classes, hosts}, &out); err != nil {
+			t.Fatalf("-classes %s: %v", c.classes, err)
+		}
+		if out.String() != c.want {
+			t.Errorf("-classes %s:\n%q\nwant:\n%q", c.classes, out.String(), c.want)
+		}
+	}
+
+	var out bytes.Buffer
+	if err := run([]string{"-apply", ncsPath, "-classes", "bogus", hosts}, &out); err == nil {
+		t.Error("bogus -classes should error")
+	}
+	if err := run([]string{"-apply", filepath.Join(t.TempDir(), "missing.json"), hosts}, &out); err == nil {
+		t.Error("missing corpus file should error")
+	}
+	bad := writeFile(t, "bad.json", "{not json")
+	if err := run([]string{"-apply", bad, hosts}, &out); err == nil {
+		t.Error("malformed corpus should error")
+	}
+}
+
 func TestRunMatchesDump(t *testing.T) {
 	path := writeFile(t, "train.txt", plainTraining)
 	var out bytes.Buffer

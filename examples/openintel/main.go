@@ -12,10 +12,10 @@ import (
 	"log"
 	"net/netip"
 	"sort"
-	"strings"
 
 	"hoiho/internal/asn"
 	"hoiho/internal/core"
+	"hoiho/internal/extract"
 	"hoiho/internal/itdk"
 	"hoiho/internal/psl"
 	"hoiho/internal/rtaa"
@@ -29,7 +29,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	corpus := world.TraceAll()
+	traces := world.TraceAll()
 	aliases := itdk.TruthAliases(world).Degrade(1, 0.85)
 	ptr := func(a netip.Addr) string {
 		if ifc := world.Interface(a); ifc != nil {
@@ -37,7 +37,7 @@ func main() {
 		}
 		return ""
 	}
-	graph := itdk.BuildGraph(corpus, aliases, world.Table, ptr)
+	graph := itdk.BuildGraph(traces, aliases, world.Table, ptr)
 	snap := itdk.FromGraph(graph, rtaa.Annotate(graph, world.Rel), "oi", "rtaa")
 
 	learner := &core.Learner{}
@@ -45,54 +45,41 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	var usable []*core.NC
-	bySuffix := make(map[string]*core.NC)
-	for _, nc := range ncs {
-		if nc.Class.Usable() {
-			usable = append(usable, nc)
-			bySuffix[nc.Suffix] = nc
-		}
-	}
-	fmt.Printf("learned %d usable conventions from the traceroute view\n", len(usable))
+	// Index the usable conventions once; the corpus engine owns suffix
+	// lookup and regex compilation from here on.
+	corpus := extract.New(ncs, extract.UsableOnly())
+	fmt.Printf("learned %d usable conventions from the traceroute view\n", corpus.Len())
 
-	extract := func(host string) (asn.ASN, bool) {
-		s := host
-		for {
-			if nc, ok := bySuffix[s]; ok {
-				if digits, ok := nc.Extract(host); ok {
-					a, err := asn.Parse(digits)
-					return a, err == nil
-				}
-				return asn.None, false
-			}
-			i := strings.IndexByte(s, '.')
-			if i < 0 {
-				return asn.None, false
-			}
-			s = s[i+1:]
-		}
-	}
-
-	// Traceroute view vs the full PTR zone.
+	// Traceroute view: single-hostname fast path.
 	observed := 0
 	for _, host := range graph.Hostnames {
-		if _, ok := extract(host); ok {
+		if _, ok := corpus.Extract(host); ok {
 			observed++
 		}
 	}
-	full := 0
-	newLinks := make(map[asn.ASN]int) // extracted ASN -> unseen-port count
+
+	// Full PTR zone: the million-name sweep goes through the sharded
+	// batch API, results aligned with the input order.
+	var (
+		hosts []string
+		addrs []netip.Addr
+	)
 	for _, ifc := range world.Interfaces() {
 		if ifc.Hostname == "" {
 			continue
 		}
-		a, ok := extract(ifc.Hostname)
-		if !ok {
+		hosts = append(hosts, ifc.Hostname)
+		addrs = append(addrs, ifc.Addr)
+	}
+	full := 0
+	newLinks := make(map[asn.ASN]int) // extracted ASN -> unseen-port count
+	for i, r := range corpus.ExtractBatch(hosts) {
+		if !r.OK {
 			continue
 		}
 		full++
-		if _, seen := graph.Hostnames[ifc.Addr]; !seen {
-			newLinks[a]++
+		if _, seen := graph.Hostnames[addrs[i]]; !seen {
+			newLinks[r.ASN]++
 		}
 	}
 	fmt.Printf("hostnames matching a usable NC:\n")

@@ -7,6 +7,7 @@ import (
 	"hoiho/internal/asn"
 	"hoiho/internal/bgp"
 	"hoiho/internal/core"
+	"hoiho/internal/extract"
 	"hoiho/internal/itdk"
 	"hoiho/internal/traceroute"
 )
@@ -296,17 +297,19 @@ func TestMajority(t *testing.T) {
 	}
 }
 
-func TestNCIndexLookup(t *testing.T) {
+// TestCorpusLookup pins the suffix-index semantics the annotator now
+// inherits from extract.Corpus (formerly the private ncIndex).
+func TestCorpusLookup(t *testing.T) {
 	nc := ncFor(t, "xnet.net", `^as(\\d+)\\.xnet\\.net$`, core.Good)
-	idx := newNCIndex([]*core.NC{nc})
-	if _, digits, ok := idx.lookup("as100.xnet.net"); !ok || digits != "100" {
-		t.Errorf("lookup = %q,%v", digits, ok)
+	corpus := extract.New([]*core.NC{nc})
+	if m, ok := corpus.Extract("as100.xnet.net"); !ok || m.Digits != "100" {
+		t.Errorf("extract = %+v,%v", m, ok)
 	}
 	// Suffix matches but regex does not.
-	if _, _, ok := idx.lookup("foo.xnet.net"); ok {
+	if _, ok := corpus.Extract("foo.xnet.net"); ok {
 		t.Error("non-matching hostname extracted")
 	}
-	if _, _, ok := idx.lookup("as100.other.net"); ok {
+	if _, ok := corpus.Extract("as100.other.net"); ok {
 		t.Error("unknown suffix extracted")
 	}
 }

@@ -3,10 +3,10 @@ package bdrmapit
 import (
 	"net/netip"
 	"sort"
-	"strings"
 
 	"hoiho/internal/asn"
 	"hoiho/internal/core"
+	"hoiho/internal/extract"
 	"hoiho/internal/itdk"
 )
 
@@ -37,45 +37,21 @@ type Result struct {
 	Extractions int
 }
 
-// ncIndex applies conventions by hostname suffix.
-type ncIndex struct {
-	bySuffix map[string]*core.NC
+// AnnotateWithNCs indexes ncs into an extract.Corpus and runs the §5
+// modification. It is a convenience wrapper around AnnotateWithCorpus;
+// callers that already hold a Corpus (or want to share one between
+// consumers) should use that directly.
+func (an *Annotator) AnnotateWithNCs(ncs []*core.NC) *Result {
+	return an.AnnotateWithCorpus(extract.New(ncs))
 }
 
-func newNCIndex(ncs []*core.NC) *ncIndex {
-	idx := &ncIndex{bySuffix: make(map[string]*core.NC, len(ncs))}
-	for _, nc := range ncs {
-		idx.bySuffix[nc.Suffix] = nc
-	}
-	return idx
-}
-
-// lookup finds the NC whose suffix matches host and applies it.
-func (idx *ncIndex) lookup(host string) (*core.NC, string, bool) {
-	// Try every label suffix of the hostname, longest first.
-	s := host
-	for {
-		if nc, ok := idx.bySuffix[s]; ok {
-			if digits, ok := nc.Extract(host); ok {
-				return nc, digits, true
-			}
-			return nil, "", false
-		}
-		i := strings.IndexByte(s, '.')
-		if i < 0 {
-			return nil, "", false
-		}
-		s = s[i+1:]
-	}
-}
-
-// AnnotateWithNCs runs bdrmapIT, then re-evaluates every node with a
+// AnnotateWithCorpus runs bdrmapIT, then re-evaluates every node with a
 // hostname-extracted ASN per §5: an extracted ASN is used when it is
 // reasonable — it matches, or is a sibling of, an ASN in the node's
 // subsequent or destination ASN sets, or it is a provider of one of the
 // ASes in those sets. Otherwise the hostname is deemed stale or a typo
 // and the heuristic annotation stands.
-func (an *Annotator) AnnotateWithNCs(ncs []*core.NC) *Result {
+func (an *Annotator) AnnotateWithCorpus(corpus *extract.Corpus) *Result {
 	initial := an.Annotate()
 	res := &Result{
 		Annotations: make(map[int]asn.ASN, len(initial)),
@@ -84,7 +60,6 @@ func (an *Annotator) AnnotateWithNCs(ncs []*core.NC) *Result {
 	for id, a := range initial {
 		res.Annotations[id] = a
 	}
-	idx := newNCIndex(ncs)
 
 	for _, n := range an.Graph.Nodes {
 		// Collect extractions per interface.
@@ -101,15 +76,11 @@ func (an *Annotator) AnnotateWithNCs(ncs []*core.NC) *Result {
 			if host == "" {
 				continue
 			}
-			nc, digits, ok := idx.lookup(host)
+			m, ok := corpus.Extract(host)
 			if !ok {
 				continue
 			}
-			a, err := asn.Parse(digits)
-			if err != nil {
-				continue
-			}
-			exts = append(exts, ext{addr: addr, host: host, asn: a, class: nc.Class})
+			exts = append(exts, ext{addr: addr, host: host, asn: m.ASN, class: m.Class})
 		}
 		if len(exts) == 0 {
 			continue

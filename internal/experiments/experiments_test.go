@@ -6,6 +6,7 @@ import (
 	"hoiho/internal/asn"
 	"hoiho/internal/bdrmapit"
 	"hoiho/internal/core"
+	"hoiho/internal/extract"
 	"hoiho/internal/itdk"
 	"hoiho/internal/psl"
 	"hoiho/internal/rtaa"
@@ -93,7 +94,7 @@ func TestMethodQualityOrdering(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		ppv, _, m := PPVOnTraining(ncs, items, list, world.Orgs, false)
+		ppv, _, m := PPVOnTraining(extract.New(ncs, extract.UsableOnly()), items, list, world.Orgs, false)
 		t.Logf("%s: ncs=%d ppv=%.3f matches=%d", method, len(ncs), ppv, m)
 		return ppv
 	}
@@ -133,12 +134,13 @@ func TestEraGrowth(t *testing.T) {
 	if cl.Good < 5 {
 		t.Errorf("late era good = %d, too few even at test scale", cl.Good)
 	}
-	ppv, _, m := PPVOnTraining(late.NCs, late.Items, list, late.World.Orgs, false)
+	lateCorpus := extract.New(late.NCs, extract.UsableOnly())
+	ppv, _, m := PPVOnTraining(lateCorpus, late.Items, list, late.World.Orgs, false)
 	if m == 0 || ppv < 0.7 || ppv > 0.97 {
 		t.Errorf("late-era PPV = %.3f over %d matches", ppv, m)
 	}
 	// Sibling credit never lowers PPV and usually raises it.
-	sib, _, _ := PPVOnTraining(late.NCs, late.Items, list, late.World.Orgs, true)
+	sib, _, _ := PPVOnTraining(lateCorpus, late.Items, list, late.World.Orgs, true)
 	if sib < ppv {
 		t.Errorf("sibling credit lowered PPV: %.3f < %.3f", sib, ppv)
 	}
@@ -160,8 +162,8 @@ func TestPDBQuality(t *testing.T) {
 	if len(pdbRun.NCs) == 0 {
 		t.Fatal("no PDB NCs learned")
 	}
-	pdbPPV, _, m := PPVOnTraining(pdbRun.NCs, pdbRun.Items, list, itdkRun.World.Orgs, false)
-	itdkPPV, _, _ := PPVOnTraining(itdkRun.NCs, itdkRun.Items, list, itdkRun.World.Orgs, false)
+	pdbPPV, _, m := PPVOnTraining(extract.New(pdbRun.NCs, extract.UsableOnly()), pdbRun.Items, list, itdkRun.World.Orgs, false)
+	itdkPPV, _, _ := PPVOnTraining(extract.New(itdkRun.NCs, extract.UsableOnly()), itdkRun.Items, list, itdkRun.World.Orgs, false)
 	t.Logf("pdb=%.3f (m=%d) itdk=%.3f", pdbPPV, m, itdkPPV)
 	if pdbPPV <= itdkPPV {
 		t.Errorf("PDB PPV (%.3f) should exceed ITDK PPV (%.3f)", pdbPPV, itdkPPV)

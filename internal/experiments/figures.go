@@ -7,6 +7,7 @@ import (
 
 	"hoiho/internal/asn"
 	"hoiho/internal/core"
+	"hoiho/internal/extract"
 	"hoiho/internal/psl"
 )
 
@@ -32,16 +33,16 @@ type Figure6Row struct {
 }
 
 // PPVOnTraining computes figure 6's quantity for one run: aggregate
-// TP/(TP+FP) of the usable NCs evaluated on their training items. With
-// sibling credit, extractions whose ASN is a sibling of the training ASN
-// count as agreeing (the paper: siblings added ~1% for RTAA and ~2% for
-// bdrmapIT inferences).
-func PPVOnTraining(ncs []*core.NC, items []core.Item, list *psl.List, orgs *asn.Orgs, siblingCredit bool) (ppv float64, tps, matches int) {
+// TP/(TP+FP) of the corpus's NCs evaluated on their training items. The
+// caller builds the corpus (typically extract.New(ncs,
+// extract.UsableOnly()), shared across sibling-credit variants) and the
+// items are grouped by suffix exactly once. With sibling credit,
+// extractions whose ASN is a sibling of the training ASN count as
+// agreeing (the paper: siblings added ~1% for RTAA and ~2% for bdrmapIT
+// inferences).
+func PPVOnTraining(corpus *extract.Corpus, items []core.Item, list *psl.List, orgs *asn.Orgs, siblingCredit bool) (ppv float64, tps, matches int) {
 	groups, _ := core.GroupItems(list, items)
-	for _, nc := range ncs {
-		if !nc.Class.Usable() {
-			continue
-		}
+	for _, nc := range corpus.NCs() {
 		set, err := core.NewSet(nc.Suffix, groups[nc.Suffix], core.Options{})
 		if err != nil {
 			continue
@@ -84,8 +85,9 @@ func Figure5(scale Scale, list *psl.List) ([]Figure5Row, []Figure6Row, []*Run, e
 		runs = append(runs, run)
 		c := Count(run.NCs)
 		f5 = append(f5, Figure5Row{Name: e.Name, Method: e.Method, Good: c.Good, Promising: c.Promising, Poor: c.Poor})
-		ppv, tps, m := PPVOnTraining(run.NCs, run.Items, list, run.World.Orgs, false)
-		sib, _, _ := PPVOnTraining(run.NCs, run.Items, list, run.World.Orgs, true)
+		corpus := extract.New(run.NCs, extract.UsableOnly())
+		ppv, tps, m := PPVOnTraining(corpus, run.Items, list, run.World.Orgs, false)
+		sib, _, _ := PPVOnTraining(corpus, run.Items, list, run.World.Orgs, true)
 		f6 = append(f6, Figure6Row{Name: e.Name, Method: e.Method, PPV: ppv, PPVSibling: sib, TPs: tps, Matches: m})
 	}
 	// Two PeeringDB snapshots from the two most recent worlds.
@@ -99,8 +101,9 @@ func Figure5(scale Scale, list *psl.List) ([]Figure5Row, []Figure6Row, []*Run, e
 		runs = append(runs, run)
 		c := Count(run.NCs)
 		f5 = append(f5, Figure5Row{Name: run.Era.Name, Method: "peeringdb", Good: c.Good, Promising: c.Promising, Poor: c.Poor})
-		ppv, tps, m := PPVOnTraining(run.NCs, run.Items, list, src.World.Orgs, false)
-		sib, _, _ := PPVOnTraining(run.NCs, run.Items, list, src.World.Orgs, true)
+		corpus := extract.New(run.NCs, extract.UsableOnly())
+		ppv, tps, m := PPVOnTraining(corpus, run.Items, list, src.World.Orgs, false)
+		sib, _, _ := PPVOnTraining(corpus, run.Items, list, src.World.Orgs, true)
 		f6 = append(f6, Figure6Row{Name: run.Era.Name, Method: "peeringdb", PPV: ppv, PPVSibling: sib, TPs: tps, Matches: m})
 	}
 	return f5, f6, runs, nil
@@ -187,8 +190,11 @@ func SuffixOriginAnalysis(run *Run) (ownOrg, other int) {
 	for _, a := range run.World.ASes {
 		suffixOwner[a.Suffix] = a.ASN
 	}
+	// Group once, index once: each suffix's items are re-extracted through
+	// the corpus, which resolves them back to that suffix's own NC.
+	corpus := extract.New(run.NCs)
 	groups, _ := core.GroupItems(psl.Default(), run.Items)
-	for _, nc := range run.NCs {
+	for _, nc := range corpus.NCs() {
 		// Only conventions with enough matches constitute the paper's
 		// "single NCs"; degenerate one-extraction regexes are noise.
 		if !nc.Single || nc.Eval.TP < 3 {
@@ -197,10 +203,8 @@ func SuffixOriginAnalysis(run *Run) (ownOrg, other int) {
 		// Dominant extracted ASN over the suffix's items.
 		votes := make(map[asn.ASN]int)
 		for _, it := range groups[nc.Suffix] {
-			if digits, ok := nc.Extract(it.Hostname); ok {
-				if a, err := asn.Parse(digits); err == nil {
-					votes[a]++
-				}
+			if m, ok := corpus.Extract(it.Hostname); ok {
+				votes[m.ASN]++
 			}
 		}
 		if len(votes) == 0 {

@@ -4,9 +4,9 @@ import (
 	"fmt"
 	"sort"
 
-	"hoiho/internal/asn"
 	"hoiho/internal/bdrmapit"
 	"hoiho/internal/core"
+	"hoiho/internal/extract"
 	"hoiho/internal/topo"
 )
 
@@ -42,7 +42,10 @@ func RunSection5(run *Run) *Section5Result {
 		Orgs:  run.World.Orgs,
 		IXPs:  ixpSet(run.World),
 	}
-	res := an.AnnotateWithNCs(run.NCs)
+	// One shared corpus drives both the annotator and the agreement
+	// accounting: the NC machines are compiled once for the whole section.
+	corpus := extract.New(run.NCs)
+	res := an.AnnotateWithCorpus(corpus)
 	out := &Section5Result{
 		Result:   res,
 		PerClass: make(map[core.Classification][2]int),
@@ -50,22 +53,21 @@ func RunSection5(run *Run) *Section5Result {
 
 	// Agreement over extracted interfaces, before and after.
 	agreeB, agreeA, total := 0, 0, 0
-	idx := newExtractor(run.NCs)
 	for _, n := range run.Graph.Nodes {
 		for _, addr := range n.Ifaces {
 			host := run.Graph.Hostnames[addr]
 			if host == "" {
 				continue
 			}
-			e, ok := idx.extract(host)
+			m, ok := corpus.Extract(host)
 			if !ok {
 				continue
 			}
 			total++
-			if e == res.Initial[n.ID] {
+			if m.ASN == res.Initial[n.ID] {
 				agreeB++
 			}
-			if e == res.Annotations[n.ID] {
+			if m.ASN == res.Annotations[n.ID] {
 				agreeA++
 			}
 		}
@@ -92,51 +94,6 @@ func RunSection5(run *Run) *Section5Result {
 		out.PerClass[d.NCClass] = c
 	}
 	return out
-}
-
-// extractor applies a set of NCs by suffix (shared with bdrmapit's
-// internal logic, reimplemented here against hostnames directly).
-type extractor struct {
-	bySuffix map[string]*core.NC
-}
-
-func newExtractor(ncs []*core.NC) *extractor {
-	m := make(map[string]*core.NC, len(ncs))
-	for _, nc := range ncs {
-		m[nc.Suffix] = nc
-	}
-	return &extractor{bySuffix: m}
-}
-
-func (x *extractor) extract(host string) (asn.ASN, bool) {
-	s := host
-	for {
-		if nc, ok := x.bySuffix[s]; ok {
-			digits, ok := nc.Extract(host)
-			if !ok {
-				return asn.None, false
-			}
-			a, err := asn.Parse(digits)
-			if err != nil {
-				return asn.None, false
-			}
-			return a, true
-		}
-		i := indexDot(s)
-		if i < 0 {
-			return asn.None, false
-		}
-		s = s[i+1:]
-	}
-}
-
-func indexDot(s string) int {
-	for i := 0; i < len(s); i++ {
-		if s[i] == '.' {
-			return i
-		}
-	}
-	return -1
 }
 
 // Table2Row is one validation line: decision outcomes against ground
@@ -224,24 +181,23 @@ type Figure7Result struct {
 // Figure7 applies the run's usable NCs to (a) hostnames observed in the
 // traceroute-derived graph and (b) every named interface in the world.
 func Figure7(run *Run) Figure7Result {
-	var usable []*core.NC
-	for _, nc := range run.NCs {
-		if nc.Class.Usable() {
-			usable = append(usable, nc)
-		}
-	}
-	idx := newExtractor(usable)
+	corpus := extract.New(run.NCs, extract.UsableOnly())
 	var res Figure7Result
 	for _, host := range run.Graph.Hostnames {
-		if _, ok := idx.extract(host); ok {
+		if _, ok := corpus.Extract(host); ok {
 			res.ObservedMatches++
 		}
 	}
+	// The full PTR zone is the batch workload the corpus engine exists
+	// for: collect every named interface and shard it over the pool.
+	var hosts []string
 	for _, ifc := range run.World.Interfaces() {
-		if ifc.Hostname == "" {
-			continue
+		if ifc.Hostname != "" {
+			hosts = append(hosts, ifc.Hostname)
 		}
-		if _, ok := idx.extract(ifc.Hostname); ok {
+	}
+	for _, r := range corpus.ExtractBatch(hosts) {
+		if r.OK {
 			res.FullMatches++
 		}
 	}

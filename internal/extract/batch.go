@@ -1,0 +1,147 @@
+package extract
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Result is one per-hostname outcome of a batch or stream extraction.
+// Results are always emitted in input order; OK distinguishes hits from
+// misses so positions stay aligned with the input.
+type Result struct {
+	Match
+	OK bool
+}
+
+// batchChunk is the unit of work sharding: small enough to balance skewed
+// per-hostname costs across workers, large enough to amortize the
+// scheduling atomics.
+const batchChunk = 512
+
+// ExtractBatch applies the corpus to every hostname concurrently and
+// returns one Result per input, aligned with hosts. Workers claim
+// fixed-size chunks of the index space, so the output is deterministic
+// and input-ordered regardless of scheduling.
+func (c *Corpus) ExtractBatch(hosts []string) []Result {
+	out := make([]Result, len(hosts))
+	workers := c.workerCount(len(hosts))
+	if workers <= 1 || len(hosts) <= batchChunk {
+		for i, h := range hosts {
+			out[i].Match, out[i].OK = c.Extract(h)
+		}
+		return out
+	}
+	nChunks := (len(hosts) + batchChunk - 1) / batchChunk
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				ci := int(next.Add(1)) - 1
+				if ci >= nChunks {
+					return
+				}
+				lo := ci * batchChunk
+				hi := lo + batchChunk
+				if hi > len(hosts) {
+					hi = len(hosts)
+				}
+				for i := lo; i < hi; i++ {
+					out[i].Match, out[i].OK = c.Extract(hosts[i])
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// streamChunk sizes the micro-batches ExtractStream hands to workers.
+const streamChunk = 256
+
+// ExtractStream reads hostnames from in until it is closed, extracts
+// concurrently, and delivers one Result per input on the returned
+// channel, in input order (a sequence-numbered reorder stage restores
+// ordering after the parallel stage). The returned channel is closed
+// after the last result; the caller should drain it fully.
+func (c *Corpus) ExtractStream(in <-chan string) <-chan Result {
+	out := make(chan Result, streamChunk)
+	workers := c.workerCount(streamChunk * 4)
+
+	type job struct {
+		seq   int
+		hosts []string
+	}
+	type done struct {
+		seq     int
+		results []Result
+	}
+	jobs := make(chan job, workers)
+	dones := make(chan done, workers)
+
+	// Chunker: group the stream into sequence-numbered micro-batches.
+	go func() {
+		defer close(jobs)
+		seq := 0
+		buf := make([]string, 0, streamChunk)
+		flush := func() {
+			if len(buf) == 0 {
+				return
+			}
+			jobs <- job{seq: seq, hosts: buf}
+			seq++
+			buf = make([]string, 0, streamChunk)
+		}
+		for h := range in {
+			buf = append(buf, h)
+			if len(buf) == streamChunk {
+				flush()
+			}
+		}
+		flush()
+	}()
+
+	// Workers: extract each chunk independently.
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				rs := make([]Result, len(j.hosts))
+				for i, h := range j.hosts {
+					rs[i].Match, rs[i].OK = c.Extract(h)
+				}
+				dones <- done{seq: j.seq, results: rs}
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(dones)
+	}()
+
+	// Reorderer: emit chunks strictly by sequence number.
+	go func() {
+		defer close(out)
+		pending := make(map[int][]Result)
+		next := 0
+		for d := range dones {
+			pending[d.seq] = d.results
+			for {
+				rs, ok := pending[next]
+				if !ok {
+					break
+				}
+				delete(pending, next)
+				next++
+				for _, r := range rs {
+					out <- r
+				}
+			}
+		}
+	}()
+	return out
+}

@@ -1,0 +1,242 @@
+// Package extract is the serving side of Hoiho: it applies a corpus of
+// learned naming conventions (NCs) to hostnames at scale. The paper's end
+// product is exactly such a corpus — §7 applies it to the full OpenINTEL
+// PTR sweep and §5 feeds it into bdrmapIT — so hostname→ASN lookup is the
+// inner loop of every downstream consumer.
+//
+// A Corpus indexes NCs by registered-domain suffix and resolves a
+// hostname with a single PSL-backed lookup (falling back to a bounded
+// longest-label-suffix walk for corpora whose suffixes are not registered
+// domains). Each NC's regexp machines are compiled exactly once, behind a
+// sync.Once, so any number of concurrent extractors share one compiled
+// corpus. Extract is the single-hostname fast path; ExtractBatch and
+// ExtractStream shard million-hostname workloads over a worker pool with
+// deterministic, input-ordered results.
+package extract
+
+import (
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+
+	"hoiho/internal/asn"
+	"hoiho/internal/core"
+	"hoiho/internal/psl"
+	"hoiho/internal/rex"
+)
+
+// Match is one successful extraction: the hostname, the convention that
+// produced it, and the extracted ASN in digit and parsed form.
+type Match struct {
+	Hostname string
+	// Suffix is the matched NC's registered-domain suffix.
+	Suffix string
+	// Class is the matched NC's §4 quality grade.
+	Class core.Classification
+	// Digits is the raw captured digit string.
+	Digits string
+	// ASN is the parsed extraction.
+	ASN asn.ASN
+}
+
+// entry pairs an NC with its compile-once state. The rex lazy caches
+// (String, Compile) write on first use, so concurrent extractors must not
+// race to prime them; the Once makes compilation happen exactly once no
+// matter how many goroutines arrive.
+type entry struct {
+	nc       *core.NC
+	once     sync.Once
+	compiled []*rex.Regex
+}
+
+// machines returns the NC's compiled regexes, in NC order, compiling them
+// on first use. Regexes that fail to compile are dropped (matching the
+// skip-on-error behavior of NC.Extract) rather than poisoning the NC.
+func (e *entry) machines() []*rex.Regex {
+	e.once.Do(func() {
+		e.compiled = make([]*rex.Regex, 0, len(e.nc.Regexes))
+		for _, r := range e.nc.Regexes {
+			if _, err := r.Compile(); err == nil {
+				e.compiled = append(e.compiled, r)
+			}
+		}
+	})
+	return e.compiled
+}
+
+// Corpus is an immutable, concurrency-safe index of learned NCs, ready to
+// be applied to any number of hostnames. Build one with New or Load and
+// share it freely between goroutines.
+type Corpus struct {
+	list     *psl.List
+	entries  map[string]*entry
+	ncs      []*core.NC // retained NCs, suffix-sorted
+	workers  int
+	minClass core.Classification
+	// maxLabels bounds the fallback suffix walk: no indexed suffix has
+	// more labels than this.
+	maxLabels int
+	// pslDirect is true when every indexed suffix is its own registered
+	// domain under list, so lookup is a single RegisteredDomain + map
+	// probe instead of a label walk.
+	pslDirect bool
+}
+
+// Option configures a Corpus at construction time.
+type Option func(*Corpus)
+
+// WithPSL supplies the public suffix list backing lookups. The default is
+// psl.Default(), the embedded snapshot.
+func WithPSL(list *psl.List) Option {
+	return func(c *Corpus) { c.list = list }
+}
+
+// WithWorkers bounds the goroutines ExtractBatch and ExtractStream use.
+// 0 (the default) means GOMAXPROCS; 1 forces serial execution.
+func WithWorkers(n int) Option {
+	return func(c *Corpus) { c.workers = n }
+}
+
+// MinClass keeps only NCs graded at least min. The zero value (Poor)
+// keeps everything.
+func MinClass(min core.Classification) Option {
+	return func(c *Corpus) { c.minClass = min }
+}
+
+// UsableOnly keeps only the good and promising NCs — the conventions §4
+// calls usable, the set the paper applies in §7.
+func UsableOnly() Option { return MinClass(core.Promising) }
+
+// New indexes ncs into a Corpus. When two NCs share a suffix the later
+// one wins, matching the map-overwrite behavior of the replaced
+// per-consumer indexes. Compilation is lazy: a suffix's machines are
+// built on its first lookup, once.
+func New(ncs []*core.NC, opts ...Option) *Corpus {
+	c := &Corpus{entries: make(map[string]*entry, len(ncs))}
+	for _, o := range opts {
+		o(c)
+	}
+	if c.list == nil {
+		c.list = psl.Default()
+	}
+	for _, nc := range ncs {
+		if nc == nil || nc.Class < c.minClass {
+			continue
+		}
+		if e, ok := c.entries[nc.Suffix]; ok {
+			e.nc = nc // last NC for a suffix wins
+			continue
+		}
+		c.entries[nc.Suffix] = &entry{nc: nc}
+		if n := strings.Count(nc.Suffix, ".") + 1; n > c.maxLabels {
+			c.maxLabels = n
+		}
+	}
+	c.pslDirect = true
+	c.ncs = make([]*core.NC, 0, len(c.entries))
+	for suffix, e := range c.entries {
+		c.ncs = append(c.ncs, e.nc)
+		if reg, ok := c.list.RegisteredDomain(suffix); !ok || reg != suffix {
+			c.pslDirect = false
+		}
+	}
+	sort.Slice(c.ncs, func(i, j int) bool { return c.ncs[i].Suffix < c.ncs[j].Suffix })
+	return c
+}
+
+// Len returns the number of indexed NCs.
+func (c *Corpus) Len() int { return len(c.ncs) }
+
+// NCs returns the indexed NCs in suffix order. The slice is shared; do
+// not mutate it.
+func (c *Corpus) NCs() []*core.NC { return c.ncs }
+
+// Lookup finds the NC governing host's suffix without applying it: the
+// deepest indexed label suffix of host, found via the registered domain
+// when the corpus permits it.
+func (c *Corpus) Lookup(host string) (*core.NC, bool) {
+	e := c.lookup(host)
+	if e == nil {
+		return nil, false
+	}
+	return e.nc, true
+}
+
+func (c *Corpus) lookup(host string) *entry {
+	if len(c.entries) == 0 || host == "" {
+		return nil
+	}
+	if c.pslDirect {
+		// Every indexed suffix is a registered domain, and a hostname has
+		// exactly one registered domain: one PSL walk, one map probe.
+		reg, ok := c.list.RegisteredDomain(host)
+		if !ok {
+			return nil
+		}
+		return c.entries[reg]
+	}
+	// Fallback for hand-built corpora (deep or bare suffixes): walk label
+	// suffixes longest-first, skipping labels deeper than any indexed
+	// suffix so the walk costs at most maxLabels probes.
+	s := host
+	for n := strings.Count(s, ".") + 1; n > c.maxLabels; n-- {
+		s = s[strings.IndexByte(s, '.')+1:]
+	}
+	for {
+		if e, ok := c.entries[s]; ok {
+			return e
+		}
+		i := strings.IndexByte(s, '.')
+		if i < 0 {
+			return nil
+		}
+		s = s[i+1:]
+	}
+}
+
+// Extract applies the corpus to one hostname: resolve the governing NC by
+// suffix, run its regexes in order, and parse the first capture. ok is
+// false when no NC governs the suffix, no regex matches, or the captured
+// digits are not a valid ASN. As in the replaced consumer paths, a
+// governing NC that fails to match ends the lookup — shallower suffixes
+// are not consulted.
+func (c *Corpus) Extract(host string) (Match, bool) {
+	e := c.lookup(host)
+	if e == nil {
+		return Match{}, false
+	}
+	for _, r := range e.machines() {
+		digits, _, _, ok := r.Extract(host)
+		if !ok {
+			continue
+		}
+		a, err := asn.Parse(digits)
+		if err != nil {
+			return Match{}, false
+		}
+		return Match{
+			Hostname: host,
+			Suffix:   e.nc.Suffix,
+			Class:    e.nc.Class,
+			Digits:   digits,
+			ASN:      a,
+		}, true
+	}
+	return Match{}, false
+}
+
+// workerCount resolves the pool size for n items.
+func (c *Corpus) workerCount(n int) int {
+	w := c.workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}

@@ -1,0 +1,63 @@
+package extract
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"hoiho/internal/core"
+)
+
+// Load reads a corpus from the stable NC JSON form (the output of
+// `hoiho -json` / `hoiho -save` / Corpus.Save) and indexes it. Options
+// apply as in New, so a loaded corpus can be filtered at load time, e.g.
+// Load(r, UsableOnly()).
+func Load(r io.Reader, opts ...Option) (*Corpus, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("extract: load: %w", err)
+	}
+	ncs, err := core.UnmarshalNCs(data)
+	if err != nil {
+		return nil, fmt.Errorf("extract: load: %w", err)
+	}
+	return New(ncs, opts...), nil
+}
+
+// LoadFile loads a corpus from a JSON file on disk.
+func LoadFile(path string, opts ...Option) (*Corpus, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f, opts...)
+}
+
+// Save writes the corpus's retained NCs as indented JSON, the stable form
+// any consumer (or a later Load) can re-index. Note that a corpus built
+// with MinClass/UsableOnly saves only the NCs it kept.
+func (c *Corpus) Save(w io.Writer) error {
+	data, err := core.MarshalNCs(c.ncs)
+	if err != nil {
+		return fmt.Errorf("extract: save: %w", err)
+	}
+	if _, err := w.Write(data); err != nil {
+		return err
+	}
+	_, err = w.Write([]byte("\n"))
+	return err
+}
+
+// SaveFile writes the corpus to a JSON file on disk.
+func (c *Corpus) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := c.Save(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
