@@ -7,7 +7,6 @@
 package hoiho_test
 
 import (
-	"fmt"
 	"testing"
 
 	"hoiho/internal/asnames"
@@ -15,7 +14,6 @@ import (
 	"hoiho/internal/experiments"
 	"hoiho/internal/extract"
 	"hoiho/internal/psl"
-	"hoiho/internal/rex"
 )
 
 // benchScale keeps -bench=. fast; shapes are unchanged.
@@ -32,26 +30,7 @@ func lastEraRun(b *testing.B) *experiments.Run {
 }
 
 // figure4Items is the training data of the paper's worked example.
-func figure4Items() []core.Item {
-	return []core.Item{
-		{Hostname: "109.sgw.equinix.com", ASN: 109},
-		{Hostname: "714.os.equinix.com", ASN: 714},
-		{Hostname: "714.me1.equinix.com", ASN: 714},
-		{Hostname: "p714.sgw.equinix.com", ASN: 714},
-		{Hostname: "s714.sgw.equinix.com", ASN: 714},
-		{Hostname: "p24115.mel.equinix.com", ASN: 24115},
-		{Hostname: "s24115.tyo.equinix.com", ASN: 24115},
-		{Hostname: "22822-2.tyo.equinix.com", ASN: 22282},
-		{Hostname: "24482-fr5-ix.equinix.com", ASN: 24482},
-		{Hostname: "54827-dc5-ix2.equinix.com", ASN: 54827},
-		{Hostname: "55247-ch3-ix.equinix.com", ASN: 55247},
-		{Hostname: "netflix.zh2.corp.eu.equinix.com", ASN: 2906},
-		{Hostname: "ipv4.dosarrest.eqix.equinix.com", ASN: 19324},
-		{Hostname: "8069.tyo.equinix.com", ASN: 8075},
-		{Hostname: "8074.hkg.equinix.com", ASN: 8075},
-		{Hostname: "45437-sy1-ix.equinix.com", ASN: 55923},
-	}
-}
+func figure4Items() []core.Item { return experiments.Figure4Items() }
 
 // BenchmarkFigure4 regenerates the paper's four-phase walkthrough: the
 // full learning pipeline on the figure's 16 hostnames, ending at ATP 8.
@@ -191,30 +170,58 @@ func BenchmarkFigure7Expansion(b *testing.B) {
 	}
 }
 
-// corpusWorkload builds a serving-scale workload: nNCs conventions over
-// distinct registered domains and nHosts hostnames, roughly 3/4 of which
-// match some convention (the rest miss by shape or suffix).
-func corpusWorkload(b *testing.B, nNCs, nHosts int) ([]*core.NC, []string) {
-	b.Helper()
-	ncs := make([]*core.NC, nNCs)
-	for i := range ncs {
-		suffix := fmt.Sprintf("carrier%04d.net", i)
-		r := rex.MustNew(rex.Lit("as"), rex.Capture(), rex.Lit("-"), rex.Excl("."), rex.Lit("."+suffix))
-		ncs[i] = &core.NC{Suffix: suffix, Regexes: []*rex.Regex{r}, Class: core.Good}
-	}
-	hosts := make([]string, nHosts)
-	for i := range hosts {
-		suffix := fmt.Sprintf("carrier%04d.net", i%nNCs)
-		switch i % 4 {
-		case 0, 1:
-			hosts[i] = fmt.Sprintf("as%d-pop%d.%s", 1000+i%60000, i%40, suffix)
-		case 2:
-			hosts[i] = fmt.Sprintf("lo0.core%d.%s", i%100, suffix) // suffix hit, regex miss
-		default:
-			hosts[i] = fmt.Sprintf("as%d-pop%d.unknown%d.org", 1000+i%60000, i%40, i%500) // unknown suffix
+// BenchmarkLearnLargeSuffix is the PR-2 acceptance benchmark: the full
+// learning pipeline on a single dominant ~200-item suffix, the workload
+// where per-trial regex re-execution in the set phase dominates
+// end-to-end learning time. BENCH_PR2.json records its before/after.
+func BenchmarkLearnLargeSuffix(b *testing.B) {
+	items := experiments.LargeSuffixItems(200)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		set, err := core.NewSet("bigcarrier.net", items, core.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		nc := set.Learn()
+		if nc == nil {
+			b.Fatal("no NC learned")
+		}
+		if i == 0 {
+			b.Logf("large-suffix NC: %v (TP=%d FP=%d FN=%d ATP=%d)",
+				nc.Strings(), nc.Eval.TP, nc.Eval.FP, nc.Eval.FN, nc.Eval.ATP())
 		}
 	}
-	return ncs, hosts
+}
+
+// BenchmarkLearnFigure4Phases isolates the cumulative cost of each
+// learning phase on the figure-4 working example by toggling the
+// ablation switches: phase 1 only, +merge (§3.3), +classes (§3.4), and
+// the full pipeline with the §3.5 set phase.
+func BenchmarkLearnFigure4Phases(b *testing.B) {
+	cases := []struct {
+		name string
+		opts core.Options
+	}{
+		{"phase1-only", core.Options{DisableMerge: true, DisableClasses: true, DisableSets: true}},
+		{"plus-merge", core.Options{DisableClasses: true, DisableSets: true}},
+		{"plus-classes", core.Options{DisableSets: true}},
+		{"full", core.Options{}},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			items := figure4Items()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				set, err := core.NewSet("equinix.com", items, c.opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if nc := set.Learn(); nc == nil {
+					b.Fatal("no NC")
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkCorpusExtract pins the serving-engine speedup: the indexed,
@@ -222,7 +229,7 @@ func corpusWorkload(b *testing.B, nNCs, nHosts int) ([]*core.NC, []string) {
 // NC that the pre-engine consumers used (examples/openintel's old loop).
 // The acceptance bar is >= 5x on a 128-NC / 100k-hostname batch.
 func BenchmarkCorpusExtract(b *testing.B) {
-	ncs, hosts := corpusWorkload(b, 128, 100_000)
+	ncs, hosts := experiments.CorpusWorkload(128, 100_000)
 
 	b.Run("corpus", func(b *testing.B) {
 		corpus := extract.New(ncs)

@@ -1,0 +1,95 @@
+package main
+
+// -benchjson: time the learning and extraction hot paths with
+// testing.Benchmark and emit a machine-readable JSON report, so each
+// perf PR can record its before/after (BENCH_PR2.json and successors)
+// instead of quoting ad-hoc numbers.
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+
+	"hoiho/internal/core"
+	"hoiho/internal/experiments"
+	"hoiho/internal/extract"
+)
+
+// benchResult is one benchmark's measurement in the JSON report.
+type benchResult struct {
+	Name        string  `json:"name"`
+	N           int     `json:"n"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+func runBench(name string, fn func(b *testing.B)) benchResult {
+	r := testing.Benchmark(fn)
+	return benchResult{
+		Name:        name,
+		N:           r.N,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+	}
+}
+
+// writeBenchJSON measures the learn and extract paths and writes the
+// report to path ("-" for stdout).
+func writeBenchJSON(path string) error {
+	largeItems := experiments.LargeSuffixItems(200)
+	fig4 := experiments.Figure4Items()
+	ncs, hosts := experiments.CorpusWorkload(128, 100_000)
+	corpus := extract.New(ncs)
+	corpus.Extract(hosts[0]) // warm the compile-once caches
+
+	results := []benchResult{
+		runBench("learn/large-suffix-200", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				set, err := core.NewSet("bigcarrier.net", largeItems, core.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if nc := set.Learn(); nc == nil {
+					b.Fatal("no NC")
+				}
+			}
+		}),
+		runBench("learn/figure4", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				set, err := core.NewSet("equinix.com", fig4, core.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if nc := set.Learn(); nc == nil || nc.Eval.ATP() != 8 {
+					b.Fatal("figure-4 pipeline drifted")
+				}
+			}
+		}),
+		runBench("extract/corpus-batch-100k", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				hits := 0
+				for _, r := range corpus.ExtractBatch(hosts) {
+					if r.OK {
+						hits++
+					}
+				}
+				if hits != len(hosts)/2 {
+					b.Fatalf("hits = %d", hits)
+				}
+			}
+		}),
+	}
+
+	data, err := json.MarshalIndent(map[string]any{"benchmarks": results}, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}

@@ -5,6 +5,10 @@
 // Usage:
 //
 //	experiments [-scale 1.0] [-run all|figure5|figure6|table1|table2|section4|section5|figure7] [-o report.md]
+//	experiments -benchjson BENCH.json
+//
+// -cpuprofile/-memprofile write pprof profiles of whichever mode ran, so
+// perf PRs are measured rather than guessed.
 package main
 
 import (
@@ -12,6 +16,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 
 	"hoiho/internal/core"
@@ -31,8 +37,39 @@ func run(args []string) error {
 	scale := fs.Float64("scale", 1.0, "topology scale (1.0 = full reproduction)")
 	which := fs.String("run", "all", "experiment to run: all, figure5, figure6, table1, table2, section4, section5, figure7")
 	outPath := fs.String("o", "-", "output file ('-' for stdout)")
+	benchJSON := fs.String("benchjson", "", "instead of a report, benchmark the learn/extract hot paths and write JSON to this file ('-' for stdout)")
+	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memProfile := fs.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+			}
+		}()
+	}
+	if *benchJSON != "" {
+		return writeBenchJSON(*benchJSON)
 	}
 	var out io.Writer = os.Stdout
 	if *outPath != "-" {

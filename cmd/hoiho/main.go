@@ -32,6 +32,8 @@ import (
 	"io"
 	"net/netip"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"hoiho/internal/asn"
@@ -64,11 +66,38 @@ func run(args []string, out io.Writer) error {
 	savePath := fs.String("save", "", "after learning, save the conventions as JSON to this file")
 	applyPath := fs.String("apply", "", "apply a saved conventions JSON to hostnames from <file> (or - for stdin); emits hostname<TAB>asn")
 	classes := fs.String("classes", "usable", "with -apply: which conventions to use: good, usable, or all")
+	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memProfile := fs.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() != 1 {
 		return fmt.Errorf("usage: hoiho [flags] <training-file>")
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "hoiho:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "hoiho:", err)
+			}
+		}()
 	}
 	if *applyPath != "" {
 		return runApply(*applyPath, fs.Arg(0), out, *classes)

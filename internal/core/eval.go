@@ -1,6 +1,7 @@
 package core
 
 import (
+	"math/bits"
 	"sort"
 
 	"hoiho/internal/asn"
@@ -99,6 +100,12 @@ func (s *Set) evalItem(p prepped, regexes []*rex.Regex) (Outcome, string, int) {
 
 // Evaluate scores an ordered regex set against the training set. Items
 // are matched by the first regex in set order (§3.5).
+//
+// This is the naive reference implementation: it re-executes every
+// regex against every item on each call. The learning pipeline instead
+// evaluates through the memoized match matrix (matrix.go), which is
+// proven bit-for-bit equivalent against this oracle by
+// TestMatrixMatchesOracle.
 func (s *Set) Evaluate(regexes ...*rex.Regex) Eval {
 	var e Eval
 	uniqueTP := make(map[string]struct{})
@@ -216,16 +223,34 @@ func (s *Set) rank(cands []scored) {
 
 // uniqueExtractedASNs returns the distinct ASNs extracted as TPs by the
 // regex set, sorted. Extractions that are typo-credited parse to the
-// extracted (not training) value.
+// extracted (not training) value. Like the learning phases, it reads
+// the memoized match matrix: each regex's TP column is walked with
+// first-match semantics, so repeated calls cost bit operations plus the
+// parse of each distinct TP extraction.
 func (s *Set) uniqueExtractedASNs(regexes []*rex.Regex) []asn.ASN {
+	m := s.matrix()
+	m.ensure(regexes)
+	n := len(s.items)
+	remaining := newBitset(n)
+	remaining.fill(n)
 	seen := make(map[asn.ASN]struct{})
-	for _, p := range s.items {
-		out, ext, _ := s.evalItem(p, regexes)
-		if out != OutcomeTP {
+	for _, r := range regexes {
+		c := m.column(r)
+		if c.bad {
 			continue
 		}
-		if a, err := asn.Parse(ext); err == nil {
-			seen[a] = struct{}{}
+		for w := range remaining {
+			newly := c.matched[w] & remaining[w]
+			if newly == 0 {
+				continue
+			}
+			remaining[w] &^= newly
+			for rest := newly & c.tp[w]; rest != 0; rest &= rest - 1 {
+				i := w*64 + bits.TrailingZeros64(rest)
+				if a, err := asn.Parse(m.extStrs[c.ext[i]]); err == nil {
+					seen[a] = struct{}{}
+				}
+			}
 		}
 	}
 	out := make([]asn.ASN, 0, len(seen))

@@ -42,11 +42,14 @@ type prepped struct {
 	apparent bool // hostname contains an apparent ASN (outside IP spans)
 }
 
-// Set is the training data for one suffix, ready for evaluation.
+// Set is the training data for one suffix, ready for evaluation. A Set
+// is not safe for concurrent use: evaluation lazily builds the match
+// matrix (matrix.go) that memoizes per-regex outcomes.
 type Set struct {
 	Suffix string
 	items  []prepped
 	opts   Options
+	mx     *matrix // lazily built memoization engine
 }
 
 // Options tunes the learner. The zero value enables every phase with the
@@ -79,6 +82,15 @@ type Options struct {
 	// MaxSetSize bounds the number of regexes in an NC. 0 means the
 	// default (5).
 	MaxSetSize int
+	// MaxSingleNCs bounds how many top-ranked single regexes enter the
+	// final NC selection (§3.6) as one-regex candidates. 0 means the
+	// default (32).
+	MaxSingleNCs int
+	// Workers bounds intra-suffix parallelism: the goroutines used to
+	// score a candidate pool against the training items (the match-matrix
+	// column builds). 0 means GOMAXPROCS, 1 forces serial execution.
+	// Results are deterministic regardless of the setting.
+	Workers int
 }
 
 func (o Options) maxGenItems() int {
@@ -107,6 +119,13 @@ func (o Options) maxSetSize() int {
 		return 5
 	}
 	return o.MaxSetSize
+}
+
+func (o Options) maxSingleNCs() int {
+	if o.MaxSingleNCs <= 0 {
+		return 32
+	}
+	return o.MaxSingleNCs
 }
 
 // NewSet parses and indexes training items for one suffix. Items whose

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
+	"strings"
 	"sync"
 
 	"hoiho/internal/psl"
@@ -69,10 +70,11 @@ func (s *Set) Learn() *NC {
 
 	var ncs []candidateNC
 	for i, c := range cands {
-		// Every single regex is an NC candidate.
-		if i < 32 {
-			ncs = append(ncs, candidateNC{regexes: []*rex.Regex{c.regex}, eval: c.eval})
+		// The top-ranked single regexes are NC candidates themselves.
+		if i >= s.opts.maxSingleNCs() {
+			break
 		}
+		ncs = append(ncs, candidateNC{regexes: []*rex.Regex{c.regex}, eval: c.eval})
 	}
 	if !s.opts.DisableSets {
 		ncs = append(ncs, s.setPhase(cands)...)
@@ -87,14 +89,20 @@ func (s *Set) Learn() *NC {
 	return nc
 }
 
-// score evaluates each regex in the pool.
+// score evaluates each regex in the pool through the match matrix: the
+// columns are built in parallel (bounded by Options.Workers) and each
+// regex's Eval is the memoized column aggregate. Regexes that fail to
+// compile are dropped, as before.
 func (s *Set) score(pool []*rex.Regex) []scored {
+	m := s.matrix()
+	m.ensure(pool)
 	out := make([]scored, 0, len(pool))
 	for _, r := range pool {
-		if _, err := r.Compile(); err != nil {
+		c := m.column(r)
+		if c.bad {
 			continue
 		}
-		out = append(out, scored{regex: r, eval: s.Evaluate(r)})
+		out = append(out, scored{regex: r, eval: c.eval})
 	}
 	return out
 }
@@ -161,7 +169,7 @@ func (s *Set) classPhase(cands []scored) []scored {
 	for _, c := range cands {
 		seen[c.regex.String()] = true
 	}
-	out := cands
+	var produced []*rex.Regex
 	for _, c := range cands {
 		r := s.embedClasses(c.regex)
 		if r == nil {
@@ -172,7 +180,13 @@ func (s *Set) classPhase(cands []scored) []scored {
 			continue
 		}
 		seen[key] = true
-		out = append(out, scored{regex: r, eval: s.Evaluate(r)})
+		produced = append(produced, r)
+	}
+	m := s.matrix()
+	m.ensure(produced)
+	out := cands
+	for _, r := range produced {
+		out = append(out, scored{regex: r, eval: m.column(r).eval})
 	}
 	return out
 }
@@ -240,25 +254,38 @@ type candidateNC struct {
 
 // setPhase implements §3.5: starting from each of the top-ranked regexes,
 // greedily add lower-ranked regexes whenever the combination's ATP
-// exceeds the working set's.
+// exceeds the working set's. Every candidate already has a memoized
+// match-matrix column from scoring, so each greedy trial is an
+// incremental combine — fold the candidate's column into the working
+// set's unmatched remainder — instead of re-running every regex in the
+// working set against every item.
 func (s *Set) setPhase(cands []scored) []candidateNC {
+	m := s.matrix()
 	starts := s.opts.maxSetStarts()
 	if starts > len(cands) {
 		starts = len(cands)
 	}
+	maxSize := s.opts.maxSetSize()
 	var out []candidateNC
 	for st := 0; st < starts; st++ {
+		state := m.newSetState()
+		state.absorb(m.column(cands[st].regex))
 		set := []*rex.Regex{cands[st].regex}
-		cur := cands[st].eval
-		for j := st + 1; j < len(cands) && len(set) < s.opts.maxSetSize(); j++ {
-			trial := append(append([]*rex.Regex(nil), set...), cands[j].regex)
-			ev := s.Evaluate(trial...)
-			if ev.ATP() > cur.ATP() {
-				set, cur = trial, ev
+		curATP := state.atp()
+		for j := st + 1; j < len(cands) && len(set) < maxSize; j++ {
+			c := m.column(cands[j].regex)
+			if state.trialATP(c) > curATP {
+				state.absorb(c)
+				set = append(set, cands[j].regex)
+				curATP = state.atp()
 			}
 		}
 		if len(set) > 1 {
-			out = append(out, candidateNC{regexes: set, eval: cur})
+			cols := make([]*column, len(set))
+			for i, r := range set {
+				cols[i] = m.column(r)
+			}
+			out = append(out, candidateNC{regexes: set, eval: m.evalSet(cols)})
 		}
 	}
 	return out
@@ -311,11 +338,12 @@ func ncSpecificity(nc candidateNC) int {
 }
 
 func ncKey(nc candidateNC) string {
-	key := ""
+	var sb strings.Builder
 	for _, r := range nc.regexes {
-		key += r.String() + "\n"
+		sb.WriteString(r.String())
+		sb.WriteByte('\n')
 	}
-	return key
+	return sb.String()
 }
 
 // Learner runs the pipeline over many suffixes.
@@ -325,14 +353,23 @@ type Learner struct {
 	// needs before learning is attempted (default 4: below that, a regex
 	// cannot demonstrate multiple distinct congruent ASNs).
 	MinItems int
-	// Workers bounds the suffixes learned concurrently; 0 means
+	// Workers bounds the suffixes learned concurrently, and (unless
+	// Opts.Workers overrides it) the goroutines each suffix may use to
+	// score its candidate pool — so a single dominant suffix no longer
+	// bounds the tail latency of a whole LearnAll run. 0 means
 	// GOMAXPROCS, 1 forces serial execution.
 	Workers int
 }
 
-// LearnSuffix builds a set for one suffix and learns its NC.
+// LearnSuffix builds a set for one suffix and learns its NC. The
+// learner's Workers knob doubles as the intra-suffix scoring parallelism
+// unless Opts.Workers overrides it.
 func (l *Learner) LearnSuffix(suffix string, items []Item) (*NC, error) {
-	set, err := NewSet(suffix, items, l.Opts)
+	opts := l.Opts
+	if opts.Workers == 0 {
+		opts.Workers = l.Workers
+	}
+	set, err := NewSet(suffix, items, opts)
 	if err != nil {
 		return nil, err
 	}

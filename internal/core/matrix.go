@@ -1,0 +1,336 @@
+package core
+
+// The match matrix memoizes regex evaluation for the learning pipeline.
+// Each candidate regex is executed against each training item exactly
+// once, producing a column: a matched bitset, a TP bitset (congruent
+// extraction outside any embedded-IP span), and an interned
+// extraction-string ID per item. Every later evaluation — single-regex
+// scoring, §3.4 class specialization, and especially the §3.5 greedy
+// set construction — aggregates these columns with word-parallel bit
+// operations instead of re-running regexes. Set.Evaluate remains the
+// naive reference implementation; TestMatrixMatchesOracle proves the
+// engine returns bit-for-bit identical Evals.
+
+import (
+	"math/bits"
+	"runtime"
+	"sync"
+
+	"hoiho/internal/rex"
+)
+
+// bitset is a fixed-size bit vector over a Set's training items.
+type bitset []uint64
+
+func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
+
+func (b bitset) set(i int)      { b[i>>6] |= 1 << (i & 63) }
+func (b bitset) get(i int) bool { return b[i>>6]&(1<<(i&63)) != 0 }
+
+// fill sets bits 0..n-1, leaving the tail of the last word zero so that
+// popcounts over whole words stay exact.
+func (b bitset) fill(n int) {
+	for w := range b {
+		b[w] = ^uint64(0)
+	}
+	if n%64 != 0 && len(b) > 0 {
+		b[len(b)-1] = (1 << (n % 64)) - 1
+	}
+}
+
+func (b bitset) count() int {
+	sum := 0
+	for _, w := range b {
+		sum += bits.OnesCount64(w)
+	}
+	return sum
+}
+
+// column holds one regex's memoized outcome against every item.
+type column struct {
+	// bad marks a regex that failed to compile: it matches nothing, and
+	// its eval charges an FN for every apparent-ASN item (exactly what
+	// the naive Evaluate returns for such a regex).
+	bad     bool
+	matched bitset
+	tp      bitset   // subset of matched: congruent and outside IP spans
+	ext     []uint32 // per-item interned extraction ID (valid where matched)
+	eval    Eval     // the single-regex evaluation, aggregated once
+}
+
+// matrix memoizes per-regex columns over a Set's items, plus the string
+// interner that backs the unique-extraction counts.
+type matrix struct {
+	s        *Set
+	apparent bitset // items with an apparent ASN (the FN candidates)
+	cols     map[*rex.Regex]*column
+	extIDs   map[string]uint32
+	extStrs  []string // id -> extraction string
+}
+
+// matrix returns the Set's memoization engine, building it on first use.
+// The engine, like the Set itself, is not safe for concurrent use by
+// multiple goroutines; ensure's internal fan-out is self-contained.
+func (s *Set) matrix() *matrix {
+	if s.mx == nil {
+		m := &matrix{
+			s:        s,
+			apparent: newBitset(len(s.items)),
+			cols:     make(map[*rex.Regex]*column),
+			extIDs:   make(map[string]uint32),
+		}
+		for i := range s.items {
+			if s.items[i].apparent {
+				m.apparent.set(i)
+			}
+		}
+		s.mx = m
+	}
+	return s.mx
+}
+
+// intern maps an extraction string to a stable dense ID.
+func (m *matrix) intern(ext string) uint32 {
+	if id, ok := m.extIDs[ext]; ok {
+		return id
+	}
+	id := uint32(len(m.extStrs))
+	m.extIDs[ext] = id
+	m.extStrs = append(m.extStrs, ext)
+	return id
+}
+
+// buildColumn runs one regex over every item. It performs no interning
+// and touches no shared state, so builds can fan out across goroutines;
+// the raw extraction strings are returned for a serial finish pass.
+func (m *matrix) buildColumn(r *rex.Regex) (*column, []string) {
+	if _, err := r.Compile(); err != nil {
+		return &column{bad: true}, nil
+	}
+	n := len(m.s.items)
+	c := &column{matched: newBitset(n), tp: newBitset(n), ext: make([]uint32, n)}
+	exts := make([]string, n)
+	typo := !m.s.opts.DisableTypoCredit
+	for i := range m.s.items {
+		p := &m.s.items[i]
+		ext, start, end, ok := r.Extract(p.name.Full)
+		if !ok {
+			continue
+		}
+		c.matched.set(i)
+		exts[i] = ext
+		if !inSpans(p.ipSpans, start, end) && Congruent(ext, p.ASN, typo) {
+			c.tp.set(i)
+		}
+	}
+	return c, exts
+}
+
+// finishColumn interns the extraction strings and aggregates the
+// single-regex Eval. Serial: it writes the shared interner.
+func (m *matrix) finishColumn(c *column, exts []string) {
+	if c.bad {
+		c.eval = Eval{FN: m.apparent.count()}
+		return
+	}
+	uniqueTP := make(map[uint32]struct{})
+	uniqueAll := make(map[uint32]struct{})
+	for w, word := range c.matched {
+		for rest := word; rest != 0; rest &= rest - 1 {
+			i := w*64 + bits.TrailingZeros64(rest)
+			id := m.intern(exts[i])
+			c.ext[i] = id
+			uniqueAll[id] = struct{}{}
+			if c.tp.get(i) {
+				uniqueTP[id] = struct{}{}
+			}
+		}
+	}
+	c.eval.TP = c.tp.count()
+	c.eval.Matches = c.matched.count()
+	c.eval.FP = c.eval.Matches - c.eval.TP
+	for w := range m.apparent {
+		c.eval.FN += bits.OnesCount64(m.apparent[w] &^ c.matched[w])
+	}
+	c.eval.UniqueTP = len(uniqueTP)
+	c.eval.UniqueExtract = len(uniqueAll)
+}
+
+// column returns the memoized column for r, building it on first use.
+func (m *matrix) column(r *rex.Regex) *column {
+	if c, ok := m.cols[r]; ok {
+		return c
+	}
+	c, exts := m.buildColumn(r)
+	m.finishColumn(c, exts)
+	m.cols[r] = c
+	return c
+}
+
+// ensure builds the missing columns for a batch of regexes, fanning the
+// regex-versus-item matching across Options.Workers goroutines (the
+// intra-suffix parallelism knob; one big suffix no longer serializes on
+// a single core while LearnAll's per-suffix fan-out sits idle). Results
+// are slotted by index and interned in batch order, so the matrix state
+// is deterministic regardless of scheduling.
+func (m *matrix) ensure(regexes []*rex.Regex) {
+	var missing []*rex.Regex
+	for _, r := range regexes {
+		if _, ok := m.cols[r]; ok {
+			continue
+		}
+		// Reserve the slot so duplicate pointers in one batch build once.
+		m.cols[r] = nil
+		missing = append(missing, r)
+	}
+	if len(missing) == 0 {
+		return
+	}
+	workers := m.s.opts.workers()
+	if workers > len(missing) {
+		workers = len(missing)
+	}
+	built := make([]*column, len(missing))
+	extsAll := make([][]string, len(missing))
+	if workers <= 1 {
+		for i, r := range missing {
+			built[i], extsAll[i] = m.buildColumn(r)
+		}
+	} else {
+		jobs := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range jobs {
+					built[i], extsAll[i] = m.buildColumn(missing[i])
+				}
+			}()
+		}
+		for i := range missing {
+			jobs <- i
+		}
+		close(jobs)
+		wg.Wait()
+	}
+	for i, r := range missing {
+		m.finishColumn(built[i], extsAll[i])
+		m.cols[r] = built[i]
+	}
+}
+
+// workers resolves the intra-suffix parallelism for Options.
+func (o Options) workers() int {
+	if o.Workers == 1 {
+		return 1
+	}
+	if o.Workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return o.Workers
+}
+
+// evalSet scores an ordered column list with §3.5 first-match semantics,
+// returning the identical Eval the naive Evaluate produces for the
+// corresponding regex set, including the unique-extraction counts.
+func (m *matrix) evalSet(cols []*column) Eval {
+	var e Eval
+	n := len(m.s.items)
+	remaining := newBitset(n)
+	remaining.fill(n)
+	uniqueTP := make(map[uint32]struct{})
+	uniqueAll := make(map[uint32]struct{})
+	for _, c := range cols {
+		if c.bad {
+			continue
+		}
+		for w := range remaining {
+			newly := c.matched[w] & remaining[w]
+			if newly == 0 {
+				continue
+			}
+			remaining[w] &^= newly
+			e.TP += bits.OnesCount64(newly & c.tp[w])
+			e.Matches += bits.OnesCount64(newly)
+			for rest := newly; rest != 0; rest &= rest - 1 {
+				i := w*64 + bits.TrailingZeros64(rest)
+				id := c.ext[i]
+				uniqueAll[id] = struct{}{}
+				if c.tp.get(i) {
+					uniqueTP[id] = struct{}{}
+				}
+			}
+		}
+	}
+	e.FP = e.Matches - e.TP
+	for w := range remaining {
+		e.FN += bits.OnesCount64(remaining[w] & m.apparent[w])
+	}
+	e.UniqueTP = len(uniqueTP)
+	e.UniqueExtract = len(uniqueAll)
+	return e
+}
+
+// setState tracks the working set's aggregate outcomes during the §3.5
+// greedy construction. Each trial "would adding this regex raise ATP?"
+// folds one column into the still-unmatched remainder in O(items/64)
+// word operations instead of re-running every regex in the working set.
+type setState struct {
+	m         *matrix
+	remaining bitset // items no regex in the working set has matched
+	tp        int
+	matches   int
+	fn        int
+}
+
+// newSetState starts from the empty set: nothing matched, every
+// apparent-ASN item a false negative.
+func (m *matrix) newSetState() *setState {
+	n := len(m.s.items)
+	st := &setState{m: m, remaining: newBitset(n)}
+	st.remaining.fill(n)
+	st.fn = m.apparent.count()
+	return st
+}
+
+func (st *setState) atp() int { return st.tp - (st.matches - st.tp) - st.fn }
+
+// trialATP returns Evaluate(workingSet, c).ATP() without materializing
+// the trial set: items the working set already matched keep their
+// outcomes (first-match semantics), so only c's newly matched items
+// contribute deltas.
+func (st *setState) trialATP(c *column) int {
+	if c.bad {
+		return st.atp()
+	}
+	tp, matches, fnDrop := st.tp, st.matches, 0
+	for w, rem := range st.remaining {
+		newly := c.matched[w] & rem
+		if newly == 0 {
+			continue
+		}
+		tp += bits.OnesCount64(newly & c.tp[w])
+		matches += bits.OnesCount64(newly)
+		fnDrop += bits.OnesCount64(newly & st.m.apparent[w])
+	}
+	return tp - (matches - tp) - (st.fn - fnDrop)
+}
+
+// absorb appends c to the working set, committing the deltas trialATP
+// previewed.
+func (st *setState) absorb(c *column) {
+	if c.bad {
+		return
+	}
+	for w, rem := range st.remaining {
+		newly := c.matched[w] & rem
+		if newly == 0 {
+			continue
+		}
+		st.remaining[w] &^= newly
+		st.tp += bits.OnesCount64(newly & c.tp[w])
+		st.matches += bits.OnesCount64(newly)
+		st.fn -= bits.OnesCount64(newly & st.m.apparent[w])
+	}
+}
