@@ -1,0 +1,76 @@
+// Command hoiholint runs hoiho's project-specific static analyzers over
+// the whole module: determinism of map iteration (detmap), RNG seeding
+// discipline (rngseed), compile-once regex invariants (recompile),
+// WaitGroup/shard-pattern hygiene (wghygiene), and panic policy
+// (panicguard). See internal/analysis for the rules and the
+// //hoiho:<verb>-ok annotation grammar, and DESIGN.md §9 for why the
+// value-pinned figures depend on them.
+//
+// Usage:
+//
+//	go run ./cmd/hoiholint ./...
+//
+// The package pattern is accepted for familiarity but the tool always
+// analyzes every package in the enclosing module. Exits 1 when there
+// are findings, 2 when the module cannot be loaded.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"hoiho/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("hoiholint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array")
+	suggest := fs.Bool("suggest", false, "print the suppression annotation to add for each finding")
+	dir := fs.String("C", ".", "directory inside the module to lint")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	root, err := analysis.FindModuleRoot(*dir)
+	if err != nil {
+		fmt.Fprintln(stderr, "hoiholint:", err)
+		return 2
+	}
+	prog, err := analysis.LoadModule(root, analysis.Default())
+	if err != nil {
+		fmt.Fprintln(stderr, "hoiholint:", err)
+		return 2
+	}
+	diags := prog.Run(analysis.Analyzers())
+
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if diags == nil {
+			diags = []analysis.Diagnostic{}
+		}
+		if err := enc.Encode(diags); err != nil {
+			fmt.Fprintln(stderr, "hoiholint:", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(stdout, d)
+			if *suggest && d.Suggest != "" {
+				fmt.Fprintf(stdout, "\tsuppress with: %s\n", d.Suggest)
+			}
+		}
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(stderr, "hoiholint: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}

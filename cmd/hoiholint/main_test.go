@@ -1,0 +1,110 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"hoiho/internal/analysis"
+)
+
+// TestSelfCheckModuleClean runs the full pass over the real module —
+// the same invocation CI uses — and requires zero findings: every real
+// violation is fixed and every intentional one is annotated.
+func TestSelfCheckModuleClean(t *testing.T) {
+	root, err := analysis.FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := analysis.LoadModule(root, analysis.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Packages) < 20 {
+		t.Fatalf("loaded only %d packages; module discovery is broken", len(prog.Packages))
+	}
+	for _, d := range prog.Run(analysis.Analyzers()) {
+		t.Errorf("finding on clean module: %s", d)
+	}
+}
+
+// writeTempModule builds a throwaway module with a recompile-in-loop
+// violation (the analyzers that run module-wide regardless of package
+// configuration).
+func writeTempModule(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	files := map[string]string{
+		"go.mod": "module tmpmod\n\ngo 1.22\n",
+		"main.go": `package main
+
+import "regexp"
+
+func main() {
+	for _, p := range []string{"a", "b"} {
+		_ = regexp.MustCompile(p)
+	}
+}
+`,
+	}
+	for name, content := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func TestExitNonzeroOnFindings(t *testing.T) {
+	dir := writeTempModule(t)
+	stdout, err := os.CreateTemp(t.TempDir(), "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stdout.Close()
+	if code := run([]string{"-C", dir}, stdout, os.Stderr); code != 1 {
+		t.Fatalf("exit code = %d, want 1", code)
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	dir := writeTempModule(t)
+	path := filepath.Join(t.TempDir(), "out.json")
+	stdout, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code := run([]string{"-json", "-C", dir}, stdout, os.Stderr); code != 1 {
+		t.Fatalf("exit code = %d, want 1", code)
+	}
+	stdout.Close()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var diags []analysis.Diagnostic
+	if err := json.Unmarshal(data, &diags); err != nil {
+		t.Fatalf("output is not a JSON diagnostic array: %v\n%s", err, data)
+	}
+	if len(diags) != 1 || diags[0].Check != "recompile" {
+		t.Fatalf("diags = %+v, want one recompile finding", diags)
+	}
+}
+
+func TestLoadErrorExitCode(t *testing.T) {
+	dir := t.TempDir() // no go.mod anywhere under a temp root
+	stdout, err := os.CreateTemp(t.TempDir(), "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stdout.Close()
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer devnull.Close()
+	if code := run([]string{"-C", dir}, stdout, devnull); code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+}

@@ -1,0 +1,152 @@
+// Package analysis implements hoiholint, the project's static-analysis
+// pass. Hoiho's headline results (Figure 4 ATP=8, Figures 5/6, Table 1)
+// are value-pinned tests, and the pipeline is only reproducible because
+// every package obeys rules the compiler does not check: seeded
+// rand.New(rand.NewSource(...)) only, no map-iteration order leaking
+// into output, regexes compiled exactly once. This package makes those
+// invariants machine-checked.
+//
+// The pass is stdlib-only (go/parser + go/types + go/ast; no x/tools),
+// loads every package in the module, and runs five analyzers:
+//
+//   - detmap: in deterministic packages, range over a map must not leak
+//     iteration order into slices, strings, output, or channels unless
+//     the result is sorted afterward.
+//   - rngseed: only explicitly seeded *rand.Rand values; no global
+//     math/rand state, no time-derived seeds, no crypto/rand.
+//   - recompile: regexp.Compile/MustCompile must not run inside loops or
+//     on the per-item hot path reachable from Corpus.Extract and Set
+//     evaluation; use the compile-once paths instead.
+//   - wghygiene: WaitGroup and shard-pattern discipline for goroutines
+//     (Add before go, deferred Done, loop-variable-indexed result
+//     writes).
+//   - panicguard: panics in library packages must be annotated as
+//     data-embedded invariants or replaced by returned errors.
+//
+// Intentional violations are suppressed with a //hoiho:<verb>-ok
+// annotation carrying a reason; see annot.go for the grammar.
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+)
+
+// Diagnostic is one finding: a position, the analyzer that produced it,
+// and a message. Suggest carries the suppression annotation a caller
+// would add to silence it deliberately.
+type Diagnostic struct {
+	Pos     token.Position `json:"pos"`
+	Check   string         `json:"check"`
+	Message string         `json:"message"`
+	Suggest string         `json:"suggest,omitempty"`
+	// Anchor, when valid, is the enclosing annotatable construct (e.g.
+	// the range statement whose body produced the finding); annotations
+	// there also suppress the diagnostic.
+	Anchor token.Position `json:"-"`
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Check, d.Message)
+}
+
+// Analyzer is one project rule. Verb is the annotation verb (the token
+// after "//hoiho:") that suppresses its diagnostics at an annotated site.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Verb string
+	Run  func(*Program) []Diagnostic
+}
+
+// Analyzers returns the full pass in reporting order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{detmap, rngseed, recompile, wghygiene, panicguard}
+}
+
+// Config scopes the analyzers to the project's packages. The zero value
+// checks nothing; Default returns hoiho's configuration.
+type Config struct {
+	// DetPkgs are the import paths under determinism discipline: detmap
+	// and rngseed apply only here. Training, synthesis, and figure output
+	// must be bit-for-bit reproducible across runs and Go runtimes.
+	DetPkgs []string
+	// PanicPkgs are the import paths where panicguard applies: library
+	// packages whose callers expect errors, not crashes.
+	PanicPkgs []string
+	// HotRoots are types.Func full names (as printed by
+	// (*types.Func).FullName) rooting the per-item hot path for the
+	// recompile analyzer, e.g. "(*hoiho/internal/extract.Corpus).Extract".
+	HotRoots []string
+}
+
+// Default is hoiho's lint configuration: the deterministic packages the
+// value-pinned figures depend on, and the serving/evaluation hot roots
+// added in PRs 1-2.
+func Default() Config {
+	det := []string{
+		"hoiho/internal/core",
+		"hoiho/internal/rex",
+		"hoiho/internal/extract",
+		"hoiho/internal/experiments",
+		"hoiho/internal/topo",
+		"hoiho/internal/itdk",
+		"hoiho/internal/bdrmapit",
+	}
+	return Config{
+		DetPkgs:   det,
+		PanicPkgs: append(append([]string{}, det...), "hoiho/internal/psl", "hoiho/internal/hostname"),
+		HotRoots: []string{
+			"(*hoiho/internal/extract.Corpus).Extract",
+			"(*hoiho/internal/core.Set).Evaluate",
+			"(*hoiho/internal/core.Set).Learn",
+		},
+	}
+}
+
+func (c Config) det(path string) bool   { return containsStr(c.DetPkgs, path) }
+func (c Config) panicky(path string) bool { return containsStr(c.PanicPkgs, path) }
+
+func containsStr(xs []string, s string) bool {
+	for _, x := range xs {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
+
+// Run executes the analyzers over the program, drops diagnostics
+// suppressed by a matching annotation, and returns the rest sorted by
+// position. Malformed annotations are themselves diagnostics.
+func (p *Program) Run(analyzers []*Analyzer) []Diagnostic {
+	verbs := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		verbs[a.Verb] = true
+	}
+	ann := collectAnnotations(p, verbs)
+	out := append([]Diagnostic{}, ann.diags...)
+	for _, a := range analyzers {
+		for _, d := range a.Run(p) {
+			if ann.suppressed(a.Verb, d.Pos) || ann.suppressed(a.Verb, d.Anchor) {
+				continue
+			}
+			out = append(out, d)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Check < b.Check
+	})
+	return out
+}

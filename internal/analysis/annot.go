@@ -1,0 +1,94 @@
+package analysis
+
+import (
+	"go/token"
+	"strings"
+)
+
+// Annotation grammar
+//
+//	//hoiho:<verb> <reason>
+//
+// where <verb> names the analyzer being overruled (nondet-ok, rng-ok,
+// recompile-ok, wg-ok, panic-ok) and <reason> is mandatory free text
+// explaining why the flagged construct is intentionally safe. The
+// annotation suppresses matching diagnostics on its own line (trailing
+// comment) or on the line directly below (comment above the
+// statement). An unknown verb or a missing reason is itself reported —
+// a silent typo must not silently disable a check.
+
+type annotation struct {
+	verb   string
+	reason string
+}
+
+type annotations struct {
+	// byLine maps filename -> line -> annotations attached to that line.
+	byLine map[string]map[int][]annotation
+	diags  []Diagnostic
+}
+
+// collectAnnotations scans every file's comments for //hoiho: markers.
+// verbs is the set of annotation verbs known to the active analyzers.
+func collectAnnotations(p *Program, verbs map[string]bool) *annotations {
+	ann := &annotations{byLine: make(map[string]map[int][]annotation)}
+	for _, pkg := range p.Packages {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					rest, ok := strings.CutPrefix(c.Text, "//hoiho:")
+					if !ok {
+						continue
+					}
+					pos := p.Fset.Position(c.Pos())
+					verb, reason, _ := strings.Cut(rest, " ")
+					reason = strings.TrimSpace(reason)
+					if !verbs[verb] {
+						ann.diags = append(ann.diags, Diagnostic{
+							Pos:     pos,
+							Check:   "annotation",
+							Message: "unknown annotation verb " + quote(verb) + " (known: nondet-ok, rng-ok, recompile-ok, wg-ok, panic-ok)",
+						})
+						continue
+					}
+					if reason == "" {
+						ann.diags = append(ann.diags, Diagnostic{
+							Pos:     pos,
+							Check:   "annotation",
+							Message: "//hoiho:" + verb + " needs a reason explaining why the site is safe",
+						})
+						continue
+					}
+					m := ann.byLine[pos.Filename]
+					if m == nil {
+						m = make(map[int][]annotation)
+						ann.byLine[pos.Filename] = m
+					}
+					m[pos.Line] = append(m[pos.Line], annotation{verb: verb, reason: reason})
+				}
+			}
+		}
+	}
+	return ann
+}
+
+// suppressed reports whether a diagnostic with the given verb at pos is
+// overruled by an annotation on the same line or the line above.
+func (a *annotations) suppressed(verb string, pos token.Position) bool {
+	m := a.byLine[pos.Filename]
+	if m == nil {
+		return false
+	}
+	for _, line := range [2]int{pos.Line, pos.Line - 1} {
+		for _, an := range m[line] {
+			if an.verb == verb {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func quote(s string) string {
+	return `"` + s + `"`
+}

@@ -1,0 +1,243 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// detmap flags range statements over maps, in deterministic packages,
+// whose bodies leak iteration order into observable state: appending to
+// an outer slice, concatenating onto an outer string, writing output,
+// sending on a channel, or writing an outer slice through a
+// loop-carried counter. Go randomizes map iteration order per run, so
+// any of these makes training output, learned NCs, or figure tables
+// differ between runs — the exact failure mode the value-pinned tests
+// exist to catch, except on someone else's machine.
+//
+// A site is exempt when the collected slice is passed to a sort.* or
+// slices.* call later in the same statement list (collect-then-sort is
+// the blessed pattern), or when annotated //hoiho:nondet-ok <reason>.
+// Commutative updates (numeric aggregation, map writes, deletes) are
+// not flagged.
+var detmap = &Analyzer{
+	Name: "detmap",
+	Doc:  "map iteration order must not reach slices, strings, output, or channels in deterministic packages",
+	Verb: "nondet-ok",
+	Run:  runDetmap,
+}
+
+// mapEffect is one order-sensitive effect inside a range-over-map body.
+type mapEffect struct {
+	pos    token.Pos
+	msg    string
+	target string // exprString of the collected slice; "" when not sortable
+}
+
+func runDetmap(p *Program) []Diagnostic {
+	var out []Diagnostic
+	for _, pkg := range p.Packages {
+		if !p.Config.det(pkg.Path) {
+			continue
+		}
+		for _, f := range pkg.Files {
+			stmtLists(f, func(list []ast.Stmt) {
+				for i, s := range list {
+					rs, ok := unlabel(s).(*ast.RangeStmt)
+					if !ok || !isMapType(pkg.Info, rs.X) {
+						continue
+					}
+					for _, eff := range mapRangeEffects(pkg.Info, rs) {
+						if eff.target != "" && sortedAfter(pkg.Info, list[i+1:], eff.target) {
+							continue
+						}
+						out = append(out, Diagnostic{
+							Pos:     p.Fset.Position(eff.pos),
+							Check:   "detmap",
+							Message: eff.msg + " inside range over map " + quote(exprString(rs.X)) + "; map order is randomized — sort the keys first, sort the result, or annotate",
+							Suggest: "//hoiho:nondet-ok <why iteration order cannot reach output>",
+							Anchor:  p.Fset.Position(rs.Pos()),
+						})
+					}
+				}
+			})
+		}
+	}
+	return out
+}
+
+// mapRangeEffects walks the loop body collecting order-sensitive
+// effects on state declared outside the body.
+func mapRangeEffects(info *types.Info, rs *ast.RangeStmt) []mapEffect {
+	lo, hi := rs.Body.Pos(), rs.Body.End()
+	outer := func(e ast.Expr) bool {
+		id := rootIdent(e)
+		if id == nil {
+			return false
+		}
+		obj := objOf(info, id)
+		if obj == nil {
+			return false
+		}
+		// The range key/value variables are declared at the range clause,
+		// outside the body range, but are per-iteration: not shared state.
+		if keyValueIdent(rs.Key, obj) || keyValueIdent(rs.Value, obj) {
+			return false
+		}
+		return !declaredWithin(obj, lo, hi)
+	}
+	counters := loopCounters(info, rs.Body, lo, hi)
+
+	var effs []mapEffect
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			// Nested range-over-map gets its own report; its effects are
+			// still effects of this loop, so keep walking.
+		case *ast.AssignStmt:
+			effs = append(effs, assignEffects(info, n, outer, counters)...)
+		case *ast.SendStmt:
+			if outer(n.Chan) {
+				effs = append(effs, mapEffect{pos: n.Arrow, msg: "sends on channel " + quote(exprString(n.Chan))})
+			}
+		case *ast.CallExpr:
+			if eff, ok := writeCallEffect(info, n, outer); ok {
+				effs = append(effs, eff)
+			}
+		}
+		return true
+	})
+	return effs
+}
+
+func keyValueIdent(e ast.Expr, obj types.Object) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && obj.Pos() == id.Pos()
+}
+
+// loopCounters collects outer variables mutated by ++/--/compound
+// assignment inside the body: writing out[i] with such an i is an
+// append in disguise.
+func loopCounters(info *types.Info, body *ast.BlockStmt, lo, hi token.Pos) map[types.Object]bool {
+	counters := make(map[types.Object]bool)
+	record := func(e ast.Expr) {
+		if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+			if obj := objOf(info, id); obj != nil && !declaredWithin(obj, lo, hi) {
+				counters[obj] = true
+			}
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.IncDecStmt:
+			record(n.X)
+		case *ast.AssignStmt:
+			if n.Tok == token.ADD_ASSIGN || n.Tok == token.SUB_ASSIGN {
+				for _, l := range n.Lhs {
+					record(l)
+				}
+			}
+		}
+		return true
+	})
+	return counters
+}
+
+// assignEffects classifies one assignment inside the loop body.
+func assignEffects(info *types.Info, as *ast.AssignStmt, outer func(ast.Expr) bool, counters map[types.Object]bool) []mapEffect {
+	var effs []mapEffect
+	for i, lhs := range as.Lhs {
+		if !outer(lhs) {
+			continue
+		}
+		switch as.Tok {
+		case token.ADD_ASSIGN:
+			if t := info.TypeOf(lhs); t != nil {
+				if b, ok := t.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+					effs = append(effs, mapEffect{pos: as.Pos(), msg: "concatenates onto string " + quote(exprString(lhs))})
+				}
+			}
+		case token.ASSIGN, token.DEFINE:
+			if i < len(as.Rhs) {
+				if call, ok := ast.Unparen(as.Rhs[i]).(*ast.CallExpr); ok && isBuiltin(info, call, "append") {
+					t := exprString(lhs)
+					effs = append(effs, mapEffect{pos: as.Pos(), msg: "appends to " + quote(t), target: t})
+					continue
+				}
+			}
+			// Writing an outer slice at a loop-carried counter index is an
+			// append in disguise; writing m2[k] at the iteration key is
+			// order-independent and stays silent.
+			if ix, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok {
+				if isMapType(info, ix.X) {
+					continue
+				}
+				if id, ok := ast.Unparen(ix.Index).(*ast.Ident); ok {
+					if obj := objOf(info, id); obj != nil && counters[obj] {
+						effs = append(effs, mapEffect{
+							pos: as.Pos(), msg: fmt.Sprintf("writes %s at loop-carried counter %s", quote(exprString(ix.X)), quote(id.Name)),
+							target: exprString(ix.X),
+						})
+					}
+				}
+			}
+		}
+	}
+	return effs
+}
+
+// writeCallEffect flags calls that emit output per iteration: fmt and
+// log printers, and Write*/Encode methods on writers declared outside
+// the loop.
+func writeCallEffect(info *types.Info, call *ast.CallExpr, outer func(ast.Expr) bool) (mapEffect, bool) {
+	if isPkgFunc(info, call, "fmt", "Print", "Println", "Printf", "Fprint", "Fprintln", "Fprintf") ||
+		isPkgFunc(info, call, "log") {
+		return mapEffect{pos: call.Pos(), msg: "writes output via " + quote(exprString(call.Fun))}, true
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return mapEffect{}, false
+	}
+	switch sel.Sel.Name {
+	case "Write", "WriteString", "WriteByte", "WriteRune", "Encode":
+	default:
+		return mapEffect{}, false
+	}
+	// Method (not qualified package function) on an outer receiver.
+	if _, isSel := info.Selections[sel]; !isSel {
+		return mapEffect{}, false
+	}
+	if !outer(sel.X) {
+		return mapEffect{}, false
+	}
+	return mapEffect{pos: call.Pos(), msg: "writes to " + quote(exprString(sel.X)) + " via " + sel.Sel.Name}, true
+}
+
+// sortedAfter reports whether a statement after the loop passes target
+// to a sort.* or slices.* call (directly or wrapped, e.g.
+// sort.Sort(byName(target)) or sort.Slice(&target, ...)).
+func sortedAfter(info *types.Info, following []ast.Stmt, target string) bool {
+	for _, s := range following {
+		found := false
+		ast.Inspect(s, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || found {
+				return !found
+			}
+			if !isPkgFunc(info, call, "sort") && !isPkgFunc(info, call, "slices") {
+				return true
+			}
+			for _, arg := range call.Args {
+				if containsExpr(arg, target) {
+					found = true
+				}
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,246 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked module package.
+type Package struct {
+	Path  string // import path
+	Dir   string
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Program is the whole loaded module plus the lint configuration.
+type Program struct {
+	Fset     *token.FileSet
+	Packages []*Package // sorted by import path
+	Config   Config
+}
+
+// loader type-checks module packages from source, resolving module-local
+// imports recursively and delegating everything else (the stdlib) to the
+// go/importer source importer. It is stdlib-only by construction: no
+// x/tools, no export data, no go list subprocess.
+type loader struct {
+	fset    *token.FileSet
+	root    string // directory the module path maps to
+	modPath string
+	std     types.ImporterFrom
+	typs    map[string]*types.Package
+	pkgs    map[string]*Package
+	loading map[string]bool
+}
+
+func newLoader(root, modPath string) *loader {
+	fset := token.NewFileSet()
+	return &loader{
+		fset:    fset,
+		root:    root,
+		modPath: modPath,
+		std:     importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+		typs:    make(map[string]*types.Package),
+		pkgs:    make(map[string]*Package),
+		loading: make(map[string]bool),
+	}
+}
+
+// Import implements types.Importer: module-local paths are type-checked
+// from source under root; all other paths go to the stdlib importer.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if t, ok := l.typs[path]; ok {
+		return t, nil
+	}
+	if path == l.modPath || strings.HasPrefix(path, l.modPath+"/") {
+		rel := strings.TrimPrefix(strings.TrimPrefix(path, l.modPath), "/")
+		p, err := l.load(path, filepath.Join(l.root, filepath.FromSlash(rel)))
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	t, err := l.std.ImportFrom(path, l.root, 0)
+	if err != nil {
+		return nil, err
+	}
+	l.typs[path] = t
+	return t, nil
+}
+
+// load parses and type-checks the package in dir under import path.
+func (l *loader) load(path, dir string) (*Package, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("import cycle through %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no buildable Go files in %s", dir)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: l}
+	tpkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %w", path, err)
+	}
+	p := &Package{Path: path, Dir: dir, Files: files, Types: tpkg, Info: info}
+	l.pkgs[path] = p
+	l.typs[path] = tpkg
+	return p, nil
+}
+
+// LoadModule loads every buildable package under the module rooted at
+// dir (the directory holding go.mod) and returns the Program ready for
+// analysis. Directories named testdata, hidden directories, and
+// packages with only test files are skipped, matching the go tool.
+func LoadModule(dir string, cfg Config) (*Program, error) {
+	modPath, err := modulePath(filepath.Join(dir, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	l := newLoader(dir, modPath)
+	var paths []string
+	err = filepath.WalkDir(dir, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if p != dir && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		if hasBuildableGo(p) {
+			rel, err := filepath.Rel(dir, p)
+			if err != nil {
+				return err
+			}
+			ip := modPath
+			if rel != "." {
+				ip = modPath + "/" + filepath.ToSlash(rel)
+			}
+			paths = append(paths, ip)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(paths)
+	prog := &Program{Fset: l.fset, Config: cfg}
+	for _, ip := range paths {
+		rel := strings.TrimPrefix(strings.TrimPrefix(ip, modPath), "/")
+		p, err := l.load(ip, filepath.Join(dir, filepath.FromSlash(rel)))
+		if err != nil {
+			return nil, err
+		}
+		prog.Packages = append(prog.Packages, p)
+	}
+	return prog, nil
+}
+
+// LoadDirs loads the named directories as packages of a synthetic
+// module (import path prefix modPath); used by tests to analyze fixture
+// trees under testdata without a go.mod.
+func LoadDirs(root, modPath string, rels []string, cfg Config) (*Program, error) {
+	l := newLoader(root, modPath)
+	prog := &Program{Fset: l.fset, Config: cfg}
+	sorted := append([]string{}, rels...)
+	sort.Strings(sorted)
+	for _, rel := range sorted {
+		p, err := l.load(modPath+"/"+rel, filepath.Join(root, filepath.FromSlash(rel)))
+		if err != nil {
+			return nil, err
+		}
+		prog.Packages = append(prog.Packages, p)
+	}
+	return prog, nil
+}
+
+func hasBuildableGo(dir string) bool {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range ents {
+		name := e.Name()
+		if !e.IsDir() && strings.HasSuffix(name, ".go") &&
+			!strings.HasSuffix(name, "_test.go") && !strings.HasPrefix(name, ".") {
+			return true
+		}
+	}
+	return false
+}
+
+// modulePath extracts the module path from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.Trim(strings.TrimSpace(rest), `"`), nil
+		}
+	}
+	return "", fmt.Errorf("%s: no module directive", gomod)
+}
+
+// FindModuleRoot walks up from dir to the nearest directory containing
+// go.mod.
+func FindModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}

@@ -1,0 +1,44 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// panicguard flags panic calls in library packages. Hoiho's libraries
+// are consumed by long-running services (the serving Corpus, bdrmapIT
+// annotation); a panic there takes down the whole process over one bad
+// input. Errors must be returned and propagated. The only panics that
+// may stay are invariants on embedded data — e.g. the compiled-in PSL
+// snapshot failing to parse means the binary itself is broken — and
+// each of those carries a //hoiho:panic-ok annotation saying so.
+var panicguard = &Analyzer{
+	Name: "panicguard",
+	Doc:  "library packages return errors; panics only on annotated embedded-data invariants",
+	Verb: "panic-ok",
+	Run:  runPanicGuard,
+}
+
+func runPanicGuard(p *Program) []Diagnostic {
+	var out []Diagnostic
+	for _, pkg := range p.Packages {
+		if !p.Config.panicky(pkg.Path) {
+			continue
+		}
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || !isBuiltin(pkg.Info, call, "panic") {
+					return true
+				}
+				out = append(out, Diagnostic{
+					Pos:     p.Fset.Position(call.Pos()),
+					Check:   "panicguard",
+					Message: "panic in a library package; return an error, or annotate an invariant on embedded data",
+					Suggest: "//hoiho:panic-ok <which embedded-data invariant guarantees this is unreachable>",
+				})
+				return true
+			})
+		}
+	}
+	return out
+}

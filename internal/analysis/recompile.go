@@ -1,0 +1,150 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// recompile flags regexp.Compile/MustCompile (and the POSIX variants)
+// inside loop bodies or inside functions reachable from the per-item
+// hot paths (Corpus.Extract serving, Set evaluation during learning).
+// PRs 1-2 exist to guarantee each regex is compiled exactly once — the
+// extract.Corpus entries compile behind a sync.Once and rex.Regex
+// caches its compiled form — so a fresh Compile per item is always a
+// bug or a missed migration onto those paths. The one legitimate
+// compile inside each cache is annotated //hoiho:recompile-ok.
+var recompile = &Analyzer{
+	Name: "recompile",
+	Doc:  "regexes compile once: no regexp.Compile in loops or on hot paths",
+	Verb: "recompile-ok",
+	Run:  runRecompile,
+}
+
+var compileFuncs = []string{"Compile", "MustCompile", "CompilePOSIX", "MustCompilePOSIX"}
+
+func runRecompile(p *Program) []Diagnostic {
+	reach := hotReachable(p)
+	var out []Diagnostic
+	for _, pkg := range p.Packages {
+		for _, f := range pkg.Files {
+			var decls []*ast.FuncDecl
+			for _, d := range f.Decls {
+				if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+					decls = append(decls, fd)
+				}
+			}
+			for _, fd := range decls {
+				fn, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+				root := ""
+				if fn != nil {
+					root = reach[fn]
+				}
+				walkLoopDepth(fd.Body, 0, func(n ast.Node, loopDepth int) {
+					call, ok := n.(*ast.CallExpr)
+					if !ok || !isPkgFunc(pkg.Info, call, "regexp", compileFuncs...) {
+						return
+					}
+					obj := calleeObj(pkg.Info, call)
+					switch {
+					case loopDepth > 0:
+						out = append(out, Diagnostic{
+							Pos:     p.Fset.Position(call.Pos()),
+							Check:   "recompile",
+							Message: "regexp." + obj.Name() + " inside a loop recompiles per iteration; hoist it, or use the cached rex.(*Regex).Compile / extract.Corpus machines",
+							Suggest: "//hoiho:recompile-ok <why this compile cannot be hoisted>",
+						})
+					case root != "":
+						out = append(out, Diagnostic{
+							Pos:     p.Fset.Position(call.Pos()),
+							Check:   "recompile",
+							Message: "regexp." + obj.Name() + " on the per-item hot path (reachable from " + root + "); use the compile-once paths",
+							Suggest: "//hoiho:recompile-ok <why this hot-path compile runs once>",
+						})
+					}
+				})
+			}
+		}
+	}
+	return out
+}
+
+// walkLoopDepth walks the tree tracking how many for/range statements
+// enclose each node. Function literals reset nothing: a closure built
+// inside a loop typically runs per iteration, and a deliberate
+// build-once closure can be annotated.
+func walkLoopDepth(n ast.Node, depth int, visit func(ast.Node, int)) {
+	if n == nil {
+		return
+	}
+	visit(n, depth)
+	enter := depth
+	switch n.(type) {
+	case *ast.ForStmt, *ast.RangeStmt:
+		enter = depth + 1
+	}
+	var children []ast.Node
+	ast.Inspect(n, func(c ast.Node) bool {
+		if c == nil || c == n {
+			return c == n
+		}
+		children = append(children, c)
+		return false
+	})
+	for _, c := range children {
+		walkLoopDepth(c, enter, visit)
+	}
+}
+
+// hotReachable computes the functions reachable from Config.HotRoots
+// through static calls, mapping each to the root's name for reporting.
+// Dynamic calls (function values, unresolved interface methods) are not
+// followed; the graph is best-effort by design.
+func hotReachable(p *Program) map[*types.Func]string {
+	callees := make(map[*types.Func][]*types.Func)
+	byName := make(map[string]*types.Func)
+	for _, pkg := range p.Packages {
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+				if fn == nil {
+					continue
+				}
+				byName[fn.FullName()] = fn
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					if callee, ok := calleeObj(pkg.Info, call).(*types.Func); ok {
+						callees[fn] = append(callees[fn], callee)
+					}
+					return true
+				})
+			}
+		}
+	}
+	reach := make(map[*types.Func]string)
+	var queue []*types.Func
+	for _, rootName := range p.Config.HotRoots {
+		if fn, ok := byName[rootName]; ok {
+			reach[fn] = rootName
+			queue = append(queue, fn)
+		}
+	}
+	for len(queue) > 0 {
+		fn := queue[0]
+		queue = queue[1:]
+		for _, callee := range callees[fn] {
+			if _, seen := reach[callee]; seen {
+				continue
+			}
+			reach[callee] = reach[fn]
+			queue = append(queue, callee)
+		}
+	}
+	return reach
+}

@@ -1,0 +1,109 @@
+// Package detmapfix exercises the detmap analyzer: order-sensitive
+// effects inside range-over-map bodies, the sort-after exemption, and
+// the //hoiho:nondet-ok annotation.
+package detmapfix
+
+import (
+	"fmt"
+	"sort"
+)
+
+func collectUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `appends to "keys" inside range over map`
+	}
+	return keys
+}
+
+func collectSorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // exempt: sorted two statements later
+	}
+	keys = dedup(keys)
+	sort.Strings(keys)
+	return keys
+}
+
+func dedup(s []string) []string { return s }
+
+func collectSortSlice(m map[string]*thing) []*thing {
+	out := make([]*thing, 0, len(m))
+	for _, t := range m {
+		out = append(out, t) // exempt: sort.Slice below
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+type thing struct{ name string }
+
+func concat(m map[string]int) string {
+	s := ""
+	for k := range m {
+		s += k // want `concatenates onto string "s" inside range over map`
+	}
+	return s
+}
+
+func print(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v) // want `writes output via "fmt.Println" inside range over map`
+	}
+}
+
+func send(m map[string]int, ch chan string) {
+	for k := range m {
+		ch <- k // want `sends on channel "ch" inside range over map`
+	}
+}
+
+func counterIndexed(m map[string]int) []string {
+	out := make([]string, len(m))
+	i := 0
+	for k := range m {
+		out[i] = k // want `writes "out" at loop-carried counter "i" inside range over map`
+		i++
+	}
+	return out
+}
+
+func annotated(m map[string]int) []string {
+	var keys []string
+	//hoiho:nondet-ok caller treats the result as an unordered set (suppresses via the range-statement anchor)
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func annotatedAppend(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) //hoiho:nondet-ok caller treats this as an unordered set
+	}
+	return keys
+}
+
+// Commutative aggregation and map writes are order-independent: silent.
+func aggregate(m map[string]int) (int, map[string]int) {
+	sum := 0
+	inverted := make(map[string]int, len(m))
+	for k, v := range m {
+		sum += v
+		inverted[k] = v * 2
+	}
+	return sum, inverted
+}
+
+// Effects on state declared inside the body are per-iteration: silent.
+func localState(m map[string][]string) int {
+	n := 0
+	for _, vs := range m {
+		var local []string
+		local = append(local, vs...)
+		n += len(local)
+	}
+	return n
+}

@@ -1,0 +1,42 @@
+// Package panicfix exercises the panicguard analyzer and the
+// annotation grammar diagnostics.
+package panicfix
+
+import "errors"
+
+func bad(ok bool) {
+	if !ok {
+		panic("library code must not panic") // want `panic in a library package`
+	}
+}
+
+func good(ok bool) error {
+	if !ok {
+		return errors.New("returned instead of panicking")
+	}
+	return nil
+}
+
+var embedded = "known-good embedded data"
+
+func invariant() string {
+	if embedded == "" {
+		//hoiho:panic-ok invariant on embedded data: the literal above cannot be empty
+		panic("corrupted embedded data")
+	}
+	return embedded
+}
+
+func badVerb(ok bool) {
+	if !ok {
+		//hoiho:frobnicate-ok some reason // want `unknown annotation verb "frobnicate-ok`
+		panic("the bad verb above does not suppress this") // want `panic in a library package`
+	}
+}
+
+func missingReason(ok bool) {
+	if !ok {
+		/* want `needs a reason` */ //hoiho:panic-ok
+		panic("reasonless annotations do not suppress") // want `panic in a library package`
+	}
+}

@@ -1,0 +1,64 @@
+// Package recompilefix exercises the recompile analyzer: compiles in
+// loop bodies, compiles reachable from the configured hot roots, and
+// the annotated compile-once cache pattern. The test config roots the
+// hot path at ServeItem.
+package recompilefix
+
+import "regexp"
+
+// Package-level compile-once: the blessed pattern, silent.
+var hostRe = regexp.MustCompile(`^[a-z0-9.-]+$`)
+
+func inLoop(patterns []string, host string) int {
+	n := 0
+	for _, p := range patterns {
+		re, err := regexp.Compile(p) // want `regexp.Compile inside a loop recompiles per iteration`
+		if err == nil && re.MatchString(host) {
+			n++
+		}
+	}
+	return n
+}
+
+func inLoopMust(hosts []string) int {
+	n := 0
+	for _, h := range hosts {
+		if regexp.MustCompile(`\d+`).MatchString(h) { // want `regexp.MustCompile inside a loop recompiles per iteration`
+			n++
+		}
+	}
+	return n
+}
+
+// ServeItem is the per-item hot path root configured by the test.
+func ServeItem(host string) bool {
+	return matchOne(host) || cachedMatch(&sharedCache, host)
+}
+
+func matchOne(host string) bool {
+	re, err := regexp.Compile(`as(\d+)`) // want `regexp.Compile on the per-item hot path \(reachable from fix/recompilefix.ServeItem\)`
+	return err == nil && re.MatchString(host)
+}
+
+type cache struct{ re *regexp.Regexp }
+
+// compiled is reachable from ServeItem via cachedMatch but caches its
+// compile: annotated.
+func (c *cache) compiled() *regexp.Regexp {
+	if c.re == nil {
+		//hoiho:recompile-ok compile-once cache stored on c.re
+		c.re = regexp.MustCompile(`as(\d+)`)
+	}
+	return c.re
+}
+
+func cachedMatch(c *cache, host string) bool {
+	return c.compiled().MatchString(host)
+}
+
+var sharedCache cache
+
+// Cold path: compiles outside loops, unreachable from roots — silent.
+func coldCompile(p string) (*regexp.Regexp, error) {
+	return regexp.Compile(p)
+}

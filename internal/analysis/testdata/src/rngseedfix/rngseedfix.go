@@ -1,0 +1,37 @@
+// Package rngseedfix exercises the rngseed analyzer: global math/rand
+// state, time-derived seeds, crypto/rand, and the allowed seeded
+// *rand.Rand discipline.
+package rngseedfix
+
+import (
+	crand "crypto/rand"
+	"math/rand"
+	"time"
+)
+
+func global() int {
+	rand.Shuffle(3, func(i, j int) {}) // want `package-level math/rand.Shuffle uses the shared global generator`
+	return rand.Intn(10)               // want `package-level math/rand.Intn uses the shared global generator`
+}
+
+func timeSeeded() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want `RNG seed derived from time.Now differs every run`
+}
+
+func cryptoRand() []byte {
+	b := make([]byte, 8)
+	crand.Read(b) // want `crypto/rand is nondeterministic by design`
+	return b
+}
+
+// The blessed pattern: an explicitly seeded generator threaded through.
+func seeded(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(3, func(i, j int) {})
+	return rng.Intn(10)
+}
+
+func annotated() int {
+	//hoiho:rng-ok jitter for a non-reproducible backoff path, never reaches output
+	return rand.Intn(10)
+}

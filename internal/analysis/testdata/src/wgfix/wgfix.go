@@ -1,0 +1,142 @@
+// Package wgfix exercises the wghygiene analyzer: WaitGroup call
+// placement, deferred Done/close discipline, and the shard pattern for
+// result-slice writes.
+package wgfix
+
+import "sync"
+
+func addInside(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		go func() {
+			wg.Add(1) // want `"wg".Add inside the spawned goroutine races Wait`
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+
+func doneNotDeferred(jobs chan int) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		for j := range jobs {
+			if j < 0 {
+				return
+			}
+			_ = j
+		}
+		wg.Done() // want `"wg".Done is not deferred`
+	}()
+	wg.Wait()
+}
+
+func appendShared(hosts []string) []int {
+	var out []int
+	var wg sync.WaitGroup
+	for _, h := range hosts {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out = append(out, len(h)) // want `append to "out" shared across goroutines is a data race`
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+func sharedIndex(hosts []string) []int {
+	out := make([]int, len(hosts))
+	var wg sync.WaitGroup
+	next := 0
+	for range hosts {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out[next] = 1 // want `write to "out" indexed by a variable shared across goroutines`
+			next++
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+func sharedMap(hosts []string) map[string]int {
+	m := make(map[string]int)
+	var wg sync.WaitGroup
+	for _, h := range hosts {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			m[h] = len(h) // want `write to map "m" shared across goroutines is a data race`
+		}()
+	}
+	wg.Wait()
+	return m
+}
+
+func closeNotDeferred(in <-chan string, jobs chan<- []string) {
+	go func() {
+		var buf []string
+		for h := range in {
+			if h == "" {
+				return
+			}
+			buf = append(buf, h)
+		}
+		close(jobs) // want `close\(jobs\) is not deferred but the goroutine has return paths`
+	}()
+}
+
+// The blessed shard pattern from extract/batch.go and core/matrix.go:
+// Add before go, deferred Done, writes indexed by a goroutine-owned
+// variable — silent.
+func shardClean(hosts []string, workers int) []int {
+	out := make([]int, len(hosts))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				out[i] = len(hosts[i])
+			}
+		}()
+	}
+	for i := range hosts {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return out
+}
+
+// Indexing by a captured per-iteration loop variable is the other
+// blessed shard form — silent.
+func loopVarIndex(hosts []string) []int {
+	out := make([]int, len(hosts))
+	var wg sync.WaitGroup
+	for i, h := range hosts {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out[i] = len(h)
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+func annotated(hosts []string) []int {
+	out := make([]int, 1)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		//hoiho:wg-ok single goroutine owns the whole slice
+		out = append(out, len(hosts))
+	}()
+	wg.Wait()
+	return out
+}

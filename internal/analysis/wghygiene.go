@@ -1,0 +1,253 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// wghygiene checks the goroutine patterns the repo's parallel stages
+// (extract/batch.go, core/matrix.go, core/learn.go) rely on:
+//
+//   - wg.Add must run before the goroutine is spawned, never inside it
+//     (inside, Wait can return before Add runs);
+//   - wg.Done inside a goroutine must be deferred so every return and
+//     panic path releases the wait;
+//   - close() of a shared channel inside a goroutine with early returns
+//     must be deferred for the same reason;
+//   - writes to a shared result slice inside a goroutine must be
+//     indexed by a variable the goroutine owns — a closure-local, a
+//     parameter, or a captured per-iteration loop variable — never by a
+//     variable shared across goroutines, and never via append (the
+//     shard pattern: out[i] = f(in[i])).
+var wghygiene = &Analyzer{
+	Name: "wghygiene",
+	Doc:  "WaitGroup and shard-pattern discipline for goroutines",
+	Verb: "wg-ok",
+	Run:  runWGHygiene,
+}
+
+func runWGHygiene(p *Program) []Diagnostic {
+	var out []Diagnostic
+	for _, pkg := range p.Packages {
+		for _, f := range pkg.Files {
+			// Track loop variables of every for/range enclosing each go
+			// statement: per-iteration since Go 1.22, so safe to index by.
+			var loopVars []map[types.Object]bool
+			var walk func(n ast.Node)
+			walk = func(n ast.Node) {
+				if n == nil {
+					return
+				}
+				push := false
+				switch n := n.(type) {
+				case *ast.RangeStmt:
+					vars := make(map[types.Object]bool)
+					for _, e := range []ast.Expr{n.Key, n.Value} {
+						if id, ok := e.(*ast.Ident); ok {
+							if obj := pkg.Info.Defs[id]; obj != nil {
+								vars[obj] = true
+							}
+						}
+					}
+					loopVars = append(loopVars, vars)
+					push = true
+				case *ast.ForStmt:
+					vars := make(map[types.Object]bool)
+					if as, ok := n.Init.(*ast.AssignStmt); ok && as.Tok == token.DEFINE {
+						for _, e := range as.Lhs {
+							if id, ok := e.(*ast.Ident); ok {
+								if obj := pkg.Info.Defs[id]; obj != nil {
+									vars[obj] = true
+								}
+							}
+						}
+					}
+					loopVars = append(loopVars, vars)
+					push = true
+				case *ast.GoStmt:
+					if lit, ok := ast.Unparen(n.Call.Fun).(*ast.FuncLit); ok {
+						owned := make(map[types.Object]bool)
+						for _, vars := range loopVars {
+							for o := range vars {
+								owned[o] = true
+							}
+						}
+						out = append(out, checkGoroutine(p, pkg, lit, owned)...)
+					}
+				}
+				var children []ast.Node
+				ast.Inspect(n, func(c ast.Node) bool {
+					if c == nil || c == n {
+						return c == n
+					}
+					children = append(children, c)
+					return false
+				})
+				for _, c := range children {
+					walk(c)
+				}
+				if push {
+					loopVars = loopVars[:len(loopVars)-1]
+				}
+			}
+			walk(f)
+		}
+	}
+	return out
+}
+
+// checkGoroutine inspects one go func(){...}() body. owned is the set
+// of enclosing per-iteration loop variables the goroutine may safely
+// use as shard indexes.
+func checkGoroutine(p *Program, pkg *Package, lit *ast.FuncLit, owned map[types.Object]bool) []Diagnostic {
+	var out []Diagnostic
+	lo, hi := lit.Pos(), lit.End()
+	local := func(obj types.Object) bool {
+		return owned[obj] || declaredWithin(obj, lo, hi)
+	}
+	hasReturn := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.ReturnStmt); ok {
+			hasReturn = true
+		}
+		return true
+	})
+
+	// deferred tracks whether each node sits under a defer statement
+	// (directly or inside a deferred closure).
+	var visit func(n ast.Node, deferred bool)
+	visit = func(n ast.Node, deferred bool) {
+		if n == nil {
+			return
+		}
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			visit(n.Call, true)
+			return
+		case *ast.CallExpr:
+			if sel, isMethod := callViaSelection(pkg, n); isMethod && isWaitGroup(pkg.Info.TypeOf(sel.X)) {
+				switch sel.Sel.Name {
+				case "Add":
+					out = append(out, Diagnostic{
+						Pos:     p.Fset.Position(n.Pos()),
+						Check:   "wghygiene",
+						Message: quote(exprString(sel.X)) + ".Add inside the spawned goroutine races Wait; call Add before the go statement",
+						Suggest: "//hoiho:wg-ok <why Add-inside-goroutine cannot race Wait here>",
+					})
+				case "Done":
+					if !deferred {
+						out = append(out, Diagnostic{
+							Pos:     p.Fset.Position(n.Pos()),
+							Check:   "wghygiene",
+							Message: quote(exprString(sel.X)) + ".Done is not deferred; an early return or panic would leak the WaitGroup",
+							Suggest: "//hoiho:wg-ok <why every path reaches this Done>",
+						})
+					}
+				}
+			}
+			if isBuiltin(pkg.Info, n, "close") && !deferred && hasReturn && len(n.Args) == 1 {
+				if id := rootIdent(n.Args[0]); id != nil {
+					if obj := objOf(pkg.Info, id); obj != nil && !local(obj) {
+						out = append(out, Diagnostic{
+							Pos:     p.Fset.Position(n.Pos()),
+							Check:   "wghygiene",
+							Message: "close(" + exprString(n.Args[0]) + ") is not deferred but the goroutine has return paths; a skipped close deadlocks the receiver",
+							Suggest: "//hoiho:wg-ok <why every path reaches this close>",
+						})
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			out = append(out, checkShardWrites(p, pkg, n, local)...)
+		}
+		var children []ast.Node
+		ast.Inspect(n, func(c ast.Node) bool {
+			if c == nil || c == n {
+				return c == n
+			}
+			children = append(children, c)
+			return false
+		})
+		for _, c := range children {
+			visit(c, deferred)
+		}
+	}
+	visit(lit.Body, false)
+	return out
+}
+
+// checkShardWrites flags result-slice writes in a goroutine that are
+// not shard-safe: appends to shared slices, and element writes indexed
+// by a variable shared across goroutines.
+func checkShardWrites(p *Program, pkg *Package, as *ast.AssignStmt, local func(types.Object) bool) []Diagnostic {
+	var out []Diagnostic
+	sharedRoot := func(e ast.Expr) (string, bool) {
+		id := rootIdent(e)
+		if id == nil {
+			return "", false
+		}
+		obj := objOf(pkg.Info, id)
+		if obj == nil || local(obj) {
+			return "", false
+		}
+		return exprString(e), true
+	}
+	for i, lhs := range as.Lhs {
+		if as.Tok == token.ASSIGN && i < len(as.Rhs) {
+			if call, ok := ast.Unparen(as.Rhs[i]).(*ast.CallExpr); ok && isBuiltin(pkg.Info, call, "append") {
+				if name, shared := sharedRoot(lhs); shared {
+					out = append(out, Diagnostic{
+						Pos:     p.Fset.Position(as.Pos()),
+						Check:   "wghygiene",
+						Message: "append to " + quote(name) + " shared across goroutines is a data race; preallocate and write by shard index instead",
+						Suggest: "//hoiho:wg-ok <why this append cannot race>",
+					})
+					continue
+				}
+			}
+		}
+		ix, ok := ast.Unparen(lhs).(*ast.IndexExpr)
+		if !ok {
+			continue
+		}
+		if t := pkg.Info.TypeOf(ix.X); t != nil {
+			if _, isMap := t.Underlying().(*types.Map); isMap {
+				if name, shared := sharedRoot(ix.X); shared {
+					out = append(out, Diagnostic{
+						Pos:     p.Fset.Position(as.Pos()),
+						Check:   "wghygiene",
+						Message: "write to map " + quote(name) + " shared across goroutines is a data race; maps are not goroutine-safe",
+						Suggest: "//hoiho:wg-ok <why this map write is externally synchronized>",
+					})
+				}
+				continue
+			}
+		}
+		name, shared := sharedRoot(ix.X)
+		if !shared {
+			continue
+		}
+		badIdx := false
+		ast.Inspect(ix.Index, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := objOf(pkg.Info, id)
+			if _, isVar := obj.(*types.Var); isVar && !local(obj) {
+				badIdx = true
+			}
+			return true
+		})
+		if badIdx {
+			out = append(out, Diagnostic{
+				Pos:     p.Fset.Position(as.Pos()),
+				Check:   "wghygiene",
+				Message: "write to " + quote(name) + " indexed by a variable shared across goroutines; shard writes must use a captured loop variable or goroutine-local index",
+				Suggest: "//hoiho:wg-ok <why this index cannot collide across goroutines>",
+			})
+		}
+	}
+	return out
+}

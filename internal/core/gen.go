@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sort"
+
 	"hoiho/internal/rex"
 )
 
@@ -46,9 +48,16 @@ func (s *Set) generate() []*rex.Regex {
 			}
 		}
 	}
-	out := make([]*rex.Regex, 0, len(seen))
-	for _, r := range seen {
-		out = append(out, r)
+	// The pool order feeds mergePhase's capped pairing and rank
+	// tiebreaks, so it must not inherit map iteration order.
+	keys := make([]string, 0, len(seen))
+	for key := range seen {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	out := make([]*rex.Regex, 0, len(keys))
+	for _, key := range keys {
+		out = append(out, seen[key])
 	}
 	return out
 }

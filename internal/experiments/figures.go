@@ -131,8 +131,14 @@ func Table1(itdkRun, pdbRun *Run) []Table1Row {
 	for _, nc := range itdkRun.NCs {
 		bySuffix[nc.Suffix] = nc
 	}
+	suffixes := make([]string, 0, len(bySuffix))
+	for suf := range bySuffix {
+		suffixes = append(suffixes, suf)
+	}
+	sort.Strings(suffixes)
 	var usable, single []*core.NC
-	for _, nc := range bySuffix {
+	for _, suf := range suffixes {
+		nc := bySuffix[suf]
 		switch {
 		case nc.Single:
 			single = append(single, nc)

@@ -78,16 +78,6 @@ func Parse(s string) (Name, error) {
 	return n, nil
 }
 
-// MustParse is Parse for known-good inputs; it panics on error. It is
-// intended for tests and literal data.
-func MustParse(s string) Name {
-	n, err := Parse(s)
-	if err != nil {
-		panic(err)
-	}
-	return n
-}
-
 // String returns the normalized hostname.
 func (n Name) String() string { return n.Full }
 

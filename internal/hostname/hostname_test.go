@@ -7,6 +7,16 @@ import (
 	"testing/quick"
 )
 
+// MustParse is Parse for known-good literal inputs; it panics on error.
+// It lives in the test files so the library itself stays panic-free.
+func MustParse(s string) Name {
+	n, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
 func TestParseParts(t *testing.T) {
 	n := MustParse("te0-0-24.01.p.bre.ch.as15576.nts.ch")
 	want := []string{"te0", "0", "24", "01", "p", "bre", "ch", "as15576", "nts", "ch"}

@@ -85,6 +85,7 @@ func FromRules(rules ...string) (*List, error) {
 func Default() *List {
 	l, err := Parse(strings.NewReader(snapshot))
 	if err != nil {
+		//hoiho:panic-ok invariant on embedded data: the compiled-in PSL snapshot failing to parse means the binary itself is broken
 		panic("psl: embedded snapshot invalid: " + err.Error())
 	}
 	return l

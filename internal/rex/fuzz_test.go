@@ -1,0 +1,51 @@
+package rex
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse feeds arbitrary strings through the dialect parser. Parse
+// guards the JSON load path (corpora and learned NCs round-trip through
+// String renders), so it must reject garbage with an error — never a
+// panic — and anything it accepts must re-render and re-parse to an
+// equal regex (the round-trip invariant the serialization relies on).
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		`^as(\d+)\.example\.net$`,
+		`^(?:p|s)?(\d+)\.[a-z\d]+\.equinix\.com$`,
+		`as(\d+)\.nts\.ch$`,
+		`^[^\.]+-as(\d+)\.[^-]+\.example\.com$`,
+		`^.+\.as(\d+)\.example\.org$`,
+		`^(?:as|AS)(\d+)\.\d+\.example\.net$`,
+		`^a\\b(\d+)\.x$`,
+		`^([a-z]+)\.peer\.example\.net$`,
+		`(\d+)$`,
+		`^$`,
+		``,
+		`^((((`,
+		`^[^`,
+		`^(?:a|b`,
+		"\\",
+		strings.Repeat(`(?:a|b)?`, 40) + `(\d+)$`,
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		r, err := Parse(src)
+		if err != nil {
+			return
+		}
+		render := r.String()
+		r2, err := Parse(render)
+		if err != nil {
+			t.Fatalf("Parse(%q) ok but re-parse of render %q failed: %v", src, render, err)
+		}
+		if !r.Equal(r2) {
+			t.Fatalf("round-trip changed regex: %q -> %q -> %q", src, render, r2.String())
+		}
+		if got := r2.String(); got != render {
+			t.Fatalf("render not a fixed point: %q -> %q", render, got)
+		}
+	})
+}

@@ -110,15 +110,6 @@ func Parse(src string) (*Regex, error) {
 	return build(leftOpen, toks)
 }
 
-// MustParse is Parse that panics on error, for literal data in tests.
-func MustParse(src string) *Regex {
-	r, err := Parse(src)
-	if err != nil {
-		panic(err)
-	}
-	return r
-}
-
 // findGroupEnd returns the index of the ')' closing the group whose body
 // starts at i, skipping escaped characters; -1 when unterminated.
 func findGroupEnd(s string, i int) int {

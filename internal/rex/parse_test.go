@@ -49,12 +49,23 @@ func TestParseRejects(t *testing.T) {
 	}
 }
 
+// mustParse parses src, failing the test on error (the error-propagating
+// replacement for the removed package-level MustParse panic helper).
+func mustParse(t *testing.T, src string) *Regex {
+	t.Helper()
+	r, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	return r
+}
+
 func TestParseSemantics(t *testing.T) {
-	r := MustParse(`^(?:p|s)?(\d+)\.[a-z\d]+\.equinix\.com$`)
+	r := mustParse(t, `^(?:p|s)?(\d+)\.[a-z\d]+\.equinix\.com$`)
 	if asn, _, _, ok := r.Extract("s24115.tyo.equinix.com"); !ok || asn != "24115" {
 		t.Errorf("Extract = %q,%v", asn, ok)
 	}
-	open := MustParse(`as(\d+)\.nts\.ch$`)
+	open := mustParse(t, `as(\d+)\.nts\.ch$`)
 	if !open.LeftOpen() {
 		t.Error("should be left-open")
 	}

@@ -151,14 +151,12 @@ func (t Token) equal(u Token) bool {
 // need care ('-' only inside classes, but the paper escapes neither '-'
 // nor '_' in literals).
 func escapeLit(s string) string {
-	var sb strings.Builder
-	for i := 0; i < len(s); i++ {
-		if s[i] == '.' {
-			sb.WriteByte('\\')
-		}
-		sb.WriteByte(s[i])
-	}
-	return sb.String()
+	// QuoteMeta rather than dot-only: a literal containing \ or a
+	// quantifier character would otherwise render into a string that
+	// re-parses (and compiles) as a different regex, breaking the
+	// String/Parse round-trip FuzzParse pins. Normalized hostnames never
+	// contain those bytes, so real renders are unchanged.
+	return regexp.QuoteMeta(s)
 }
 
 // escapeClassChars renders characters inside [^...] the way the paper
@@ -245,6 +243,7 @@ func build(leftOpen bool, tokens []Token) (*Regex, error) {
 func MustNew(tokens ...Token) *Regex {
 	r, err := New(tokens...)
 	if err != nil {
+		//hoiho:panic-ok invariant on literal token data: New only rejects malformed literal constructions, a programmer error any test run catches
 		panic(err)
 	}
 	return r
@@ -294,6 +293,7 @@ func (r *Regex) Equal(o *Regex) bool {
 // Compile returns the compiled form (cached).
 func (r *Regex) Compile() (*regexp.Regexp, error) {
 	if r.re == nil {
+		//hoiho:recompile-ok this is the compile-once cache itself: the result is stored on r.re and every later call returns it
 		re, err := regexp.Compile(r.String())
 		if err != nil {
 			return nil, fmt.Errorf("rex: compile %q: %w", r.String(), err)
@@ -366,6 +366,7 @@ func (r *Regex) TokenSpans(hostname string) (spans [][2]int, ok bool) {
 			sb.WriteByte(')')
 		}
 		sb.WriteByte('$')
+		//hoiho:recompile-ok compile-once cache for the instrumented span matcher: stored on r.inRe, rebuilt never
 		re, err := regexp.Compile(sb.String())
 		if err != nil {
 			return nil, false
