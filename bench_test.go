@@ -7,6 +7,7 @@
 package hoiho_test
 
 import (
+	"context"
 	"testing"
 
 	"hoiho/internal/asnames"
@@ -22,7 +23,7 @@ const benchScale = experiments.Scale(0.25)
 func lastEraRun(b *testing.B) *experiments.Run {
 	b.Helper()
 	eras := experiments.ITDKEras()
-	run, err := experiments.RunITDKEra(eras[len(eras)-1], benchScale, psl.Default())
+	run, err := experiments.RunITDKEra(context.Background(), eras[len(eras)-1], benchScale, psl.Default())
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -40,7 +41,10 @@ func BenchmarkFigure4(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		nc := set.Learn()
+		nc, err := set.Learn(context.Background())
+		if err != nil {
+			b.Fatal(err)
+		}
 		if nc == nil || nc.Eval.ATP() != 8 {
 			b.Fatalf("NC = %+v", nc)
 		}
@@ -55,7 +59,7 @@ func BenchmarkFigure4(b *testing.B) {
 func BenchmarkFigure5(b *testing.B) {
 	list := psl.Default()
 	for i := 0; i < b.N; i++ {
-		f5, _, _, err := experiments.Figure5(benchScale, list)
+		f5, _, _, err := experiments.Figure5(context.Background(), benchScale, list)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -72,7 +76,7 @@ func BenchmarkFigure5(b *testing.B) {
 func BenchmarkFigure6(b *testing.B) {
 	list := psl.Default()
 	for i := 0; i < b.N; i++ {
-		_, f6, _, err := experiments.Figure5(benchScale, list)
+		_, f6, _, err := experiments.Figure5(context.Background(), benchScale, list)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -90,7 +94,7 @@ func BenchmarkTable1(b *testing.B) {
 	itdkRun := lastEraRun(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		pdbRun, err := experiments.RunPDBEra("pdb-bench", itdkRun.World, 502, list)
+		pdbRun, err := experiments.RunPDBEra(context.Background(), "pdb-bench", itdkRun.World, 502, list)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -160,7 +164,10 @@ func BenchmarkFigure7Expansion(b *testing.B) {
 	run := lastEraRun(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res := experiments.Figure7(run)
+		res, err := experiments.Figure7(context.Background(), run)
+		if err != nil {
+			b.Fatal(err)
+		}
 		if res.FullMatches < res.ObservedMatches {
 			b.Fatal("expansion went backward")
 		}
@@ -182,7 +189,10 @@ func BenchmarkLearnLargeSuffix(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		nc := set.Learn()
+		nc, err := set.Learn(context.Background())
+		if err != nil {
+			b.Fatal(err)
+		}
 		if nc == nil {
 			b.Fatal("no NC learned")
 		}
@@ -216,8 +226,8 @@ func BenchmarkLearnFigure4Phases(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
-				if nc := set.Learn(); nc == nil {
-					b.Fatal("no NC")
+				if nc, err := set.Learn(context.Background()); err != nil || nc == nil {
+					b.Fatalf("nc=%v err=%v", nc, err)
 				}
 			}
 		})
@@ -238,7 +248,11 @@ func BenchmarkCorpusExtract(b *testing.B) {
 		hits := 0
 		for i := 0; i < b.N; i++ {
 			hits = 0
-			for _, r := range corpus.ExtractBatch(hosts) {
+			rs, err := corpus.ExtractBatch(context.Background(), hosts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, r := range rs {
 				if r.OK {
 					hits++
 				}
@@ -288,7 +302,7 @@ func ablationBench(b *testing.B, opts core.Options, label string) {
 			if err != nil || set.Len() < 4 {
 				continue
 			}
-			if nc := set.Learn(); nc != nil {
+			if nc, _ := set.Learn(context.Background()); nc != nil {
 				atp += nc.Eval.ATP()
 				ncs++
 				regexes += len(nc.Regexes)
@@ -361,7 +375,7 @@ func BenchmarkEndToEnd(b *testing.B) {
 	eras := experiments.ITDKEras()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		run, err := experiments.RunITDKEra(eras[len(eras)-1], benchScale, list)
+		run, err := experiments.RunITDKEra(context.Background(), eras[len(eras)-1], benchScale, list)
 		if err != nil {
 			b.Fatal(err)
 		}

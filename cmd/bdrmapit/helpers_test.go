@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"net/netip"
 	"os"
 	"testing"
@@ -71,7 +72,7 @@ func writeNCs(t *testing.T, itdkPath, ncsPath string) {
 		t.Fatal(err)
 	}
 	learner := &core.Learner{}
-	ncs, err := learner.LearnAll(psl.Default(), snap.TrainingItems())
+	ncs, err := learner.LearnAll(context.Background(), psl.Default(), snap.TrainingItems())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -21,11 +21,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"net/netip"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"hoiho/internal/asn"
 	"hoiho/internal/bdrmapit"
@@ -36,13 +39,15 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "bdrmapit:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, out io.Writer) error {
+func run(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("bdrmapit", flag.ContinueOnError)
 	tracesPath := fs.String("traces", "", "traceroute corpus (required)")
 	bgpPath := fs.String("bgp", "", "BGP table file (required)")
@@ -85,6 +90,11 @@ func run(args []string, out io.Writer) error {
 	graph := itdk.BuildGraph(corpus, aliases, table, func(a netip.Addr) string {
 		return hostnames[a]
 	})
+	// The input parses above are the long-haul I/O; bail cleanly if a
+	// signal arrived during them rather than starting the annotator.
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 
 	an := &bdrmapit.Annotator{Graph: graph, IXPs: map[asn.ASN]bool{}}
 	if *relPath != "" {

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -26,7 +27,7 @@ func genInputs(t *testing.T) (itdkPath, tracesPath, bgpPath, relPath, orgsPath s
 func TestRunWithoutNCs(t *testing.T) {
 	itdkPath, tracesPath, bgpPath, relPath, orgsPath := genInputs(t)
 	var out bytes.Buffer
-	err := run([]string{
+	err := run(context.Background(), []string{
 		"-itdk", itdkPath, "-traces", tracesPath, "-bgp", bgpPath,
 		"-rel", relPath, "-orgs", orgsPath,
 	}, &out)
@@ -45,7 +46,7 @@ func TestRunWithNCs(t *testing.T) {
 	writeNCs(t, itdkPath, ncsPath)
 
 	var out bytes.Buffer
-	err := run([]string{
+	err := run(context.Background(), []string{
 		"-itdk", itdkPath, "-traces", tracesPath, "-bgp", bgpPath,
 		"-rel", relPath, "-orgs", orgsPath, "-ncs", ncsPath,
 	}, &out)
@@ -60,10 +61,10 @@ func TestRunWithNCs(t *testing.T) {
 
 func TestRunMissingArgs(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-itdk", "x"}, &out); err == nil {
+	if err := run(context.Background(), []string{"-itdk", "x"}, &out); err == nil {
 		t.Error("missing -traces/-bgp should error")
 	}
-	if err := run([]string{"-itdk", "nope", "-traces", "nope", "-bgp", "nope"}, &out); err == nil {
+	if err := run(context.Background(), []string{"-itdk", "nope", "-traces", "nope", "-bgp", "nope"}, &out); err == nil {
 		t.Error("missing files should error")
 	}
 }
@@ -75,7 +76,7 @@ func TestRunBadNCs(t *testing.T) {
 		t.Fatal(err)
 	}
 	var out bytes.Buffer
-	err := run([]string{"-itdk", itdkPath, "-traces", tracesPath, "-bgp", bgpPath, "-ncs", bad}, &out)
+	err := run(context.Background(), []string{"-itdk", itdkPath, "-traces", tracesPath, "-bgp", bgpPath, "-ncs", bad}, &out)
 	if err == nil {
 		t.Error("bad NC JSON should error")
 	}

@@ -6,6 +6,7 @@ package main
 // instead of quoting ad-hoc numbers.
 
 import (
+	"context"
 	"encoding/json"
 	"os"
 	"testing"
@@ -51,7 +52,11 @@ func writeBenchJSON(path string) error {
 				if err != nil {
 					b.Fatal(err)
 				}
-				if nc := set.Learn(); nc == nil {
+				nc, err := set.Learn(context.Background())
+				if err != nil {
+					b.Fatal(err)
+				}
+				if nc == nil {
 					b.Fatal("no NC")
 				}
 			}
@@ -62,7 +67,11 @@ func writeBenchJSON(path string) error {
 				if err != nil {
 					b.Fatal(err)
 				}
-				if nc := set.Learn(); nc == nil || nc.Eval.ATP() != 8 {
+				nc, err := set.Learn(context.Background())
+				if err != nil {
+					b.Fatal(err)
+				}
+				if nc == nil || nc.Eval.ATP() != 8 {
 					b.Fatal("figure-4 pipeline drifted")
 				}
 			}
@@ -70,7 +79,11 @@ func writeBenchJSON(path string) error {
 		runBench("extract/corpus-batch-100k", func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				hits := 0
-				for _, r := range corpus.ExtractBatch(hosts) {
+				rs, err := corpus.ExtractBatch(context.Background(), hosts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, r := range rs {
 					if r.OK {
 						hits++
 					}

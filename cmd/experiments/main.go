@@ -12,13 +12,16 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"sort"
+	"syscall"
 
 	"hoiho/internal/core"
 	"hoiho/internal/experiments"
@@ -26,13 +29,15 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	scale := fs.Float64("scale", 1.0, "topology scale (1.0 = full reproduction)")
 	which := fs.String("run", "all", "experiment to run: all, figure5, figure6, table1, table2, section4, section5, figure7")
@@ -80,16 +85,18 @@ func run(args []string) error {
 		defer f.Close()
 		out = f
 	}
-	return Report(out, experiments.Scale(*scale), *which)
+	return Report(ctx, out, experiments.Scale(*scale), *which)
 }
 
 // Report runs the requested experiments and writes the markdown report.
-func Report(out io.Writer, scale experiments.Scale, which string) error {
+// Cancelling ctx (SIGINT/SIGTERM) aborts the in-flight experiment; the
+// report written so far remains on disk.
+func Report(ctx context.Context, out io.Writer, scale experiments.Scale, which string) error {
 	list := psl.Default()
 	fmt.Fprintf(out, "# Experiments (scale %.2f)\n\n", float64(scale))
 	fmt.Fprintf(out, "All data is synthesized (see DESIGN.md); compare *shapes* with the paper, not absolute counts.\n\n")
 
-	f5, f6, runs, err := experiments.Figure5(scale, list)
+	f5, f6, runs, err := experiments.Figure5(ctx, scale, list)
 	if err != nil {
 		return err
 	}
@@ -125,7 +132,7 @@ func Report(out io.Writer, scale experiments.Scale, which string) error {
 	}
 
 	if want("table1") {
-		pdbT1, err := experiments.RunPDBEra("pdb-table1", itdkFinal.World, 502, list)
+		pdbT1, err := experiments.RunPDBEra(ctx, "pdb-table1", itdkFinal.World, 502, list)
 		if err != nil {
 			return err
 		}
@@ -190,7 +197,10 @@ func Report(out io.Writer, scale experiments.Scale, which string) error {
 	}
 
 	if want("figure7") {
-		f7 := experiments.Figure7(itdkFinal)
+		f7, err := experiments.Figure7(ctx, itdkFinal)
+		if err != nil {
+			return err
+		}
 		fmt.Fprintf(out, "## §7 — full-PTR expansion (OpenINTEL analogue)\n\n")
 		fmt.Fprintf(out, "Paper: matches grew from 5.4K (ITDK) to 22.5K (all delegated space), a factor of ~4.2.\n\n")
 		fmt.Fprintf(out, "- traceroute-observed hostnames matching usable NCs: %d\n", f7.ObservedMatches)

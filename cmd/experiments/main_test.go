@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 
@@ -10,7 +11,7 @@ import (
 
 func TestReportAll(t *testing.T) {
 	var out bytes.Buffer
-	if err := Report(&out, experiments.Scale(0.2), "all"); err != nil {
+	if err := Report(context.Background(), &out, experiments.Scale(0.2), "all"); err != nil {
 		t.Fatal(err)
 	}
 	text := out.String()
@@ -27,7 +28,7 @@ func TestReportAll(t *testing.T) {
 
 func TestReportSingleExperiment(t *testing.T) {
 	var out bytes.Buffer
-	if err := Report(&out, experiments.Scale(0.2), "table2"); err != nil {
+	if err := Report(context.Background(), &out, experiments.Scale(0.2), "table2"); err != nil {
 		t.Fatal(err)
 	}
 	text := out.String()

@@ -23,18 +23,28 @@
 //	hoiho -save ncs.json training.txt
 //	hoiho -apply ncs.json -classes usable ptr-records.txt
 //	zcat ptr.gz | hoiho -apply ncs.json -
+//
+// Long runs are interruptible: SIGINT/SIGTERM (or -timeout) cancels the
+// pipeline cleanly, and -checkpoint/-resume let an interrupted learning
+// run pick up where it stopped:
+//
+//	hoiho -checkpoint ck.json -save ncs.json training.txt   # interrupted…
+//	hoiho -checkpoint ck.json -resume -save ncs.json training.txt
 package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"net/netip"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"syscall"
 
 	"hoiho/internal/asn"
 	"hoiho/internal/asnames"
@@ -45,13 +55,15 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "hoiho:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, out io.Writer) error {
+func run(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("hoiho", flag.ContinueOnError)
 	format := fs.String("format", "plain", "input format: plain or itdk")
 	jsonOut := fs.Bool("json", false, "emit learned conventions as JSON")
@@ -68,8 +80,17 @@ func run(args []string, out io.Writer) error {
 	classes := fs.String("classes", "usable", "with -apply: which conventions to use: good, usable, or all")
 	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memProfile := fs.String("memprofile", "", "write a pprof heap profile to this file on exit")
+	timeout := fs.Duration("timeout", 0, "overall wall-clock budget (0: none); on expiry the run stops cleanly")
+	suffixTimeout := fs.Duration("suffix-timeout", 0, "per-suffix learning budget (0: none); a suffix over budget is quarantined, not fatal")
+	checkpoint := fs.String("checkpoint", "", "periodically record completed suffixes to this file while learning")
+	resume := fs.Bool("resume", false, "with -checkpoint: skip suffixes the checkpoint already records")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
 	if fs.NArg() != 1 {
 		return fmt.Errorf("usage: hoiho [flags] <training-file>")
@@ -100,7 +121,7 @@ func run(args []string, out io.Writer) error {
 		}()
 	}
 	if *applyPath != "" {
-		return runApply(*applyPath, fs.Arg(0), out, *classes)
+		return runApply(ctx, *applyPath, fs.Arg(0), out, *classes)
 	}
 
 	list := psl.Default()
@@ -145,18 +166,34 @@ func run(args []string, out io.Writer) error {
 	}
 
 	learner := &core.Learner{
-		MinItems: *minItems,
+		MinItems:   *minItems,
+		Checkpoint: *checkpoint,
+		Resume:     *resume,
 		Opts: core.Options{
 			DisableMerge:      *noMerge,
 			DisableClasses:    *noClasses,
 			DisableSets:       *noSets,
 			DisableTypoCredit: *noTypo,
+			SuffixTimeout:     *suffixTimeout,
 		},
 	}
-	ncs, err := learner.LearnAll(list, items)
+	report, err := learner.Learn(ctx, list, items)
 	if err != nil {
-		return err
+		if report == nil {
+			return err // setup failure (bad checkpoint, nil PSL), not an interrupt
+		}
+		// Interrupted (signal or -timeout). The checkpoint, if configured,
+		// has already been flushed with every suffix completed so far.
+		msg := fmt.Sprintf("interrupted (%v): %d suffixes learned", err, report.Learned+report.Resumed)
+		if *checkpoint != "" {
+			msg += fmt.Sprintf("; progress saved to %s — rerun with -resume to continue", *checkpoint)
+		}
+		return fmt.Errorf("%s", msg)
 	}
+	for _, q := range report.Quarantined {
+		fmt.Fprintf(os.Stderr, "hoiho: warning: suffix %s quarantined: %v\n", q.Suffix, q.Err)
+	}
+	ncs := report.NCs
 
 	if *savePath != "" {
 		if err := extract.New(ncs, extract.WithPSL(list)).SaveFile(*savePath); err != nil {
@@ -210,8 +247,10 @@ func run(args []string, out io.Writer) error {
 // runApply loads a saved corpus and streams hostnames through it,
 // emitting one "hostname<TAB>asn" line per extraction. hostsPath may be
 // "-" for stdin. Lines may carry extra whitespace-separated columns (as
-// in PTR dumps); only the first field is used.
-func runApply(corpusPath, hostsPath string, out io.Writer, classes string) error {
+// in PTR dumps); only the first field is used. Cancelling ctx shuts the
+// pipeline down cleanly: results already emitted are flushed, and the
+// run reports the interruption.
+func runApply(ctx context.Context, corpusPath, hostsPath string, out io.Writer, classes string) error {
 	var opts []extract.Option
 	switch classes {
 	case "all":
@@ -239,6 +278,8 @@ func runApply(corpusPath, hostsPath string, out io.Writer, classes string) error
 
 	// Feed the scanner into the corpus's ordered streaming pipeline; the
 	// output arrives in input order, so results line up with the file.
+	// Every send selects on ctx.Done so a signal or timeout unwinds the
+	// whole pipeline instead of deadlocking the feeder.
 	in := make(chan string, 256)
 	scanErr := make(chan error, 1)
 	go func() {
@@ -253,22 +294,30 @@ func runApply(corpusPath, hostsPath string, out io.Writer, classes string) error
 			if i := strings.IndexAny(line, " \t"); i >= 0 {
 				line = line[:i]
 			}
-			in <- line
+			select {
+			case in <- line:
+			case <-ctx.Done():
+				scanErr <- ctx.Err()
+				return
+			}
 		}
 		scanErr <- sc.Err()
 	}()
 
 	w := bufio.NewWriter(out)
-	for res := range corpus.ExtractStream(in) {
+	for res := range corpus.ExtractStream(ctx, in) {
 		if !res.OK {
 			continue
 		}
 		fmt.Fprintf(w, "%s\t%s\n", res.Hostname, res.ASN)
 	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
 	if err := <-scanErr; err != nil {
 		return err
 	}
-	return w.Flush()
+	return ctx.Err()
 }
 
 // runNames learns AS-name conventions from "hostname name" lines.

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -31,7 +32,7 @@ core1.nyc.example.net 64512
 func TestRunPlain(t *testing.T) {
 	path := writeFile(t, "train.txt", plainTraining)
 	var out bytes.Buffer
-	if err := run([]string{path}, &out); err != nil {
+	if err := run(context.Background(), []string{path}, &out); err != nil {
 		t.Fatal(err)
 	}
 	text := out.String()
@@ -46,7 +47,7 @@ func TestRunPlain(t *testing.T) {
 func TestRunJSONRoundTrip(t *testing.T) {
 	path := writeFile(t, "train.txt", plainTraining)
 	var out bytes.Buffer
-	if err := run([]string{"-json", path}, &out); err != nil {
+	if err := run(context.Background(), []string{"-json", path}, &out); err != nil {
 		t.Fatal(err)
 	}
 	ncs, err := core.UnmarshalNCs(out.Bytes())
@@ -66,14 +67,14 @@ comcast-ic-3.c.telia.net comcast
 akamai-ic-4.c.telia.net akamai
 `)
 	var out bytes.Buffer
-	if err := run([]string{"-names", path}, &out); err != nil {
+	if err := run(context.Background(), []string{"-names", path}, &out); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), `([a-z]+)`) {
 		t.Errorf("output:\n%s", out.String())
 	}
 	// -names requires plain format.
-	if err := run([]string{"-names", "-format", "itdk", path}, &out); err == nil {
+	if err := run(context.Background(), []string{"-names", "-format", "itdk", path}, &out); err == nil {
 		t.Error("itdk + names should error")
 	}
 }
@@ -87,7 +88,7 @@ func TestRunWithAddressAndIPFilter(t *testing.T) {
 50-236-217-33-static.hfc.cb.net 33 50.236.217.33
 `)
 	var out bytes.Buffer
-	if err := run([]string{path}, &out); err != nil {
+	if err := run(context.Background(), []string{path}, &out); err != nil {
 		t.Fatal(err)
 	}
 	if strings.Contains(out.String(), "cb.net:") {
@@ -103,21 +104,21 @@ func TestRunErrors(t *testing.T) {
 	}
 	for _, args := range cases {
 		var out bytes.Buffer
-		if err := run(args, &out); err == nil {
+		if err := run(context.Background(), args, &out); err == nil {
 			t.Errorf("run(%v) should error", args)
 		}
 	}
 	bad := writeFile(t, "bad.txt", "only-one-field\n")
 	var out bytes.Buffer
-	if err := run([]string{bad}, &out); err == nil {
+	if err := run(context.Background(), []string{bad}, &out); err == nil {
 		t.Error("malformed line should error")
 	}
 	badASN := writeFile(t, "bad2.txt", "host.x.net notanasn\n")
-	if err := run([]string{badASN}, &out); err == nil {
+	if err := run(context.Background(), []string{badASN}, &out); err == nil {
 		t.Error("bad ASN should error")
 	}
 	badAddr := writeFile(t, "bad3.txt", "host.x.net 100 notanip\n")
-	if err := run([]string{badAddr}, &out); err == nil {
+	if err := run(context.Background(), []string{badAddr}, &out); err == nil {
 		t.Error("bad address should error")
 	}
 }
@@ -129,7 +130,7 @@ func TestRunCustomPSL(t *testing.T) {
 	// accumulates 4+ items, so nothing is learned.
 	train := writeFile(t, "train.txt", plainTraining)
 	var out bytes.Buffer
-	if err := run([]string{"-psl", pslPath, train}, &out); err != nil {
+	if err := run(context.Background(), []string{"-psl", pslPath, train}, &out); err != nil {
 		t.Fatal(err)
 	}
 	if strings.Contains(out.String(), "example.net: good") {
@@ -141,7 +142,7 @@ func TestRunAblationFlags(t *testing.T) {
 	path := writeFile(t, "train.txt", plainTraining)
 	for _, flag := range []string{"-no-merge", "-no-classes", "-no-sets", "-no-typo-credit"} {
 		var out bytes.Buffer
-		if err := run([]string{flag, path}, &out); err != nil {
+		if err := run(context.Background(), []string{flag, path}, &out); err != nil {
 			t.Errorf("run(%s): %v", flag, err)
 		}
 	}
@@ -152,7 +153,7 @@ func TestRunSaveApply(t *testing.T) {
 	train := writeFile(t, "train.txt", plainTraining)
 	ncsPath := filepath.Join(t.TempDir(), "ncs.json")
 	var out bytes.Buffer
-	if err := run([]string{"-save", ncsPath, train}, &out); err != nil {
+	if err := run(context.Background(), []string{"-save", ncsPath, train}, &out); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(ncsPath)
@@ -171,7 +172,7 @@ as65000-nyc-ge1.example.net
 not-this-suffix.example.org
 `)
 	out.Reset()
-	if err := run([]string{"-apply", ncsPath, hosts}, &out); err != nil {
+	if err := run(context.Background(), []string{"-apply", ncsPath, hosts}, &out); err != nil {
 		t.Fatal(err)
 	}
 	want := "as64500-ams-xe9.example.net\t64500\nas65000-nyc-ge1.example.net\t65000\n"
@@ -198,7 +199,7 @@ func TestRunApplyClassRestriction(t *testing.T) {
 	}
 	for _, c := range cases {
 		var out bytes.Buffer
-		if err := run([]string{"-apply", ncsPath, "-classes", c.classes, hosts}, &out); err != nil {
+		if err := run(context.Background(), []string{"-apply", ncsPath, "-classes", c.classes, hosts}, &out); err != nil {
 			t.Fatalf("-classes %s: %v", c.classes, err)
 		}
 		if out.String() != c.want {
@@ -207,14 +208,14 @@ func TestRunApplyClassRestriction(t *testing.T) {
 	}
 
 	var out bytes.Buffer
-	if err := run([]string{"-apply", ncsPath, "-classes", "bogus", hosts}, &out); err == nil {
+	if err := run(context.Background(), []string{"-apply", ncsPath, "-classes", "bogus", hosts}, &out); err == nil {
 		t.Error("bogus -classes should error")
 	}
-	if err := run([]string{"-apply", filepath.Join(t.TempDir(), "missing.json"), hosts}, &out); err == nil {
+	if err := run(context.Background(), []string{"-apply", filepath.Join(t.TempDir(), "missing.json"), hosts}, &out); err == nil {
 		t.Error("missing corpus file should error")
 	}
 	bad := writeFile(t, "bad.json", "{not json")
-	if err := run([]string{"-apply", bad, hosts}, &out); err == nil {
+	if err := run(context.Background(), []string{"-apply", bad, hosts}, &out); err == nil {
 		t.Error("malformed corpus should error")
 	}
 }
@@ -222,7 +223,7 @@ func TestRunApplyClassRestriction(t *testing.T) {
 func TestRunMatchesDump(t *testing.T) {
 	path := writeFile(t, "train.txt", plainTraining)
 	var out bytes.Buffer
-	if err := run([]string{"-matches", path}, &out); err != nil {
+	if err := run(context.Background(), []string{"-matches", path}, &out); err != nil {
 		t.Fatal(err)
 	}
 	text := out.String()

@@ -1,8 +1,9 @@
 // Command hoiholint runs hoiho's project-specific static analyzers over
 // the whole module: determinism of map iteration (detmap), RNG seeding
 // discipline (rngseed), compile-once regex invariants (recompile),
-// WaitGroup/shard-pattern hygiene (wghygiene), and panic policy
-// (panicguard). See internal/analysis for the rules and the
+// WaitGroup/shard-pattern hygiene (wghygiene), panic policy
+// (panicguard), and the cancellation contract on exported pipeline
+// entry points (ctxflow). See internal/analysis for the rules and the
 // //hoiho:<verb>-ok annotation grammar, and DESIGN.md §9 for why the
 // value-pinned figures depend on them.
 //

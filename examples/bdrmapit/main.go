@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"net/netip"
@@ -52,7 +53,7 @@ func main() {
 	// the paper does, then re-process with hostname evidence.
 	snap := itdk.FromGraph(graph, initial, "example", "bdrmapit")
 	learner := &core.Learner{}
-	ncs, err := learner.LearnAll(psl.Default(), snap.TrainingItems())
+	ncs, err := learner.LearnAll(context.Background(), psl.Default(), snap.TrainingItems())
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -71,7 +72,10 @@ func main() {
 	show("  #7", `^(?:p|s)?(\d+)\.[a-z\d]+\.equinix\.com$`, `^(\d+)-.+\.equinix\.com$`)
 
 	fmt.Println("Running the full learner:")
-	nc := set.Learn()
+	nc, err := set.Learn(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
 	if nc == nil {
 		log.Fatal("no convention learned")
 	}

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"net/netip"
@@ -41,7 +42,7 @@ func main() {
 	snap := itdk.FromGraph(graph, rtaa.Annotate(graph, world.Rel), "oi", "rtaa")
 
 	learner := &core.Learner{}
-	ncs, err := learner.LearnAll(psl.Default(), snap.TrainingItems())
+	ncs, err := learner.LearnAll(context.Background(), psl.Default(), snap.TrainingItems())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -73,7 +74,11 @@ func main() {
 	}
 	full := 0
 	newLinks := make(map[asn.ASN]int) // extracted ASN -> unseen-port count
-	for i, r := range corpus.ExtractBatch(hosts) {
+	results, err := corpus.ExtractBatch(context.Background(), hosts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, r := range results {
 		if !r.OK {
 			continue
 		}

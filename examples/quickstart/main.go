@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -35,7 +36,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	nc := set.Learn()
+	nc, err := set.Learn(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
 	if nc == nil {
 		log.Fatal("no convention learned")
 	}

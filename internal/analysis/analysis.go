@@ -22,6 +22,10 @@
 //     writes).
 //   - panicguard: panics in library packages must be annotated as
 //     data-embedded invariants or replaced by returned errors.
+//   - ctxflow: exported functions in the pipeline packages that spawn
+//     goroutines or loop over per-item work must accept and consult a
+//     context.Context, so every long-running entry point stays
+//     cancellable.
 //
 // Intentional violations are suppressed with a //hoiho:<verb>-ok
 // annotation carrying a reason; see annot.go for the grammar.
@@ -62,7 +66,7 @@ type Analyzer struct {
 
 // Analyzers returns the full pass in reporting order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{detmap, rngseed, recompile, wghygiene, panicguard}
+	return []*Analyzer{detmap, rngseed, recompile, wghygiene, panicguard, ctxflow}
 }
 
 // Config scopes the analyzers to the project's packages. The zero value
@@ -79,6 +83,10 @@ type Config struct {
 	// (*types.Func).FullName) rooting the per-item hot path for the
 	// recompile analyzer, e.g. "(*hoiho/internal/extract.Corpus).Extract".
 	HotRoots []string
+	// CtxPkgs are the import paths under the cancellation contract:
+	// ctxflow applies only here. These are the pipeline packages whose
+	// exported entry points can run for minutes on real corpora.
+	CtxPkgs []string
 }
 
 // Default is hoiho's lint configuration: the deterministic packages the
@@ -102,11 +110,16 @@ func Default() Config {
 			"(*hoiho/internal/core.Set).Evaluate",
 			"(*hoiho/internal/core.Set).Learn",
 		},
+		CtxPkgs: []string{
+			"hoiho/internal/core",
+			"hoiho/internal/extract",
+		},
 	}
 }
 
-func (c Config) det(path string) bool   { return containsStr(c.DetPkgs, path) }
+func (c Config) det(path string) bool     { return containsStr(c.DetPkgs, path) }
 func (c Config) panicky(path string) bool { return containsStr(c.PanicPkgs, path) }
+func (c Config) ctx(path string) bool     { return containsStr(c.CtxPkgs, path) }
 
 func containsStr(xs []string, s string) bool {
 	for _, x := range xs {

@@ -15,10 +15,11 @@ func fixtureConfig() Config {
 		DetPkgs:   []string{"fix/detmapfix", "fix/rngseedfix"},
 		PanicPkgs: []string{"fix/panicfix"},
 		HotRoots:  []string{"fix/recompilefix.ServeItem"},
+		CtxPkgs:   []string{"fix/ctxflowfix"},
 	}
 }
 
-var fixturePkgs = []string{"detmapfix", "rngseedfix", "recompilefix", "wgfix", "panicfix"}
+var fixturePkgs = []string{"detmapfix", "rngseedfix", "recompilefix", "wgfix", "panicfix", "ctxflowfix"}
 
 // want is one "// want `re`" expectation parsed from a fixture.
 type want struct {

@@ -10,7 +10,7 @@ import (
 //	//hoiho:<verb> <reason>
 //
 // where <verb> names the analyzer being overruled (nondet-ok, rng-ok,
-// recompile-ok, wg-ok, panic-ok) and <reason> is mandatory free text
+// recompile-ok, wg-ok, panic-ok, ctxflow) and <reason> is mandatory free text
 // explaining why the flagged construct is intentionally safe. The
 // annotation suppresses matching diagnostics on its own line (trailing
 // comment) or on the line directly below (comment above the
@@ -47,7 +47,7 @@ func collectAnnotations(p *Program, verbs map[string]bool) *annotations {
 						ann.diags = append(ann.diags, Diagnostic{
 							Pos:     pos,
 							Check:   "annotation",
-							Message: "unknown annotation verb " + quote(verb) + " (known: nondet-ok, rng-ok, recompile-ok, wg-ok, panic-ok)",
+							Message: "unknown annotation verb " + quote(verb) + " (known: nondet-ok, rng-ok, recompile-ok, wg-ok, panic-ok, ctxflow)",
 						})
 						continue
 					}

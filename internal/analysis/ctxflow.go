@@ -1,0 +1,198 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ctxflow enforces the cancellation contract on the pipeline packages
+// (Config.CtxPkgs): an exported function that fans out work — spawns
+// goroutines, or loops over a collection calling back into its own
+// package per item — must accept a context.Context, and a function that
+// accepts one must actually consult it (check ctx.Err/ctx.Done or pass
+// it on). Without this, a learning or extraction entry point added
+// later silently becomes uninterruptible: signals and -timeout stop
+// working for exactly the calls that run longest.
+//
+// The per-item-loop trigger is deliberately scoped to ranges whose body
+// calls a same-package function; a loop that only touches other
+// packages' cheap helpers (strings, sort) is not a pipeline stage.
+var ctxflow = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "exported pipeline entry points must accept and consult a context.Context",
+	Verb: "ctxflow",
+	Run:  runCtxFlow,
+}
+
+func runCtxFlow(p *Program) []Diagnostic {
+	var out []Diagnostic
+	for _, pkg := range p.Packages {
+		if !p.Config.ctx(pkg.Path) {
+			continue
+		}
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil || !exportedEntry(fd) {
+					continue
+				}
+				out = append(out, checkCtxFlow(p, pkg, fd)...)
+			}
+		}
+	}
+	return out
+}
+
+// exportedEntry reports whether the declaration is part of the package's
+// exported API: an exported function, or an exported method on an
+// exported receiver type.
+func exportedEntry(fd *ast.FuncDecl) bool {
+	if !fd.Name.IsExported() {
+		return false
+	}
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return true
+	}
+	t := fd.Recv.List[0].Type
+	for {
+		switch x := t.(type) {
+		case *ast.StarExpr:
+			t = x.X
+		case *ast.IndexExpr: // generic receiver
+			t = x.X
+		default:
+			id, ok := t.(*ast.Ident)
+			return ok && id.IsExported()
+		}
+	}
+}
+
+func checkCtxFlow(p *Program, pkg *Package, fd *ast.FuncDecl) []Diagnostic {
+	ctxParams := contextParams(pkg, fd)
+	spawns, loops := fanOut(pkg, fd)
+
+	var out []Diagnostic
+	if len(ctxParams) == 0 && (spawns || loops) {
+		what := "loops over items calling back into the package"
+		if spawns {
+			what = "spawns goroutines"
+		}
+		out = append(out, Diagnostic{
+			Pos:     p.Fset.Position(fd.Name.Pos()),
+			Check:   "ctxflow",
+			Message: quote(fd.Name.Name) + " " + what + " but has no context.Context parameter; exported pipeline entry points must be cancellable",
+			Suggest: "//hoiho:ctxflow <why this exported fan-out needs no cancellation>",
+		})
+		return out
+	}
+	for _, obj := range ctxParams {
+		if usesObject(pkg, fd.Body, obj) {
+			continue
+		}
+		out = append(out, Diagnostic{
+			Pos:     p.Fset.Position(fd.Name.Pos()),
+			Check:   "ctxflow",
+			Message: quote(fd.Name.Name) + " takes a context.Context but never consults it; check ctx.Err, select on ctx.Done, or pass it on",
+			Suggest: "//hoiho:ctxflow <why the context is accepted but unused>",
+		})
+	}
+	return out
+}
+
+// contextParams returns the objects of the function's context.Context
+// parameters. An unnamed or blank context parameter is returned as a nil
+// object — it exists but can never be consulted.
+func contextParams(pkg *Package, fd *ast.FuncDecl) []types.Object {
+	var out []types.Object
+	if fd.Type.Params == nil {
+		return nil
+	}
+	for _, field := range fd.Type.Params.List {
+		if !isContextType(pkg.Info.TypeOf(field.Type)) {
+			continue
+		}
+		if len(field.Names) == 0 {
+			out = append(out, nil)
+			continue
+		}
+		for _, name := range field.Names {
+			if name.Name == "_" {
+				out = append(out, nil)
+				continue
+			}
+			out = append(out, pkg.Info.Defs[name])
+		}
+	}
+	return out
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// usesObject reports whether the body references obj. A nil obj (blank
+// or unnamed parameter) is never used.
+func usesObject(pkg *Package, body *ast.BlockStmt, obj types.Object) bool {
+	if obj == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && pkg.Info.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// fanOut reports whether the function body spawns goroutines (spawns)
+// or ranges over a slice/array/map/channel with a same-package call in
+// the loop body (loops) — the two shapes of per-item work that must be
+// interruptible.
+func fanOut(pkg *Package, fd *ast.FuncDecl) (spawns, loops bool) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			spawns = true
+		case *ast.RangeStmt:
+			if !collectionType(pkg.Info.TypeOf(n.X)) {
+				return true
+			}
+			ast.Inspect(n.Body, func(b ast.Node) bool {
+				call, ok := b.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if obj := calleeObj(pkg.Info, call); obj != nil && obj.Pkg() == pkg.Types {
+					if _, isFunc := obj.(*types.Func); isFunc {
+						loops = true
+					}
+				}
+				return !loops
+			})
+		}
+		return !(spawns && loops)
+	})
+	return spawns, loops
+}
+
+// collectionType reports whether t ranges over a per-item collection:
+// slice, array, map, or channel (strings and integers range cheaply and
+// are not pipeline stages).
+func collectionType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	switch t.Underlying().(type) {
+	case *types.Slice, *types.Array, *types.Map, *types.Chan:
+		return true
+	}
+	return false
+}

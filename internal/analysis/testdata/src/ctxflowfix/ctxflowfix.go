@@ -1,0 +1,83 @@
+// Package ctxflowfix exercises the ctxflow analyzer: exported pipeline
+// entry points that fan out work must accept and consult a
+// context.Context.
+package ctxflowfix
+
+import (
+	"context"
+	"strings"
+)
+
+func helper(s string) int { return len(s) }
+
+// SpawnNoCtx spawns a goroutine without accepting a context.
+func SpawnNoCtx(items []string) { // want `"SpawnNoCtx" spawns goroutines but has no context.Context parameter`
+	done := make(chan struct{})
+	go func() {
+		for _, it := range items {
+			_ = helper(it)
+		}
+		close(done)
+	}()
+	<-done
+}
+
+// LoopNoCtx loops over per-item work calling back into the package.
+func LoopNoCtx(items []string) int { // want `"LoopNoCtx" loops over items calling back into the package but has no context.Context parameter`
+	total := 0
+	for _, it := range items {
+		total += helper(it)
+	}
+	return total
+}
+
+// TakesButIgnores accepts a context and never consults it.
+func TakesButIgnores(ctx context.Context, items []string) int { // want `"TakesButIgnores" takes a context.Context but never consults it`
+	total := 0
+	for _, it := range items {
+		total += helper(it)
+	}
+	return total
+}
+
+// Propagates is clean: it checks the context between items.
+func Propagates(ctx context.Context, items []string) (int, error) {
+	total := 0
+	for _, it := range items {
+		if err := ctx.Err(); err != nil {
+			return total, err
+		}
+		total += helper(it)
+	}
+	return total, nil
+}
+
+// OtherPackageLoop is clean: the loop body only calls another package,
+// so it is not a per-item pipeline stage.
+func OtherPackageLoop(items []string) int {
+	total := 0
+	for _, it := range items {
+		total += len(strings.ToUpper(it))
+	}
+	return total
+}
+
+// unexportedSpawn is clean: ctxflow covers only the exported API.
+func unexportedSpawn(items []string) {
+	go func() {
+		for _, it := range items {
+			_ = helper(it)
+		}
+	}()
+}
+
+// AnnotatedFanOut is suppressed: the annotation carries the reason.
+//
+//hoiho:ctxflow synchronous wrapper over a bounded four-item table; never long-running
+func AnnotatedFanOut(items []string) int {
+	total := 0
+	for _, it := range items {
+		total += helper(it)
+	}
+	return total
+}

@@ -1,0 +1,51 @@
+// Package atomicfile writes files atomically: content is staged in a
+// temporary file in the destination directory and moved into place with
+// os.Rename, which is atomic on POSIX filesystems. A crash mid-write
+// leaves either the old file or the new file on disk, never a torn
+// mixture — the property the corpus saver and the learner's checkpoint
+// writer depend on (a torn corpus JSON would fail to load; a torn
+// checkpoint would silently lose a run's progress).
+package atomicfile
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// WriteFile atomically replaces path with the bytes produced by write.
+// The temporary file lives in path's directory (renames across
+// filesystems are not atomic) and is removed on any failure.
+func WriteFile(path string, write func(io.Writer) error) (err error) {
+	dir, base := filepath.Split(path)
+	if dir == "" {
+		dir = "."
+	}
+	tmp, err := os.CreateTemp(dir, base+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("atomicfile: %w", err)
+	}
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	if err = write(tmp); err != nil {
+		return err
+	}
+	// Flush to stable storage before the rename publishes the file, so
+	// the atomicity guarantee holds across power loss, not just crashes.
+	if err = tmp.Sync(); err != nil {
+		return fmt.Errorf("atomicfile: sync %s: %w", tmp.Name(), err)
+	}
+	if err = tmp.Close(); err != nil {
+		return fmt.Errorf("atomicfile: close %s: %w", tmp.Name(), err)
+	}
+	if err = os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("atomicfile: %w", err)
+	}
+	return nil
+}

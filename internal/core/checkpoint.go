@@ -1,0 +1,196 @@
+package core
+
+// Checkpoint/resume for long Learner runs. The checkpoint file is a
+// versioned JSON envelope holding every completed suffix's outcome —
+// the learned NC in its stable serialized form, or an explicit
+// "completed, no learnable convention" marker — plus a fingerprint of
+// the learning options. Writes go through internal/atomicfile (temp
+// file + rename), so a crash mid-flush leaves the previous checkpoint
+// intact, never a torn one. Resume refuses a checkpoint written under
+// different learning options: mixing conventions learned under
+// different rules would silently corrupt the corpus.
+//
+// Because NCs round-trip bit-for-bit through their JSON form, a run
+// that is interrupted and resumed produces a corpus byte-identical to
+// an uninterrupted run (TestCheckpointResumeEquivalence).
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+
+	"hoiho/internal/atomicfile"
+)
+
+// checkpointVersion is the on-disk schema version. Readers reject any
+// other version with a descriptive error rather than guessing.
+const checkpointVersion = 1
+
+// maxCheckpointBytes caps how much checkpoint JSON the loader reads, so
+// a corrupt or hostile file fails loudly instead of exhausting memory.
+const maxCheckpointBytes = 256 << 20
+
+type checkpointFile struct {
+	Version int               `json:"version"`
+	Opts    string            `json:"opts"`
+	Done    []checkpointEntry `json:"done"`
+}
+
+type checkpointEntry struct {
+	Suffix string `json:"suffix"`
+	// NC is nil when the suffix completed without a learnable
+	// convention — still done, so resume must not re-learn it.
+	NC *NC `json:"nc,omitempty"`
+}
+
+// optsFingerprint identifies the learner configuration whose results a
+// checkpoint holds. Knobs that cannot change a completed suffix's NC —
+// parallelism, the per-suffix wall-clock budget, checkpoint cadence —
+// are excluded, so resuming with more workers or a different timeout is
+// allowed.
+func (l *Learner) optsFingerprint() string {
+	o := l.Opts
+	o.Workers = 0
+	o.SuffixTimeout = 0
+	min := l.MinItems
+	if min <= 0 {
+		min = 4
+	}
+	return fmt.Sprintf("%+v;min=%d", o, min)
+}
+
+// checkpointState is the in-run view of the checkpoint: the completed
+// suffixes (loaded ones plus this run's), and the flush cadence. A nil
+// *checkpointState (no Checkpoint configured) is valid and inert.
+type checkpointState struct {
+	path  string
+	every int
+	fp    string
+
+	mu      sync.Mutex
+	entries map[string]*NC
+	dirty   int // completions since the last flush
+}
+
+// openCheckpoint prepares the checkpoint for a run, loading prior
+// progress when Resume is set. Returns nil (inert) when no checkpoint
+// path is configured.
+func (l *Learner) openCheckpoint() (*checkpointState, error) {
+	if l.Checkpoint == "" {
+		if l.Resume {
+			return nil, fmt.Errorf("core: Resume requires a Checkpoint path")
+		}
+		return nil, nil
+	}
+	ck := &checkpointState{
+		path:    l.Checkpoint,
+		every:   l.CheckpointEvery,
+		fp:      l.optsFingerprint(),
+		entries: make(map[string]*NC),
+	}
+	if ck.every <= 0 {
+		ck.every = 16
+	}
+	if !l.Resume {
+		return ck, nil
+	}
+	f, err := os.Open(l.Checkpoint)
+	if os.IsNotExist(err) {
+		// Nothing to resume from yet: a fresh run that will create it.
+		return ck, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("core: checkpoint: %w", err)
+	}
+	defer f.Close()
+	data, err := io.ReadAll(io.LimitReader(f, maxCheckpointBytes+1))
+	if err != nil {
+		return nil, fmt.Errorf("core: checkpoint %s: %w", l.Checkpoint, err)
+	}
+	if len(data) > maxCheckpointBytes {
+		return nil, fmt.Errorf("core: checkpoint %s: exceeds %d-byte cap", l.Checkpoint, maxCheckpointBytes)
+	}
+	var cf checkpointFile
+	if err := json.Unmarshal(data, &cf); err != nil {
+		return nil, fmt.Errorf("core: checkpoint %s: not a checkpoint file: %w", l.Checkpoint, err)
+	}
+	if cf.Version != checkpointVersion {
+		return nil, fmt.Errorf("core: checkpoint %s: unsupported version %d (this build reads %d)",
+			l.Checkpoint, cf.Version, checkpointVersion)
+	}
+	if cf.Opts != ck.fp {
+		return nil, fmt.Errorf("core: checkpoint %s: written under different learner options (checkpoint %q, current %q); delete it or restore the options",
+			l.Checkpoint, cf.Opts, ck.fp)
+	}
+	for _, e := range cf.Done {
+		ck.entries[e.Suffix] = e.NC
+	}
+	return ck, nil
+}
+
+// done reports whether the suffix completed in a previous run and, if
+// so, its NC (nil for completed-without-convention). Called before the
+// worker fan-out, so it reads entries without locking.
+func (ck *checkpointState) done(suffix string) (*NC, bool) {
+	if ck == nil {
+		return nil, false
+	}
+	nc, ok := ck.entries[suffix]
+	return nc, ok
+}
+
+// record marks a suffix completed and flushes when the cadence is due.
+// Safe for concurrent use by the learner's workers.
+func (ck *checkpointState) record(suffix string, nc *NC) error {
+	if ck == nil {
+		return nil
+	}
+	ck.mu.Lock()
+	defer ck.mu.Unlock()
+	ck.entries[suffix] = nc
+	ck.dirty++
+	if ck.dirty < ck.every {
+		return nil
+	}
+	return ck.flushLocked()
+}
+
+// flush writes any unflushed completions; a no-op when nothing changed
+// since the last flush (or no checkpoint is configured).
+func (ck *checkpointState) flush() error {
+	if ck == nil {
+		return nil
+	}
+	ck.mu.Lock()
+	defer ck.mu.Unlock()
+	if ck.dirty == 0 {
+		return nil
+	}
+	return ck.flushLocked()
+}
+
+func (ck *checkpointState) flushLocked() error {
+	suffixes := make([]string, 0, len(ck.entries))
+	for s := range ck.entries {
+		suffixes = append(suffixes, s)
+	}
+	sort.Strings(suffixes)
+	cf := checkpointFile{Version: checkpointVersion, Opts: ck.fp}
+	cf.Done = make([]checkpointEntry, 0, len(suffixes))
+	for _, s := range suffixes {
+		cf.Done = append(cf.Done, checkpointEntry{Suffix: s, NC: ck.entries[s]})
+	}
+	err := atomicfile.WriteFile(ck.path, func(w io.Writer) error {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(cf)
+	})
+	if err != nil {
+		return fmt.Errorf("core: checkpoint %s: %w", ck.path, err)
+	}
+	ck.dirty = 0
+	return nil
+}

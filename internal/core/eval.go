@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/bits"
 	"sort"
 
@@ -106,6 +107,8 @@ func (s *Set) evalItem(p prepped, regexes []*rex.Regex) (Outcome, string, int) {
 // evaluates through the memoized match matrix (matrix.go), which is
 // proven bit-for-bit equivalent against this oracle by
 // TestMatrixMatchesOracle.
+//
+//hoiho:ctxflow reference oracle over one suffix's items; bounded, and cancellation lives in the matrix path the pipeline actually uses
 func (s *Set) Evaluate(regexes ...*rex.Regex) Eval {
 	var e Eval
 	uniqueTP := make(map[string]struct{})
@@ -133,6 +136,8 @@ func (s *Set) Evaluate(regexes ...*rex.Regex) Eval {
 
 // EvaluateDetailed returns the evaluation together with per-item
 // extractions, in training order.
+//
+//hoiho:ctxflow one pass over one suffix's items for reporting; bounded, not a learning-pipeline stage
 func (s *Set) EvaluateDetailed(regexes ...*rex.Regex) (Eval, []Extraction) {
 	var e Eval
 	uniqueTP := make(map[string]struct{})
@@ -227,9 +232,11 @@ func (s *Set) rank(cands []scored) {
 // the memoized match matrix: each regex's TP column is walked with
 // first-match semantics, so repeated calls cost bit operations plus the
 // parse of each distinct TP extraction.
-func (s *Set) uniqueExtractedASNs(regexes []*rex.Regex) []asn.ASN {
+func (s *Set) uniqueExtractedASNs(ctx context.Context, regexes []*rex.Regex) ([]asn.ASN, error) {
 	m := s.matrix()
-	m.ensure(regexes)
+	if err := m.ensure(ctx, regexes); err != nil {
+		return nil, err
+	}
 	n := len(s.items)
 	remaining := newBitset(n)
 	remaining.fill(n)
@@ -258,5 +265,5 @@ func (s *Set) uniqueExtractedASNs(regexes []*rex.Regex) []asn.ASN {
 		out = append(out, a)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	return out, nil
 }

@@ -38,7 +38,7 @@ func TestFigure4Pipeline(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	nc := set.Learn()
+	nc := learnT(t, set)
 	if nc == nil {
 		t.Fatal("no NC learned")
 	}
@@ -164,7 +164,7 @@ func TestFigure2SupplierConvention(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	nc := set.Learn()
+	nc := learnT(t, set)
 	if nc == nil {
 		t.Fatal("no NC learned")
 	}

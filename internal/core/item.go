@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"net/netip"
 	"sort"
+	"time"
 
 	"hoiho/internal/asn"
 	"hoiho/internal/editdist"
@@ -91,6 +92,13 @@ type Options struct {
 	// column builds). 0 means GOMAXPROCS, 1 forces serial execution.
 	// Results are deterministic regardless of the setting.
 	Workers int
+	// SuffixTimeout is the wall-clock budget for learning one suffix.
+	// When positive, Learner.LearnSuffix derives a per-suffix deadline
+	// from it, so a pathological suffix (a regex blow-up, a huge
+	// candidate pool) degrades that one NC instead of stalling the whole
+	// run; Learner.Learn quarantines the timed-out suffix and keeps
+	// going. 0 means no per-suffix budget.
+	SuffixTimeout time.Duration
 }
 
 func (o Options) maxGenItems() int {
@@ -131,6 +139,8 @@ func (o Options) maxSingleNCs() int {
 // NewSet parses and indexes training items for one suffix. Items whose
 // hostname fails to parse, does not end with the suffix, or has no
 // training ASN are dropped.
+//
+//hoiho:ctxflow one linear parse pass over one suffix's items; the long-running phases are in Learn, which takes ctx
 func NewSet(suffix string, items []Item, opts Options) (*Set, error) {
 	if suffix == "" {
 		return nil, fmt.Errorf("core: empty suffix")

@@ -10,7 +10,7 @@ func TestNCJSONRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	nc := set.Learn()
+	nc := learnT(t, set)
 	if nc == nil {
 		t.Fatal("no NC")
 	}

@@ -1,12 +1,15 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sort"
 	"strings"
 	"sync"
 
+	"hoiho/internal/faultinject"
 	"hoiho/internal/psl"
 	"hoiho/internal/rex"
 )
@@ -47,27 +50,40 @@ func (nc *NC) Strings() []string {
 
 // Learn runs the full four-phase pipeline on the set and returns the best
 // NC, or nil when no hostname contains an apparent ASN (the suffix has no
-// learnable ASN convention).
-func (s *Set) Learn() *NC {
+// learnable ASN convention). The context is checked between phases and
+// before every match-matrix column build; on cancellation or deadline the
+// partial work is discarded and the context's error is returned.
+func (s *Set) Learn(ctx context.Context) (*NC, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	base := s.generate()
 	if len(base) == 0 {
-		return nil
+		return nil, nil
 	}
 
 	pool := base
 	if !s.opts.DisableMerge {
 		pool = s.mergePhase(pool)
 	}
-	cands := s.score(pool)
+	cands, err := s.score(ctx, pool)
+	if err != nil {
+		return nil, err
+	}
 	s.rank(cands)
 	cands = s.truncate(cands)
 
 	if !s.opts.DisableClasses {
-		cands = s.classPhase(cands)
+		if cands, err = s.classPhase(ctx, cands); err != nil {
+			return nil, err
+		}
 		s.rank(cands)
 		cands = s.truncate(cands)
 	}
 
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	var ncs []candidateNC
 	for i, c := range cands {
 		// The top-ranked single regexes are NC candidates themselves.
@@ -81,21 +97,23 @@ func (s *Set) Learn() *NC {
 	}
 	best := s.selectBest(ncs)
 	if best == nil {
-		return nil
+		return nil, nil
 	}
 	nc := &NC{Suffix: s.Suffix, Regexes: best.regexes, Eval: best.eval}
 	nc.Class = s.Classify(nc.Eval)
 	nc.Single = nc.Eval.TP > 0 && nc.Eval.UniqueExtract == 1
-	return nc
+	return nc, nil
 }
 
 // score evaluates each regex in the pool through the match matrix: the
 // columns are built in parallel (bounded by Options.Workers) and each
 // regex's Eval is the memoized column aggregate. Regexes that fail to
 // compile are dropped, as before.
-func (s *Set) score(pool []*rex.Regex) []scored {
+func (s *Set) score(ctx context.Context, pool []*rex.Regex) ([]scored, error) {
 	m := s.matrix()
-	m.ensure(pool)
+	if err := m.ensure(ctx, pool); err != nil {
+		return nil, err
+	}
 	out := make([]scored, 0, len(pool))
 	for _, r := range pool {
 		c := m.column(r)
@@ -104,7 +122,7 @@ func (s *Set) score(pool []*rex.Regex) []scored {
 		}
 		out = append(out, scored{regex: r, eval: c.eval})
 	}
-	return out
+	return out, nil
 }
 
 func (s *Set) truncate(cands []scored) []scored {
@@ -164,7 +182,7 @@ func (s *Set) mergePhase(pool []*rex.Regex) []*rex.Regex {
 // exclusion components with the narrowest character class covering the
 // substrings those components matched across the training data, adding
 // the specialized regex to the pool.
-func (s *Set) classPhase(cands []scored) []scored {
+func (s *Set) classPhase(ctx context.Context, cands []scored) ([]scored, error) {
 	seen := make(map[string]bool, len(cands))
 	for _, c := range cands {
 		seen[c.regex.String()] = true
@@ -183,12 +201,14 @@ func (s *Set) classPhase(cands []scored) []scored {
 		produced = append(produced, r)
 	}
 	m := s.matrix()
-	m.ensure(produced)
+	if err := m.ensure(ctx, produced); err != nil {
+		return nil, err
+	}
 	out := cands
 	for _, r := range produced {
 		out = append(out, scored{regex: r, eval: m.column(r).eval})
 	}
-	return out
+	return out, nil
 }
 
 // embedClasses returns a copy of r with every exclusion component whose
@@ -356,18 +376,83 @@ type Learner struct {
 	// Workers bounds the suffixes learned concurrently, and (unless
 	// Opts.Workers overrides it) the goroutines each suffix may use to
 	// score its candidate pool — so a single dominant suffix no longer
-	// bounds the tail latency of a whole LearnAll run. 0 means
-	// GOMAXPROCS, 1 forces serial execution.
+	// bounds the tail latency of a whole Learn run. 0 means GOMAXPROCS,
+	// 1 forces serial execution.
 	Workers int
+	// Checkpoint, when non-empty, makes Learn durable: every completed
+	// suffix's outcome is staged there, flushed atomically (temp file +
+	// rename) every CheckpointEvery completions and again when the run
+	// finishes or is cancelled. See checkpoint.go for the format.
+	Checkpoint string
+	// CheckpointEvery is the flush cadence in completed suffixes.
+	// 0 means the default (16).
+	CheckpointEvery int
+	// Resume loads the Checkpoint file (when it exists) before learning
+	// and skips the suffixes it already covers, so an interrupted run
+	// picks up where it left off. Requires Checkpoint; refused when the
+	// checkpoint was written under different learning options.
+	Resume bool
 }
 
-// LearnSuffix builds a set for one suffix and learns its NC. The
-// learner's Workers knob doubles as the intra-suffix scoring parallelism
-// unless Opts.Workers overrides it.
-func (l *Learner) LearnSuffix(suffix string, items []Item) (*NC, error) {
+// SuffixError is one quarantined suffix: learning it panicked, exceeded
+// Options.SuffixTimeout, or failed with a transient error. The rest of
+// the run is unaffected — the paper's corpora are noisy (§4), and one
+// pathological suffix must degrade one NC, not the fleet.
+type SuffixError struct {
+	Suffix string
+	// Err is the non-panic failure (context.DeadlineExceeded for a
+	// blown suffix budget); nil when the suffix panicked.
+	Err error
+	// Panic is the recovered panic value, nil otherwise.
+	Panic any
+	// Stack is the goroutine stack captured at recovery, for post-mortem
+	// debugging of quarantined panics.
+	Stack []byte
+}
+
+func (e *SuffixError) Error() string {
+	if e.Panic != nil {
+		return fmt.Sprintf("core: suffix %s: panic: %v", e.Suffix, e.Panic)
+	}
+	return fmt.Sprintf("core: suffix %s: %v", e.Suffix, e.Err)
+}
+
+// Unwrap exposes the underlying error to errors.Is/As (e.g. matching
+// context.DeadlineExceeded for timed-out suffixes).
+func (e *SuffixError) Unwrap() error { return e.Err }
+
+// Report is the outcome of a Learner.Learn run.
+type Report struct {
+	// NCs are the learned conventions, sorted by suffix, including any
+	// restored from a resumed checkpoint.
+	NCs []*NC
+	// Learned counts suffixes completed this run (with or without a
+	// resulting NC); Resumed counts suffixes skipped via the checkpoint.
+	Learned int
+	Resumed int
+	// Quarantined lists the suffixes isolated by the per-suffix fault
+	// boundary, sorted by suffix. They are not recorded in the
+	// checkpoint, so a resumed run retries them.
+	Quarantined []*SuffixError
+}
+
+// LearnSuffix builds a set for one suffix and learns its NC under the
+// context and, when Options.SuffixTimeout is set, a per-suffix deadline.
+// The learner's Workers knob doubles as the intra-suffix scoring
+// parallelism unless Opts.Workers overrides it. Panics are not caught
+// here — Learn adds the quarantine boundary.
+func (l *Learner) LearnSuffix(ctx context.Context, suffix string, items []Item) (*NC, error) {
 	opts := l.Opts
 	if opts.Workers == 0 {
 		opts.Workers = l.Workers
+	}
+	if err := faultinject.Fire(ctx, faultinject.StageLearnSuffix, suffix); err != nil {
+		return nil, err
+	}
+	if t := opts.SuffixTimeout; t > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, t)
+		defer cancel()
 	}
 	set, err := NewSet(suffix, items, opts)
 	if err != nil {
@@ -380,76 +465,170 @@ func (l *Learner) LearnSuffix(suffix string, items []Item) (*NC, error) {
 	if set.Len() < min {
 		return nil, nil
 	}
-	return set.Learn(), nil
+	return set.Learn(ctx)
 }
 
-// LearnAll groups items by registered domain and learns an NC per suffix,
-// returning conventions sorted by suffix. Suffixes with no learnable
-// convention are omitted. Suffixes are independent, so they are learned
-// concurrently (bounded by Workers); results are deterministic regardless
-// of parallelism.
-func (l *Learner) LearnAll(list *psl.List, items []Item) ([]*NC, error) {
+// learnOne learns one suffix inside the quarantine boundary: a panic or
+// a suffix-local failure (timeout, transient error, bad set) becomes a
+// *SuffixError; cancellation of the run's own context aborts instead.
+func (l *Learner) learnOne(ctx context.Context, suffix string, items []Item) (nc *NC, quar *SuffixError, runErr error) {
+	defer func() {
+		if r := recover(); r != nil {
+			nc = nil
+			quar = &SuffixError{Suffix: suffix, Panic: r, Stack: debug.Stack()}
+			runErr = nil
+		}
+	}()
+	nc, err := l.LearnSuffix(ctx, suffix, items)
+	if err == nil {
+		return nc, nil, nil
+	}
+	if ctx.Err() != nil {
+		// The whole run was cancelled or hit its deadline; not this
+		// suffix's fault, and not quarantinable.
+		return nil, nil, ctx.Err()
+	}
+	return nil, &SuffixError{Suffix: suffix, Err: err}, nil
+}
+
+// Learn groups items by registered domain and learns an NC per suffix
+// concurrently (bounded by Workers), with per-suffix fault isolation:
+// a suffix that panics, times out, or fails is quarantined in the
+// report while every other suffix completes. Results are deterministic
+// regardless of parallelism. On cancellation Learn flushes the
+// checkpoint (when configured), returns the partial report, and
+// reports ctx.Err().
+func (l *Learner) Learn(ctx context.Context, list *psl.List, items []Item) (*Report, error) {
 	if list == nil {
 		return nil, fmt.Errorf("core: nil public suffix list")
 	}
 	groups, suffixes := GroupItems(list, items)
 
+	ck, err := l.openCheckpoint()
+	if err != nil {
+		return nil, err
+	}
+
+	report := &Report{}
+	results := make([]*NC, len(suffixes))
+	quar := make([]*SuffixError, len(suffixes))
+	pending := make([]int, 0, len(suffixes))
+	for i, suf := range suffixes {
+		if nc, done := ck.done(suf); done {
+			results[i] = nc
+			report.Resumed++
+			continue
+		}
+		pending = append(pending, i)
+	}
+
 	workers := l.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > len(suffixes) {
-		workers = len(suffixes)
+	if workers > len(pending) {
+		workers = len(pending)
 	}
+
+	var runErr error
 	if workers <= 1 {
-		var out []*NC
-		for _, suf := range suffixes {
-			nc, err := l.LearnSuffix(suf, groups[suf])
+		for _, i := range pending {
+			suf := suffixes[i]
+			nc, qe, err := l.learnOne(ctx, suf, groups[suf])
 			if err != nil {
-				return nil, fmt.Errorf("core: suffix %s: %w", suf, err)
+				runErr = err
+				break
 			}
-			if nc != nil {
-				out = append(out, nc)
+			if qe != nil {
+				quar[i] = qe
+				continue
+			}
+			results[i] = nc
+			report.Learned++
+			if cerr := ck.record(suf, nc); cerr != nil {
+				runErr = cerr
+				break
 			}
 		}
-		return out, nil
-	}
-
-	// Fan out one job per suffix; slot results by index to keep the
-	// suffix-sorted order independent of scheduling.
-	results := make([]*NC, len(suffixes))
-	errs := make([]error, len(suffixes))
-	jobs := make(chan int)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range jobs {
-				suf := suffixes[i]
-				nc, err := l.LearnSuffix(suf, groups[suf])
-				if err != nil {
-					errs[i] = fmt.Errorf("core: suffix %s: %w", suf, err)
-					continue
+		if runErr == nil {
+			runErr = ctx.Err()
+		}
+	} else {
+		// Fan out one job per suffix; slot results by index to keep the
+		// suffix-sorted order independent of scheduling.
+		jobs := make(chan int)
+		var wg sync.WaitGroup
+		var mu sync.Mutex
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range jobs {
+					suf := suffixes[i]
+					nc, qe, err := l.learnOne(ctx, suf, groups[suf])
+					mu.Lock()
+					switch {
+					case err != nil:
+						if runErr == nil {
+							runErr = err
+						}
+					case qe != nil:
+						quar[i] = qe
+					default:
+						results[i] = nc
+						report.Learned++
+						if cerr := ck.record(suf, nc); cerr != nil && runErr == nil {
+							runErr = cerr
+						}
+					}
+					mu.Unlock()
 				}
-				results[i] = nc
+			}()
+		}
+	dispatch:
+		for _, i := range pending {
+			select {
+			case jobs <- i:
+			case <-ctx.Done():
+				break dispatch
 			}
-		}()
+		}
+		close(jobs)
+		wg.Wait()
+		if runErr == nil {
+			runErr = ctx.Err()
+		}
 	}
-	for i := range suffixes {
-		jobs <- i
-	}
-	close(jobs)
-	wg.Wait()
 
-	var out []*NC
-	for i, nc := range results {
-		if errs[i] != nil {
-			return nil, errs[i]
+	// Flush whatever completed, even on abort: the checkpoint is the
+	// crash-consistency story for long runs.
+	if ferr := ck.flush(); ferr != nil && runErr == nil {
+		runErr = ferr
+	}
+
+	for i := range suffixes {
+		if quar[i] != nil {
+			report.Quarantined = append(report.Quarantined, quar[i])
+			continue
 		}
-		if nc != nil {
-			out = append(out, nc)
+		if results[i] != nil {
+			report.NCs = append(report.NCs, results[i])
 		}
 	}
-	return out, nil
+	return report, runErr
+}
+
+// LearnAll is the strict form of Learn for callers that treat any
+// suffix failure as fatal: it returns the learned conventions sorted by
+// suffix, or the first quarantined suffix's error. Suffixes with no
+// learnable convention are omitted.
+func (l *Learner) LearnAll(ctx context.Context, list *psl.List, items []Item) ([]*NC, error) {
+	report, err := l.Learn(ctx, list, items)
+	if err != nil {
+		return nil, err
+	}
+	if len(report.Quarantined) > 0 {
+		return nil, report.Quarantined[0]
+	}
+	return report.NCs, nil
 }

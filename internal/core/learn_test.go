@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"net/netip"
 	"testing"
@@ -8,6 +9,17 @@ import (
 	"hoiho/internal/asn"
 	"hoiho/internal/psl"
 )
+
+// learnT runs Set.Learn with a background context, failing the test on
+// error; the pre-context call sites read the same as before.
+func learnT(tb testing.TB, s *Set) *NC {
+	tb.Helper()
+	nc, err := s.Learn(context.Background())
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return nc
+}
 
 // startStyleItems fabricates a clean start-style convention
 // ("as<ASN>-<pop>-<n>.example.net") over n distinct neighbor ASNs.
@@ -29,7 +41,7 @@ func TestLearnStartStyleConvention(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	nc := set.Learn()
+	nc := learnT(t, set)
 	if nc == nil {
 		t.Fatal("no NC learned")
 	}
@@ -59,7 +71,7 @@ func TestLearnNoApparentASNs(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if nc := set.Learn(); nc != nil {
+	if nc := learnT(t, set); nc != nil {
 		t.Errorf("learned NC from ASN-free hostnames: %v", nc.Strings())
 	}
 }
@@ -85,14 +97,14 @@ func TestNewSetFilters(t *testing.T) {
 
 func TestLearnerMinItems(t *testing.T) {
 	l := &Learner{}
-	nc, err := l.LearnSuffix("example.net", startStyleItems(3))
+	nc, err := l.LearnSuffix(context.Background(), "example.net", startStyleItems(3))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if nc != nil {
 		t.Error("3 items is below the default minimum of 4")
 	}
-	nc, err = l.LearnSuffix("example.net", startStyleItems(4))
+	nc, err = l.LearnSuffix(context.Background(), "example.net", startStyleItems(4))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -119,7 +131,7 @@ func TestLearnAllGroupsBySuffix(t *testing.T) {
 		})
 	}
 	l := &Learner{}
-	ncs, err := l.LearnAll(psl.Default(), items)
+	ncs, err := l.LearnAll(context.Background(), psl.Default(), items)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -136,7 +148,7 @@ func TestLearnAllGroupsBySuffix(t *testing.T) {
 	if StyleOf(ncs[1]) != StyleBare {
 		t.Errorf("ixp style = %v (%v)", StyleOf(ncs[1]), ncs[1].Strings())
 	}
-	if _, err := l.LearnAll(nil, items); err == nil {
+	if _, err := l.LearnAll(context.Background(), nil, items); err == nil {
 		t.Error("nil PSL should error")
 	}
 }
@@ -162,7 +174,7 @@ func TestLearnMixedFormatsNeedsSet(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	nc := set.Learn()
+	nc := learnT(t, set)
 	if nc == nil {
 		t.Fatal("no NC learned")
 	}
@@ -192,7 +204,7 @@ func TestLearnAblationNoSets(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ncFull, ncSingle := full.Learn(), noSets.Learn()
+	ncFull, ncSingle := learnT(t, full), learnT(t, noSets)
 	if ncFull == nil || ncSingle == nil {
 		t.Fatal("learning failed")
 	}
@@ -214,7 +226,7 @@ func TestLearnAblationTypoCredit(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ncWith, ncWithout := with.Learn(), without.Learn()
+	ncWith, ncWithout := learnT(t, with), learnT(t, without)
 	if ncWith == nil || ncWithout == nil {
 		t.Fatal("learning failed")
 	}
@@ -313,7 +325,7 @@ func BenchmarkLearnFigure4(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		if nc := set.Learn(); nc == nil {
+		if nc := learnT(b, set); nc == nil {
 			b.Fatal("no NC")
 		}
 	}
@@ -327,7 +339,7 @@ func BenchmarkLearn100Items(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		if nc := set.Learn(); nc == nil {
+		if nc := learnT(b, set); nc == nil {
 			b.Fatal("no NC")
 		}
 	}

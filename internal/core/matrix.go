@@ -12,10 +12,12 @@ package core
 // engine returns bit-for-bit identical Evals.
 
 import (
+	"context"
 	"math/bits"
 	"runtime"
 	"sync"
 
+	"hoiho/internal/faultinject"
 	"hoiho/internal/rex"
 )
 
@@ -170,10 +172,16 @@ func (m *matrix) column(r *rex.Regex) *column {
 // ensure builds the missing columns for a batch of regexes, fanning the
 // regex-versus-item matching across Options.Workers goroutines (the
 // intra-suffix parallelism knob; one big suffix no longer serializes on
-// a single core while LearnAll's per-suffix fan-out sits idle). Results
+// a single core while a Learner's per-suffix fan-out sits idle). Results
 // are slotted by index and interned in batch order, so the matrix state
 // is deterministic regardless of scheduling.
-func (m *matrix) ensure(regexes []*rex.Regex) {
+//
+// ensure is the learner's cancellation grain: the context is checked
+// before every column build, so a deadline or cancellation interrupts a
+// suffix within one regex-versus-items pass. On cancellation the
+// unbuilt columns release their reservations (a later attempt rebuilds
+// them) and ctx.Err() is returned.
+func (m *matrix) ensure(ctx context.Context, regexes []*rex.Regex) error {
 	var missing []*rex.Regex
 	for _, r := range regexes {
 		if _, ok := m.cols[r]; ok {
@@ -184,7 +192,18 @@ func (m *matrix) ensure(regexes []*rex.Regex) {
 		missing = append(missing, r)
 	}
 	if len(missing) == 0 {
-		return
+		return ctx.Err()
+	}
+	release := func() {
+		for _, r := range missing {
+			if m.cols[r] == nil {
+				delete(m.cols, r)
+			}
+		}
+	}
+	if err := faultinject.Fire(ctx, faultinject.StageMatrixBatch, m.s.Suffix); err != nil {
+		release()
+		return err
 	}
 	workers := m.s.opts.workers()
 	if workers > len(missing) {
@@ -194,6 +213,9 @@ func (m *matrix) ensure(regexes []*rex.Regex) {
 	extsAll := make([][]string, len(missing))
 	if workers <= 1 {
 		for i, r := range missing {
+			if ctx.Err() != nil {
+				break
+			}
 			built[i], extsAll[i] = m.buildColumn(r)
 		}
 	} else {
@@ -204,20 +226,38 @@ func (m *matrix) ensure(regexes []*rex.Regex) {
 			go func() {
 				defer wg.Done()
 				for i := range jobs {
+					if ctx.Err() != nil {
+						continue // drain remaining jobs without building
+					}
 					built[i], extsAll[i] = m.buildColumn(missing[i])
 				}
 			}()
 		}
+	dispatch:
 		for i := range missing {
-			jobs <- i
+			select {
+			case jobs <- i:
+			case <-ctx.Done():
+				break dispatch
+			}
 		}
 		close(jobs)
 		wg.Wait()
 	}
+	// Finish serially in batch order. Under cancellation some columns
+	// were never built: drop their reservations and report the abort.
 	for i, r := range missing {
+		if built[i] == nil {
+			continue
+		}
 		m.finishColumn(built[i], extsAll[i])
 		m.cols[r] = built[i]
 	}
+	if err := ctx.Err(); err != nil {
+		release()
+		return err
+	}
+	return nil
 }
 
 // workers resolves the intra-suffix parallelism for Options.

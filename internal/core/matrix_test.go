@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"net/netip"
@@ -92,7 +93,9 @@ func TestMatrixMatchesOracle(t *testing.T) {
 		}
 		pool := randomPool(t, rng, set)
 		m := set.matrix()
-		m.ensure(pool)
+		if err := m.ensure(context.Background(), pool); err != nil {
+			t.Fatal(err)
+		}
 
 		// Single-regex columns against the oracle.
 		for _, r := range pool {
@@ -148,7 +151,7 @@ func TestLearnEvalConsistency(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		nc := set.Learn()
+		nc := learnT(t, set)
 		if nc == nil {
 			continue
 		}
@@ -243,7 +246,7 @@ func TestOptionsMaxSingleNCs(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ncFull, ncOne := full.Learn(), one.Learn()
+	ncFull, ncOne := learnT(t, full), learnT(t, one)
 	if ncFull == nil || ncOne == nil {
 		t.Fatal("learning failed")
 	}

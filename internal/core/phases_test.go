@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"testing"
@@ -272,7 +273,10 @@ func TestUniqueExtractedASNs(t *testing.T) {
 		t.Fatal(err)
 	}
 	r := mustParseRegex(t, `^as(\d+)\.x\.com$`)
-	got := set.uniqueExtractedASNs([]*rex.Regex{r})
+	got, err := set.uniqueExtractedASNs(context.Background(), []*rex.Regex{r})
+	if err != nil {
+		t.Fatal(err)
+	}
 	want := []asn.ASN{100, 200, 24940}
 	if len(got) != len(want) {
 		t.Fatalf("unique = %v", got)

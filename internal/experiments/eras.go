@@ -9,6 +9,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"net/netip"
 
@@ -142,8 +143,8 @@ func ptrFor(world *topo.Internet) func(netip.Addr) string {
 
 // RunITDKEra executes the full pipeline for one ITDK era: build the
 // world, probe it, assemble the ITDK, annotate routers with the era's
-// method, and learn NCs.
-func RunITDKEra(e Era, scale Scale, list *psl.List) (*Run, error) {
+// method, and learn NCs. Cancelling ctx aborts mid-learning.
+func RunITDKEra(ctx context.Context, e Era, scale Scale, list *psl.List) (*Run, error) {
 	world, err := topo.Build(eraConfig(e, scale))
 	if err != nil {
 		return nil, fmt.Errorf("experiments: %s: %w", e.Name, err)
@@ -165,7 +166,7 @@ func RunITDKEra(e Era, scale Scale, list *psl.List) (*Run, error) {
 	snap := itdk.FromGraph(graph, ann, e.Name, e.Method)
 	items := snap.TrainingItems()
 	learner := &core.Learner{}
-	ncs, err := learner.LearnAll(list, items)
+	ncs, err := learner.LearnAll(ctx, list, items)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: %s: %w", e.Name, err)
 	}
@@ -177,7 +178,7 @@ func RunITDKEra(e Era, scale Scale, list *psl.List) (*Run, error) {
 
 // RunPDBEra builds a PeeringDB training set from an already-built world
 // and learns NCs from the member-recorded ASNs.
-func RunPDBEra(name string, world *topo.Internet, seed int64, list *psl.List) (*Run, error) {
+func RunPDBEra(ctx context.Context, name string, world *topo.Internet, seed int64, list *psl.List) (*Run, error) {
 	snap := peeringdb.Synthesize(world, name, peeringdb.SynthOptions{
 		Seed:        seed,
 		ErrorRate:   0.02,
@@ -185,7 +186,7 @@ func RunPDBEra(name string, world *topo.Internet, seed int64, list *psl.List) (*
 	})
 	items := snap.TrainingItems(ptrFor(world))
 	learner := &core.Learner{}
-	ncs, err := learner.LearnAll(list, items)
+	ncs, err := learner.LearnAll(ctx, list, items)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: %s: %w", name, err)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"testing"
 
 	"hoiho/internal/asn"
@@ -90,7 +91,7 @@ func TestMethodQualityOrdering(t *testing.T) {
 	measure := func(method string, ann map[int]asn.ASN) float64 {
 		snap := itdk.FromGraph(g, ann, "cmp", method)
 		items := snap.TrainingItems()
-		ncs, err := learner.LearnAll(list, items)
+		ncs, err := learner.LearnAll(context.Background(), list, items)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -118,11 +119,11 @@ func TestMethodQualityOrdering(t *testing.T) {
 func TestEraGrowth(t *testing.T) {
 	list := psl.Default()
 	eras := ITDKEras()
-	early, err := RunITDKEra(eras[0], testScale, list)
+	early, err := RunITDKEra(context.Background(), eras[0], testScale, list)
 	if err != nil {
 		t.Fatal(err)
 	}
-	late, err := RunITDKEra(eras[16], testScale, list)
+	late, err := RunITDKEra(context.Background(), eras[16], testScale, list)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -151,11 +152,11 @@ func TestEraGrowth(t *testing.T) {
 func TestPDBQuality(t *testing.T) {
 	list := psl.Default()
 	e := ITDKEras()[16]
-	itdkRun, err := RunITDKEra(e, testScale, list)
+	itdkRun, err := RunITDKEra(context.Background(), e, testScale, list)
 	if err != nil {
 		t.Fatal(err)
 	}
-	pdbRun, err := RunPDBEra("pdb-test", itdkRun.World, 501, list)
+	pdbRun, err := RunPDBEra(context.Background(), "pdb-test", itdkRun.World, 501, list)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -178,7 +179,7 @@ func TestPDBQuality(t *testing.T) {
 // 92.5%).
 func TestSection5(t *testing.T) {
 	list := psl.Default()
-	run, err := RunITDKEra(ITDKEras()[16], testScale, list)
+	run, err := RunITDKEra(context.Background(), ITDKEras()[16], testScale, list)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -217,11 +218,14 @@ func TestSection5(t *testing.T) {
 // hostnames than the traceroute-observed subset (§7's 5.4K -> 22.5K).
 func TestFigure7(t *testing.T) {
 	list := psl.Default()
-	run, err := RunITDKEra(ITDKEras()[16], testScale, list)
+	run, err := RunITDKEra(context.Background(), ITDKEras()[16], testScale, list)
 	if err != nil {
 		t.Fatal(err)
 	}
-	res := Figure7(run)
+	res, err := Figure7(context.Background(), run)
+	if err != nil {
+		t.Fatal(err)
+	}
 	t.Logf("observed=%d full=%d factor=%.2f", res.ObservedMatches, res.FullMatches, res.Factor)
 	if res.ObservedMatches == 0 {
 		t.Fatal("no observed matches")
@@ -235,11 +239,11 @@ func TestFigure7(t *testing.T) {
 // to ~100 within each column.
 func TestTable1(t *testing.T) {
 	list := psl.Default()
-	itdkRun, err := RunITDKEra(ITDKEras()[16], testScale, list)
+	itdkRun, err := RunITDKEra(context.Background(), ITDKEras()[16], testScale, list)
 	if err != nil {
 		t.Fatal(err)
 	}
-	pdbRun, err := RunPDBEra("pdb-t1", itdkRun.World, 502, list)
+	pdbRun, err := RunPDBEra(context.Background(), "pdb-t1", itdkRun.World, 502, list)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -270,7 +274,7 @@ func TestTable1(t *testing.T) {
 // they extract (§4's 79.5%).
 func TestSuffixOrigin(t *testing.T) {
 	list := psl.Default()
-	run, err := RunITDKEra(ITDKEras()[16], testScale, list)
+	run, err := RunITDKEra(context.Background(), ITDKEras()[16], testScale, list)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -288,11 +292,11 @@ func TestSuffixOrigin(t *testing.T) {
 func TestRunDeterminism(t *testing.T) {
 	list := psl.Default()
 	e := ITDKEras()[3]
-	a, err := RunITDKEra(e, testScale, list)
+	a, err := RunITDKEra(context.Background(), e, testScale, list)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := RunITDKEra(e, testScale, list)
+	b, err := RunITDKEra(context.Background(), e, testScale, list)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -317,7 +321,7 @@ func TestRunDeterminism(t *testing.T) {
 // accept more wrong hostnames.
 func TestAblationReasonableness(t *testing.T) {
 	list := psl.Default()
-	run, err := RunITDKEra(ITDKEras()[16], testScale, list)
+	run, err := RunITDKEra(context.Background(), ITDKEras()[16], testScale, list)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -356,7 +360,7 @@ func BenchmarkRunEraSmall(b *testing.B) {
 	e := ITDKEras()[16]
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := RunITDKEra(e, Scale(0.2), list); err != nil {
+		if _, err := RunITDKEra(context.Background(), e, Scale(0.2), list); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -73,12 +74,12 @@ func PPVOnTraining(corpus *extract.Corpus, items []core.Item, list *psl.List, or
 // the classification series. The final two worlds double as the
 // PeeringDB sources. It also returns the runs for reuse by downstream
 // experiments.
-func Figure5(scale Scale, list *psl.List) ([]Figure5Row, []Figure6Row, []*Run, error) {
+func Figure5(ctx context.Context, scale Scale, list *psl.List) ([]Figure5Row, []Figure6Row, []*Run, error) {
 	var f5 []Figure5Row
 	var f6 []Figure6Row
 	var runs []*Run
 	for _, e := range ITDKEras() {
-		run, err := RunITDKEra(e, scale, list)
+		run, err := RunITDKEra(ctx, e, scale, list)
 		if err != nil {
 			return nil, nil, nil, err
 		}
@@ -94,7 +95,7 @@ func Figure5(scale Scale, list *psl.List) ([]Figure5Row, []Figure6Row, []*Run, e
 	pdbWorlds := []*Run{runs[len(runs)-2], runs[len(runs)-1]}
 	pdbNames := []string{"pdb-2019-08", "pdb-2020-02"}
 	for i, src := range pdbWorlds {
-		run, err := RunPDBEra(pdbNames[i], src.World, 500+int64(i), list)
+		run, err := RunPDBEra(ctx, pdbNames[i], src.World, 500+int64(i), list)
 		if err != nil {
 			return nil, nil, nil, err
 		}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"testing"
 )
 
@@ -31,7 +32,7 @@ func TestScaleApply(t *testing.T) {
 }
 
 func TestCountClassifications(t *testing.T) {
-	run, err := RunITDKEra(ITDKEras()[16], 0.2, pslDefault())
+	run, err := RunITDKEra(context.Background(), ITDKEras()[16], 0.2, pslDefault())
 	if err != nil {
 		t.Fatal(err)
 	}

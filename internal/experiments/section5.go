@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -180,7 +181,8 @@ type Figure7Result struct {
 
 // Figure7 applies the run's usable NCs to (a) hostnames observed in the
 // traceroute-derived graph and (b) every named interface in the world.
-func Figure7(run *Run) Figure7Result {
+// Cancelling ctx aborts the full-zone batch; the error is ctx.Err().
+func Figure7(ctx context.Context, run *Run) (Figure7Result, error) {
 	corpus := extract.New(run.NCs, extract.UsableOnly())
 	var res Figure7Result
 	for _, host := range run.Graph.Hostnames {
@@ -196,7 +198,11 @@ func Figure7(run *Run) Figure7Result {
 			hosts = append(hosts, ifc.Hostname)
 		}
 	}
-	for _, r := range corpus.ExtractBatch(hosts) {
+	results, err := corpus.ExtractBatch(ctx, hosts)
+	if err != nil {
+		return res, err
+	}
+	for _, r := range results {
 		if r.OK {
 			res.FullMatches++
 		}
@@ -204,7 +210,7 @@ func Figure7(run *Run) Figure7Result {
 	if res.ObservedMatches > 0 {
 		res.Factor = float64(res.FullMatches) / float64(res.ObservedMatches)
 	}
-	return res
+	return res, nil
 }
 
 // SortDecisionsByNode orders decisions deterministically for reporting.

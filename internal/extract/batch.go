@@ -1,8 +1,12 @@
 package extract
 
 import (
+	"context"
+	"strconv"
 	"sync"
 	"sync/atomic"
+
+	"hoiho/internal/faultinject"
 )
 
 // Result is one per-hostname outcome of a batch or stream extraction.
@@ -21,41 +25,52 @@ const batchChunk = 512
 // ExtractBatch applies the corpus to every hostname concurrently and
 // returns one Result per input, aligned with hosts. Workers claim
 // fixed-size chunks of the index space, so the output is deterministic
-// and input-ordered regardless of scheduling.
-func (c *Corpus) ExtractBatch(hosts []string) []Result {
+// and input-ordered regardless of scheduling. Cancellation is checked
+// between chunks: on cancellation the workers stop, the results
+// processed so far are returned alongside ctx.Err(), and the untouched
+// tail is zero-valued (OK == false).
+func (c *Corpus) ExtractBatch(ctx context.Context, hosts []string) ([]Result, error) {
 	out := make([]Result, len(hosts))
 	workers := c.workerCount(len(hosts))
-	if workers <= 1 || len(hosts) <= batchChunk {
-		for i, h := range hosts {
-			out[i].Match, out[i].OK = c.Extract(h)
-		}
-		return out
-	}
 	nChunks := (len(hosts) + batchChunk - 1) / batchChunk
+	extractChunk := func(ci int) {
+		lo := ci * batchChunk
+		hi := lo + batchChunk
+		if hi > len(hosts) {
+			hi = len(hosts)
+		}
+		for i := lo; i < hi; i++ {
+			out[i].Match, out[i].OK = c.Extract(hosts[i])
+		}
+	}
+	if workers <= 1 || len(hosts) <= batchChunk {
+		for ci := 0; ci < nChunks; ci++ {
+			if err := ctx.Err(); err != nil {
+				return out, err
+			}
+			faultinject.Fire(ctx, faultinject.StageBatchChunk, strconv.Itoa(ci))
+			extractChunk(ci)
+		}
+		return out, nil
+	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for {
+			for ctx.Err() == nil {
 				ci := int(next.Add(1)) - 1
 				if ci >= nChunks {
 					return
 				}
-				lo := ci * batchChunk
-				hi := lo + batchChunk
-				if hi > len(hosts) {
-					hi = len(hosts)
-				}
-				for i := lo; i < hi; i++ {
-					out[i].Match, out[i].OK = c.Extract(hosts[i])
-				}
+				faultinject.Fire(ctx, faultinject.StageBatchChunk, strconv.Itoa(ci))
+				extractChunk(ci)
 			}
 		}()
 	}
 	wg.Wait()
-	return out
+	return out, ctx.Err()
 }
 
 // streamChunk sizes the micro-batches ExtractStream hands to workers.
@@ -65,8 +80,15 @@ const streamChunk = 256
 // concurrently, and delivers one Result per input on the returned
 // channel, in input order (a sequence-numbered reorder stage restores
 // ordering after the parallel stage). The returned channel is closed
-// after the last result; the caller should drain it fully.
-func (c *Corpus) ExtractStream(in <-chan string) <-chan Result {
+// after the last result.
+//
+// Cancelling ctx is the shutdown path: every internal send and receive
+// also waits on ctx.Done, so the chunker, workers, and reorderer all
+// drain and exit — no goroutine leaks — and the output channel closes
+// promptly. A consumer that stops reading early MUST cancel ctx (and
+// may then abandon the channel); draining the channel fully needs no
+// cancellation.
+func (c *Corpus) ExtractStream(ctx context.Context, in <-chan string) <-chan Result {
 	out := make(chan Result, streamChunk)
 	workers := c.workerCount(streamChunk * 4)
 
@@ -86,35 +108,55 @@ func (c *Corpus) ExtractStream(in <-chan string) <-chan Result {
 		defer close(jobs)
 		seq := 0
 		buf := make([]string, 0, streamChunk)
-		flush := func() {
+		flush := func() bool {
 			if len(buf) == 0 {
-				return
+				return true
 			}
-			jobs <- job{seq: seq, hosts: buf}
+			select {
+			case jobs <- job{seq: seq, hosts: buf}:
+			case <-ctx.Done():
+				return false
+			}
 			seq++
 			buf = make([]string, 0, streamChunk)
+			return true
 		}
-		for h := range in {
-			buf = append(buf, h)
-			if len(buf) == streamChunk {
-				flush()
+		for {
+			select {
+			case h, ok := <-in:
+				if !ok {
+					flush()
+					return
+				}
+				buf = append(buf, h)
+				if len(buf) == streamChunk && !flush() {
+					return
+				}
+			case <-ctx.Done():
+				return
 			}
 		}
-		flush()
 	}()
 
-	// Workers: extract each chunk independently.
+	// Workers: extract each chunk independently. The stream has no error
+	// path, so injected faults here are stalls (exercising cancellation
+	// latency in the chaos tests); Fire's error return is discarded.
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for j := range jobs {
+				faultinject.Fire(ctx, faultinject.StageStreamChunk, strconv.Itoa(j.seq))
 				rs := make([]Result, len(j.hosts))
 				for i, h := range j.hosts {
 					rs[i].Match, rs[i].OK = c.Extract(h)
 				}
-				dones <- done{seq: j.seq, results: rs}
+				select {
+				case dones <- done{seq: j.seq, results: rs}:
+				case <-ctx.Done():
+					return
+				}
 			}
 		}()
 	}
@@ -138,7 +180,11 @@ func (c *Corpus) ExtractStream(in <-chan string) <-chan Result {
 				delete(pending, next)
 				next++
 				for _, r := range rs {
-					out <- r
+					select {
+					case out <- r:
+					case <-ctx.Done():
+						return
+					}
 				}
 			}
 		}

@@ -1,0 +1,212 @@
+package extract
+
+// Chaos tests for the serving pipelines: injected stalls
+// (internal/faultinject) plus cancellation must never leak goroutines,
+// must close the stream's output channel, and must return promptly with
+// partial batch results. Run under -race: the shutdown paths are the
+// code most prone to missed-signal races.
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"runtime"
+	"testing"
+	"time"
+
+	"hoiho/internal/faultinject"
+)
+
+// waitGoroutines polls until the process goroutine count drops back to
+// the baseline, dumping all stacks on timeout — the leak report.
+func waitGoroutines(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if runtime.NumGoroutine() <= base {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines did not drain: %d > baseline %d\n%s",
+				runtime.NumGoroutine(), base, buf[:n])
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestChaosStreamCancelClosesOutput: after cancellation the output
+// channel closes promptly even though the producer never closes in.
+func TestChaosStreamCancelClosesOutput(t *testing.T) {
+	ncs := syntheticNCs(t, 20)
+	c := New(ncs, WithWorkers(4))
+	base := runtime.NumGoroutine()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	in := make(chan string)
+	feederDone := make(chan struct{})
+	go func() {
+		defer close(feederDone)
+		rng := rand.New(rand.NewSource(11))
+		for {
+			select {
+			case in <- randomHost(rng, ncs):
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+
+	out := c.ExtractStream(ctx, in)
+	for i := 0; i < 100; i++ {
+		if _, ok := <-out; !ok {
+			t.Fatal("stream closed before cancellation")
+		}
+	}
+	cancel()
+
+	closeBy := time.After(10 * time.Second)
+	for open := true; open; {
+		select {
+		case _, ok := <-out:
+			open = ok
+		case <-closeBy:
+			t.Fatal("output channel did not close after cancel")
+		}
+	}
+	<-feederDone
+	waitGoroutines(t, base)
+}
+
+// TestChaosStreamAbandonedConsumerNoLeak pins the documented contract:
+// a consumer that cancels ctx may abandon the output channel without
+// draining it, and every pipeline goroutine still exits.
+func TestChaosStreamAbandonedConsumerNoLeak(t *testing.T) {
+	ncs := syntheticNCs(t, 20)
+	c := New(ncs, WithWorkers(4))
+	base := runtime.NumGoroutine()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	in := make(chan string)
+	feederDone := make(chan struct{})
+	go func() {
+		defer close(feederDone)
+		rng := rand.New(rand.NewSource(12))
+		for {
+			select {
+			case in <- randomHost(rng, ncs):
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+
+	out := c.ExtractStream(ctx, in)
+	if _, ok := <-out; !ok {
+		t.Fatal("no first result")
+	}
+	cancel()
+	// The consumer walks away here: out is never read again.
+	<-feederDone
+	waitGoroutines(t, base)
+}
+
+// TestChaosStreamStallCancelLatency: with every worker stalled by
+// injection, cancellation still tears the stream down promptly — the
+// stalls are bounded by ctx, not waited out.
+func TestChaosStreamStallCancelLatency(t *testing.T) {
+	plan := &faultinject.Plan{Rules: []faultinject.Rule{{
+		Stage: faultinject.StageStreamChunk,
+		Kind:  faultinject.KindStall, Prob: 1, Stall: time.Minute,
+	}}}
+	defer faultinject.Activate(plan)()
+	ncs := syntheticNCs(t, 8)
+	c := New(ncs, WithWorkers(2))
+	base := runtime.NumGoroutine()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	in := make(chan string)
+	feederDone := make(chan struct{})
+	go func() {
+		defer close(feederDone)
+		rng := rand.New(rand.NewSource(13))
+		for i := 0; i < 3*streamChunk; i++ {
+			select {
+			case in <- randomHost(rng, ncs):
+			case <-ctx.Done():
+				return
+			}
+		}
+		close(in)
+	}()
+	out := c.ExtractStream(ctx, in)
+	go func() {
+		for plan.Fired(0) == 0 {
+			time.Sleep(time.Millisecond)
+		}
+		cancel()
+	}()
+
+	start := time.Now()
+	closeBy := time.After(30 * time.Second)
+	for open := true; open; {
+		select {
+		case _, ok := <-out:
+			open = ok
+		case <-closeBy:
+			t.Fatal("stalled stream did not close after cancel")
+		}
+	}
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Fatalf("teardown took %v; stalls must be bounded by ctx", elapsed)
+	}
+	<-feederDone
+	waitGoroutines(t, base)
+}
+
+// TestChaosBatchCancelReturnsPartial: cancelling a stalled ExtractBatch
+// returns ctx.Err() promptly with the full-length, partially filled
+// result slice instead of blocking on the remaining chunks.
+func TestChaosBatchCancelReturnsPartial(t *testing.T) {
+	ncs := syntheticNCs(t, 20)
+	rng := rand.New(rand.NewSource(14))
+	hosts := make([]string, 4*batchChunk)
+	for i := range hosts {
+		hosts[i] = randomHost(rng, ncs)
+	}
+	for _, tc := range []struct {
+		name    string
+		workers int
+	}{{"serial", 1}, {"parallel", 4}} {
+		t.Run(tc.name, func(t *testing.T) {
+			plan := &faultinject.Plan{Rules: []faultinject.Rule{{
+				Stage: faultinject.StageBatchChunk,
+				Kind:  faultinject.KindStall, Prob: 1, Stall: time.Minute,
+			}}}
+			defer faultinject.Activate(plan)()
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			go func() {
+				for plan.Fired(0) == 0 {
+					time.Sleep(time.Millisecond)
+				}
+				cancel()
+			}()
+			start := time.Now()
+			out, err := New(ncs, WithWorkers(tc.workers)).ExtractBatch(ctx, hosts)
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("err = %v, want context.Canceled", err)
+			}
+			if len(out) != len(hosts) {
+				t.Fatalf("result slice len = %d, want %d (input-aligned even when partial)", len(out), len(hosts))
+			}
+			if elapsed := time.Since(start); elapsed > 30*time.Second {
+				t.Fatalf("cancellation took %v; stalls must be bounded by ctx", elapsed)
+			}
+		})
+	}
+}

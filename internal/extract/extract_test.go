@@ -2,6 +2,7 @@ package extract
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -267,7 +268,10 @@ func TestExtractBatchMatchesSerial(t *testing.T) {
 	for i := range hosts {
 		hosts[i] = randomHost(rng, ncs)
 	}
-	got := c.ExtractBatch(hosts)
+	got, err := c.ExtractBatch(context.Background(), hosts)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(got) != len(hosts) {
 		t.Fatalf("len = %d, want %d", len(got), len(hosts))
 	}
@@ -278,7 +282,10 @@ func TestExtractBatchMatchesSerial(t *testing.T) {
 		}
 	}
 	// Serial corpus (workers=1) must agree too.
-	serial := New(ncs, WithWorkers(1)).ExtractBatch(hosts)
+	serial, err := New(ncs, WithWorkers(1)).ExtractBatch(context.Background(), hosts)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for i := range serial {
 		if serial[i] != got[i] {
 			t.Fatalf("index %d: serial %+v != parallel %+v", i, serial[i], got[i])
@@ -306,10 +313,13 @@ func TestExtractStreamOrdered(t *testing.T) {
 		}
 	}()
 	var got []Result
-	for r := range c.ExtractStream(in) {
+	for r := range c.ExtractStream(context.Background(), in) {
 		got = append(got, r)
 	}
-	want := c.ExtractBatch(hosts)
+	want, err := c.ExtractBatch(context.Background(), hosts)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(got) != len(want) {
 		t.Fatalf("stream emitted %d results, want %d", len(got), len(want))
 	}
@@ -326,7 +336,7 @@ func TestExtractStreamEmpty(t *testing.T) {
 	c := New(syntheticNCs(t, 4))
 	in := make(chan string)
 	close(in)
-	if _, ok := <-c.ExtractStream(in); ok {
+	if _, ok := <-c.ExtractStream(context.Background(), in); ok {
 		t.Fatal("result from empty stream")
 	}
 }

@@ -1,6 +1,7 @@
 package extract
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -76,7 +77,10 @@ func FuzzExtract(f *testing.F) {
 			t.Fatalf("suffix %q not in hostname %q", m.Suffix, host)
 		}
 		// The batch path must agree with the single path item-by-item.
-		rs := c.ExtractBatch([]string{host, host})
+		rs, err := c.ExtractBatch(context.Background(), []string{host, host})
+		if err != nil {
+			t.Fatal(err)
+		}
 		for i, r := range rs {
 			if !r.OK || r.Match != m {
 				t.Fatalf("ExtractBatch[%d] = %+v, want %+v", i, r, m)

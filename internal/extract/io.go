@@ -1,25 +1,79 @@
 package extract
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
 	"io"
 	"os"
 
+	"hoiho/internal/atomicfile"
 	"hoiho/internal/core"
 )
+
+// maxLoadBytes caps how much corpus JSON Load will read. The full-scale
+// corpora in the paper are a few megabytes; anything near this cap is a
+// corrupt or hostile input, and failing loudly beats exhausting memory.
+const maxLoadBytes = 64 << 20
+
+// corpusEnvelope is the optional versioned wrapper form. Corpus.Save
+// writes the bare NC array (the stable form every existing consumer
+// reads); Load additionally accepts this envelope so future writers can
+// version the format without breaking today's readers.
+type corpusEnvelope struct {
+	Version int             `json:"version"`
+	NCs     json.RawMessage `json:"ncs"`
+}
+
+// corpusVersion is the only envelope version this build reads.
+const corpusVersion = 1
 
 // Load reads a corpus from the stable NC JSON form (the output of
 // `hoiho -json` / `hoiho -save` / Corpus.Save) and indexes it. Options
 // apply as in New, so a loaded corpus can be filtered at load time, e.g.
 // Load(r, UsableOnly()).
+//
+// Load is strict: inputs over 64 MiB, non-corpus JSON, unsupported
+// envelope versions, and corpora with zero conventions all return
+// descriptive errors rather than a silently empty corpus that would
+// extract nothing.
 func Load(r io.Reader, opts ...Option) (*Corpus, error) {
-	data, err := io.ReadAll(r)
+	data, err := io.ReadAll(io.LimitReader(r, maxLoadBytes+1))
 	if err != nil {
 		return nil, fmt.Errorf("extract: load: %w", err)
 	}
-	ncs, err := core.UnmarshalNCs(data)
+	if len(data) > maxLoadBytes {
+		return nil, fmt.Errorf("extract: load: input exceeds %d-byte cap", maxLoadBytes)
+	}
+	trimmed := bytes.TrimSpace(data)
+	if len(trimmed) == 0 {
+		return nil, fmt.Errorf("extract: load: empty input")
+	}
+	if trimmed[0] == '{' {
+		var env corpusEnvelope
+		if err := json.Unmarshal(trimmed, &env); err != nil {
+			return nil, fmt.Errorf("extract: load: not a corpus file: %w", err)
+		}
+		if env.Version != corpusVersion {
+			return nil, fmt.Errorf("extract: load: unsupported corpus version %d (this build reads %d)",
+				env.Version, corpusVersion)
+		}
+		if len(env.NCs) == 0 {
+			return nil, fmt.Errorf("extract: load: corpus envelope has no %q field", "ncs")
+		}
+		trimmed = env.NCs
+	}
+	ncs, err := core.UnmarshalNCs(trimmed)
 	if err != nil {
 		return nil, fmt.Errorf("extract: load: %w", err)
+	}
+	if len(ncs) == 0 {
+		return nil, fmt.Errorf("extract: load: corpus contains no conventions")
+	}
+	for i, nc := range ncs {
+		if nc == nil || nc.Suffix == "" {
+			return nil, fmt.Errorf("extract: load: convention %d has no suffix", i)
+		}
 	}
 	return New(ncs, opts...), nil
 }
@@ -31,7 +85,11 @@ func LoadFile(path string, opts ...Option) (*Corpus, error) {
 		return nil, err
 	}
 	defer f.Close()
-	return Load(f, opts...)
+	c, err := Load(f, opts...)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return c, nil
 }
 
 // Save writes the corpus's retained NCs as indented JSON, the stable form
@@ -49,15 +107,10 @@ func (c *Corpus) Save(w io.Writer) error {
 	return err
 }
 
-// SaveFile writes the corpus to a JSON file on disk.
+// SaveFile writes the corpus to a JSON file on disk atomically: the JSON
+// is written to a temp file in the destination directory, synced, and
+// renamed over path, so an interrupted save never leaves a truncated
+// corpus where a good one stood.
 func (c *Corpus) SaveFile(path string) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := c.Save(f); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	return atomicfile.WriteFile(path, c.Save)
 }

@@ -1,0 +1,117 @@
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestFireNoPlanIsNoop(t *testing.T) {
+	if Active() {
+		t.Fatal("plan active at test start")
+	}
+	if err := Fire(context.Background(), StageLearnSuffix, "example.com"); err != nil {
+		t.Fatalf("Fire without plan = %v", err)
+	}
+}
+
+func TestErrorInjectionTargetsKey(t *testing.T) {
+	restore := Activate(&Plan{Rules: []Rule{
+		{Stage: StageLearnSuffix, Key: "bad.net", Kind: KindError, Prob: 1},
+	}})
+	defer restore()
+	ctx := context.Background()
+	if err := Fire(ctx, StageLearnSuffix, "good.net"); err != nil {
+		t.Fatalf("non-matching key fired: %v", err)
+	}
+	if err := Fire(ctx, StageMatrixBatch, "bad.net"); err != nil {
+		t.Fatalf("non-matching stage fired: %v", err)
+	}
+	err := Fire(ctx, StageLearnSuffix, "bad.net")
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+}
+
+func TestPanicInjection(t *testing.T) {
+	restore := Activate(&Plan{Rules: []Rule{
+		{Stage: StageLearnSuffix, Key: "boom.org", Kind: KindPanic, Prob: 1},
+	}})
+	defer restore()
+	defer func() {
+		r := recover()
+		ip, ok := r.(InjectedPanic)
+		if !ok {
+			t.Fatalf("recovered %v (%T), want InjectedPanic", r, r)
+		}
+		if ip.Stage != StageLearnSuffix || ip.Key != "boom.org" {
+			t.Fatalf("panic payload = %+v", ip)
+		}
+	}()
+	Fire(context.Background(), StageLearnSuffix, "boom.org")
+	t.Fatal("Fire did not panic")
+}
+
+func TestStallHonorsContext(t *testing.T) {
+	restore := Activate(&Plan{Rules: []Rule{
+		{Stage: StageStreamChunk, Kind: KindStall, Prob: 1, Stall: time.Minute},
+	}})
+	defer restore()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	if err := Fire(ctx, StageStreamChunk, "0"); err != nil {
+		t.Fatalf("stall returned error: %v", err)
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Fatalf("stall ignored cancelled context (took %v)", d)
+	}
+}
+
+func TestTimesCapsFirings(t *testing.T) {
+	p := &Plan{Rules: []Rule{
+		{Stage: StageLearnSuffix, Kind: KindError, Prob: 1, Times: 2},
+	}}
+	defer Activate(p)()
+	ctx := context.Background()
+	errs := 0
+	for i := 0; i < 5; i++ {
+		if Fire(ctx, StageLearnSuffix, "x.com") != nil {
+			errs++
+		}
+	}
+	if errs != 2 || p.Fired(0) != 2 {
+		t.Fatalf("fired %d times (counter %d), want 2", errs, p.Fired(0))
+	}
+}
+
+// TestDecideDeterministic: the same (seed, stage, key) always decides
+// the same way, and the firing rate tracks Prob.
+func TestDecideDeterministic(t *testing.T) {
+	keys := []string{"a.com", "b.net", "c.org", "d.io", "e.de", "f.fr", "g.jp", "h.uk"}
+	for _, k := range keys {
+		first := decide(42, StageLearnSuffix, k, 0.5)
+		for i := 0; i < 10; i++ {
+			if decide(42, StageLearnSuffix, k, 0.5) != first {
+				t.Fatalf("decide flapped for key %s", k)
+			}
+		}
+	}
+	hits := 0
+	n := 10000
+	for i := 0; i < n; i++ {
+		if decide(7, StageLearnSuffix, string(rune('a'+i%26))+string(rune('0'+i/26%10))+string(rune('0'+i/260)), 0.3) {
+			hits++
+		}
+	}
+	if rate := float64(hits) / float64(n); rate < 0.25 || rate > 0.35 {
+		t.Fatalf("firing rate %.3f, want ~0.3", rate)
+	}
+	if decide(1, "s", "k", 0) {
+		t.Fatal("Prob 0 fired")
+	}
+	if !decide(1, "s", "k", 1) {
+		t.Fatal("Prob 1 did not fire")
+	}
+}
