@@ -14,7 +14,10 @@
 // -save writes the stable JSON form after learning, and -apply loads such
 // a file and streams hostnames through the extraction engine, emitting
 // one "hostname<TAB>asn" line per match. -classes restricts application
-// to the good or usable (good+promising) conventions.
+// to the good or usable (good+promising) conventions. The same saved
+// file is what the extraction daemon serves: `hoihod -corpus ncs.json`
+// exposes it over HTTP with hot reload (SIGHUP picks up a re-learned
+// file atomically), load shedding, and graceful drain.
 //
 // Example:
 //
@@ -199,6 +202,10 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		if err := extract.New(ncs, extract.WithPSL(list)).SaveFile(*savePath); err != nil {
 			return err
 		}
+		// The saved file is exactly what the serving side loads — both
+		// one-shot (-apply) and the long-running daemon.
+		fmt.Fprintf(os.Stderr, "hoiho: saved %d conventions to %s; apply with `hoiho -apply %s <hosts>` or serve with `hoihod -corpus %s`\n",
+			len(ncs), *savePath, *savePath, *savePath)
 	}
 
 	if *jsonOut {

@@ -14,6 +14,11 @@ import (
 	"path/filepath"
 )
 
+// syncFile flushes the staged temp file to stable storage. A variable
+// so the fsync-failure path — unreachable on a healthy filesystem — can
+// be exercised by tests; production code must not touch it.
+var syncFile = func(f *os.File) error { return f.Sync() }
+
 // WriteFile atomically replaces path with the bytes produced by write.
 // The temporary file lives in path's directory (renames across
 // filesystems are not atomic) and is removed on any failure.
@@ -37,7 +42,7 @@ func WriteFile(path string, write func(io.Writer) error) (err error) {
 	}
 	// Flush to stable storage before the rename publishes the file, so
 	// the atomicity guarantee holds across power loss, not just crashes.
-	if err = tmp.Sync(); err != nil {
+	if err = syncFile(tmp); err != nil {
 		return fmt.Errorf("atomicfile: sync %s: %w", tmp.Name(), err)
 	}
 	if err = tmp.Close(); err != nil {

@@ -68,3 +68,87 @@ func TestWriteFileBadDir(t *testing.T) {
 		t.Fatal("expected error for missing directory")
 	}
 }
+
+// TestWriteFileIgnoresStaleTemps: temp litter from a crashed earlier
+// writer (the daemon reload + checkpoint scenario) must neither break a
+// new write nor be clobbered by it — a stale temp might belong to a
+// concurrent writer that is still alive.
+func TestWriteFileIgnoresStaleTemps(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.json")
+	stale := filepath.Join(dir, "out.json.tmp-12345")
+	if err := os.WriteFile(stale, []byte("stale"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFile(path, func(w io.Writer) error {
+		_, err := io.WriteString(w, "fresh")
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := os.ReadFile(path); err != nil || string(got) != "fresh" {
+		t.Fatalf("target = %q, %v; want fresh", got, err)
+	}
+	if got, err := os.ReadFile(stale); err != nil || string(got) != "stale" {
+		t.Fatalf("stale temp = %q, %v; a foreign temp must be left alone", got, err)
+	}
+}
+
+// TestWriteFileReplacesReadOnlyTarget: rename permissions live on the
+// directory, not the file, so a read-only corpus on disk (a common
+// deploy hardening) is still hot-swappable.
+func TestWriteFileReplacesReadOnlyTarget(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.json")
+	if err := os.WriteFile(path, []byte("locked"), 0o400); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFile(path, func(w io.Writer) error {
+		_, err := io.WriteString(w, "replaced")
+		return err
+	}); err != nil {
+		t.Fatalf("rename over a read-only target: %v", err)
+	}
+	if got, _ := os.ReadFile(path); string(got) != "replaced" {
+		t.Fatalf("target = %q, want replaced", got)
+	}
+}
+
+// TestWriteFileSyncFailure: an fsync error must propagate to the
+// caller, remove the temp file, and leave the old content untouched —
+// a silently skipped sync would void the power-loss guarantee the
+// corpus saver and checkpoint writer depend on.
+func TestWriteFileSyncFailure(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.json")
+	if err := os.WriteFile(path, []byte("old"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	syncErr := errors.New("disk on fire")
+	orig := syncFile
+	syncFile = func(*os.File) error { return syncErr }
+	defer func() { syncFile = orig }()
+
+	err := WriteFile(path, func(w io.Writer) error {
+		_, werr := io.WriteString(w, "new")
+		return werr
+	})
+	if !errors.Is(err, syncErr) {
+		t.Fatalf("err = %v, want the injected sync failure", err)
+	}
+	if !strings.Contains(err.Error(), "sync") {
+		t.Errorf("err = %q, want a sync mention for the post-mortem", err)
+	}
+	if got, _ := os.ReadFile(path); string(got) != "old" {
+		t.Fatalf("target = %q, old content must survive a failed sync", got)
+	}
+	ents, rerr := os.ReadDir(dir)
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	for _, e := range ents {
+		if strings.Contains(e.Name(), ".tmp-") {
+			t.Fatalf("temp file left behind after sync failure: %s", e.Name())
+		}
+	}
+}

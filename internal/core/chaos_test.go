@@ -20,6 +20,7 @@ import (
 
 	"hoiho/internal/asn"
 	"hoiho/internal/faultinject"
+	"hoiho/internal/leaktest"
 	"hoiho/internal/psl"
 )
 
@@ -57,6 +58,7 @@ func TestChaosPanicQuarantine(t *testing.T) {
 		workers int
 	}{{"serial", 1}, {"parallel", 4}} {
 		t.Run(tc.name, func(t *testing.T) {
+			defer leaktest.Check(t)()
 			defer faultinject.Activate(&faultinject.Plan{Rules: []faultinject.Rule{{
 				Stage: faultinject.StageLearnSuffix, Key: "charlie.org",
 				Kind: faultinject.KindPanic, Prob: 1,
@@ -164,6 +166,7 @@ func TestChaosSuffixTimeout(t *testing.T) {
 // suffix is stalled returns promptly with the partial report and
 // ctx.Err(), instead of waiting out the stalls.
 func TestChaosCancellationLatency(t *testing.T) {
+	defer leaktest.Check(t)()
 	plan := &faultinject.Plan{Rules: []faultinject.Rule{{
 		Stage: faultinject.StageLearnSuffix,
 		Kind:  faultinject.KindStall, Prob: 1, Stall: time.Minute,

@@ -1,0 +1,56 @@
+package core
+
+// errors.Is/As interop for the quarantine taxonomy: callers holding a
+// Report (or a LearnAll error) must be able to classify each quarantined
+// suffix — deadline-blown vs transient vs panicked — without string
+// matching. PR 5's serving daemon leans on the same discipline for its
+// own taxonomy (internal/serve), so the two are tested symmetrically.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestSuffixErrorUnwrapDeadline(t *testing.T) {
+	err := error(&SuffixError{Suffix: "slow.net", Err: context.DeadlineExceeded})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Error("deadline quarantine is not errors.Is(DeadlineExceeded)")
+	}
+	if errors.Is(err, context.Canceled) {
+		t.Error("deadline quarantine must not classify as Canceled")
+	}
+	// Wrapped the way callers report it, As still recovers the suffix.
+	var se *SuffixError
+	if !errors.As(fmt.Errorf("run failed: %w", err), &se) || se.Suffix != "slow.net" {
+		t.Errorf("errors.As through a wrap = %v, suffix %q", err, se.Suffix)
+	}
+}
+
+func TestSuffixErrorPanicHasNoCause(t *testing.T) {
+	err := &SuffixError{Suffix: "boom.net", Panic: "kaboom", Stack: []byte("stack")}
+	// A panic quarantine has no wrapped cause: it must not classify as
+	// any sentinel a caller dispatches on.
+	if err.Unwrap() != nil {
+		t.Errorf("panic quarantine Unwrap = %v, want nil", err.Unwrap())
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		t.Error("panic quarantine must not classify as DeadlineExceeded")
+	}
+	if !strings.Contains(err.Error(), "panic") || !strings.Contains(err.Error(), "boom.net") {
+		t.Errorf("Error() = %q, want the suffix and a panic mention", err.Error())
+	}
+}
+
+func TestSuffixErrorTransientChain(t *testing.T) {
+	root := errors.New("backend hiccup")
+	err := error(&SuffixError{Suffix: "flaky.org", Err: fmt.Errorf("attempt 2: %w", root)})
+	if !errors.Is(err, root) {
+		t.Error("transient quarantine does not unwrap to its root cause")
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		t.Error("transient quarantine must not classify as DeadlineExceeded")
+	}
+}

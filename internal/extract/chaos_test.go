@@ -10,38 +10,19 @@ import (
 	"context"
 	"errors"
 	"math/rand"
-	"runtime"
 	"testing"
 	"time"
 
 	"hoiho/internal/faultinject"
+	"hoiho/internal/leaktest"
 )
-
-// waitGoroutines polls until the process goroutine count drops back to
-// the baseline, dumping all stacks on timeout — the leak report.
-func waitGoroutines(t *testing.T, base int) {
-	t.Helper()
-	deadline := time.Now().Add(10 * time.Second)
-	for {
-		if runtime.NumGoroutine() <= base {
-			return
-		}
-		if time.Now().After(deadline) {
-			buf := make([]byte, 1<<20)
-			n := runtime.Stack(buf, true)
-			t.Fatalf("goroutines did not drain: %d > baseline %d\n%s",
-				runtime.NumGoroutine(), base, buf[:n])
-		}
-		time.Sleep(5 * time.Millisecond)
-	}
-}
 
 // TestChaosStreamCancelClosesOutput: after cancellation the output
 // channel closes promptly even though the producer never closes in.
 func TestChaosStreamCancelClosesOutput(t *testing.T) {
 	ncs := syntheticNCs(t, 20)
 	c := New(ncs, WithWorkers(4))
-	base := runtime.NumGoroutine()
+	defer leaktest.Check(t)()
 
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
@@ -77,7 +58,6 @@ func TestChaosStreamCancelClosesOutput(t *testing.T) {
 		}
 	}
 	<-feederDone
-	waitGoroutines(t, base)
 }
 
 // TestChaosStreamAbandonedConsumerNoLeak pins the documented contract:
@@ -86,7 +66,7 @@ func TestChaosStreamCancelClosesOutput(t *testing.T) {
 func TestChaosStreamAbandonedConsumerNoLeak(t *testing.T) {
 	ncs := syntheticNCs(t, 20)
 	c := New(ncs, WithWorkers(4))
-	base := runtime.NumGoroutine()
+	defer leaktest.Check(t)()
 
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
@@ -111,7 +91,6 @@ func TestChaosStreamAbandonedConsumerNoLeak(t *testing.T) {
 	cancel()
 	// The consumer walks away here: out is never read again.
 	<-feederDone
-	waitGoroutines(t, base)
 }
 
 // TestChaosStreamStallCancelLatency: with every worker stalled by
@@ -125,7 +104,7 @@ func TestChaosStreamStallCancelLatency(t *testing.T) {
 	defer faultinject.Activate(plan)()
 	ncs := syntheticNCs(t, 8)
 	c := New(ncs, WithWorkers(2))
-	base := runtime.NumGoroutine()
+	defer leaktest.Check(t)()
 
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
@@ -165,7 +144,6 @@ func TestChaosStreamStallCancelLatency(t *testing.T) {
 		t.Fatalf("teardown took %v; stalls must be bounded by ctx", elapsed)
 	}
 	<-feederDone
-	waitGoroutines(t, base)
 }
 
 // TestChaosBatchCancelReturnsPartial: cancelling a stalled ExtractBatch

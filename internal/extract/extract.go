@@ -81,6 +81,8 @@ type Corpus struct {
 	// domain under list, so lookup is a single RegisteredDomain + map
 	// probe instead of a label walk.
 	pslDirect bool
+	// fp is the content fingerprint, computed once in New.
+	fp uint64
 }
 
 // Option configures a Corpus at construction time.
@@ -142,6 +144,7 @@ func New(ncs []*core.NC, opts ...Option) *Corpus {
 		}
 	}
 	sort.Slice(c.ncs, func(i, j int) bool { return c.ncs[i].Suffix < c.ncs[j].Suffix })
+	c.fp = c.fingerprint()
 	return c
 }
 

@@ -1,0 +1,35 @@
+package extract
+
+import (
+	"fmt"
+	"hash/fnv"
+)
+
+// fingerprint hashes the corpus content: every retained NC's suffix,
+// class, and regex sources, in suffix order. Computed once at
+// construction (before the corpus is shared), so reading it later is
+// race-free even though rex's String caches are lazily primed.
+func (c *Corpus) fingerprint() uint64 {
+	h := fnv.New64a()
+	for _, nc := range c.ncs {
+		h.Write([]byte(nc.Suffix))
+		h.Write([]byte{0, byte(nc.Class)})
+		for _, src := range nc.Strings() {
+			h.Write([]byte{0})
+			h.Write([]byte(src))
+		}
+		h.Write([]byte{0xff})
+	}
+	return h.Sum64()
+}
+
+// Fingerprint is a stable 64-bit identity for the corpus content —
+// equal corpora (same suffixes, classes, and regex sources, regardless
+// of construction order) fingerprint identically. The serving daemon
+// stamps it on every response so a consumer (and the chaos tests) can
+// tell exactly which corpus produced an extraction across hot reloads.
+func (c *Corpus) Fingerprint() uint64 { return c.fp }
+
+// FingerprintString renders Fingerprint in the fixed-width hex form used
+// by the daemon's X-Hoiho-Corpus header and /statusz.
+func (c *Corpus) FingerprintString() string { return fmt.Sprintf("%016x", c.fp) }

@@ -35,6 +35,16 @@ const (
 	StageBatchChunk = "extract.batch.chunk"
 	// StageStreamChunk fires once per ExtractStream micro-batch.
 	StageStreamChunk = "extract.stream.chunk"
+	// StageServeRequest fires once per admitted daemon extraction
+	// request, after admission and before the corpus is applied; the key
+	// is the requested hostname. Stall rules here hold requests in
+	// flight, which is how the serve chaos tests saturate the admission
+	// queue and exercise drain.
+	StageServeRequest = "serve.request"
+	// StageServeReload fires once per corpus reload attempt, before the
+	// candidate file is read; the key is the corpus path. Error rules
+	// here model a reload that fails before validation.
+	StageServeReload = "serve.reload"
 )
 
 // Kind is the failure mode a rule injects.

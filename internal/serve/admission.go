@@ -1,0 +1,80 @@
+package serve
+
+import (
+	"context"
+	"sync/atomic"
+	"time"
+)
+
+// gate is the bounded admission queue in front of the extraction
+// endpoints. At most `inflight` requests hold slots at once; at most
+// `maxQueue` more may wait for a slot, and none waits longer than
+// queueWait (or its own context deadline, whichever is tighter). Every
+// request beyond those bounds is shed immediately — memory held per
+// pending request is one goroutine and one queue ticket, so saturation
+// degrades into fast 429s rather than an unbounded queue and OOM.
+type gate struct {
+	slots     chan struct{}
+	queued    atomic.Int64
+	maxQueue  int64
+	queueWait time.Duration
+}
+
+func newGate(inflight, maxQueue int, queueWait time.Duration) *gate {
+	return &gate{
+		slots:     make(chan struct{}, inflight),
+		maxQueue:  int64(maxQueue),
+		queueWait: queueWait,
+	}
+}
+
+// acquire claims an execution slot. It returns nil on admission; the
+// caller must release() exactly once. Failure is one of the taxonomy
+// errors: ErrQueueFull when the wait queue is at capacity or the
+// request's deadline cannot survive any wait, ErrAdmissionTimeout when
+// the bounded wait elapsed, or ctx.Err() when the request was cancelled
+// while queued.
+func (g *gate) acquire(ctx context.Context) error {
+	select {
+	case g.slots <- struct{}{}:
+		return nil
+	default:
+	}
+	// Saturated: try to queue. The ticket count is the only state a
+	// shed request ever allocates.
+	if g.queued.Add(1) > g.maxQueue {
+		g.queued.Add(-1)
+		return ErrQueueFull
+	}
+	defer g.queued.Add(-1)
+	// Deadline-aware wait: never queue past the request's own deadline —
+	// serving a request after its client gave up is wasted work.
+	wait := g.queueWait
+	if dl, ok := ctx.Deadline(); ok {
+		if rem := time.Until(dl); rem < wait {
+			wait = rem
+		}
+	}
+	if wait <= 0 {
+		return ErrQueueFull
+	}
+	t := time.NewTimer(wait)
+	defer t.Stop()
+	select {
+	case g.slots <- struct{}{}:
+		return nil
+	case <-t.C:
+		return ErrAdmissionTimeout
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// release returns a slot claimed by a successful acquire.
+func (g *gate) release() { <-g.slots }
+
+// inflight returns how many admitted requests currently hold slots.
+func (g *gate) inflight() int { return len(g.slots) }
+
+// waiting returns how many requests are queued for admission.
+func (g *gate) waiting() int64 { return g.queued.Load() }

@@ -1,0 +1,91 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// The serve error taxonomy. Every failure the daemon can produce is one
+// of these sentinel or wrapper types, and each wrapper implements Unwrap,
+// so callers (handlers, the daemon's main, tests) classify outcomes with
+// errors.Is/errors.As — never by string matching — and can tell a blown
+// request deadline (context.DeadlineExceeded) apart from saturation or a
+// poisoned corpus file.
+var (
+	// ErrDraining is returned to requests arriving after drain began:
+	// the process is shutting down and admits no new work.
+	ErrDraining = errors.New("serve: draining: not admitting new requests")
+	// ErrQueueFull is the load-shed signal: the admission queue is at
+	// capacity (or queueing is pointless because the request's deadline
+	// cannot survive the wait), so the request is rejected immediately.
+	ErrQueueFull = errors.New("serve: admission queue full")
+	// ErrAdmissionTimeout is the slow-shed signal: the request queued
+	// for admission but no slot freed within its allowed wait.
+	ErrAdmissionTimeout = errors.New("serve: timed out waiting for admission")
+	// ErrNoCorpus means no corpus has ever been loaded; the server is
+	// alive but cannot extract.
+	ErrNoCorpus = errors.New("serve: no corpus loaded")
+	// ErrNoRollback means a rollback was requested but no previous
+	// corpus snapshot is retained.
+	ErrNoRollback = errors.New("serve: no previous corpus to roll back to")
+)
+
+// ReloadError is a failed corpus reload: the candidate file could not be
+// read or did not validate. The previous corpus is untouched and keeps
+// serving — a ReloadError never degrades the running daemon.
+type ReloadError struct {
+	// Path is the corpus file that was rejected.
+	Path string
+	// Err is the underlying load/validation failure.
+	Err error
+}
+
+func (e *ReloadError) Error() string {
+	return fmt.Sprintf("serve: reload %s: %v", e.Path, e.Err)
+}
+
+// Unwrap exposes the load failure to errors.Is/As.
+func (e *ReloadError) Unwrap() error { return e.Err }
+
+// shed reports whether err is a load-shedding rejection — the class of
+// failure a well-behaved client should retry after backing off.
+func shed(err error) bool {
+	return errors.Is(err, ErrQueueFull) || errors.Is(err, ErrAdmissionTimeout) ||
+		errors.Is(err, ErrDraining)
+}
+
+// httpError writes err as the appropriate HTTP failure. Shed errors
+// become 429/503 with a Retry-After hint; deadline expiry becomes 504;
+// everything else is a 500. The mapping is driven entirely by
+// errors.Is, so wrapped errors classify the same as bare sentinels.
+func httpError(w http.ResponseWriter, err error, retryAfter time.Duration) {
+	switch {
+	case errors.Is(err, ErrDraining), errors.Is(err, ErrNoCorpus):
+		w.Header().Set("Retry-After", retryAfterSeconds(retryAfter))
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrAdmissionTimeout):
+		w.Header().Set("Retry-After", retryAfterSeconds(retryAfter))
+		http.Error(w, err.Error(), http.StatusTooManyRequests)
+	case errors.Is(err, context.DeadlineExceeded):
+		http.Error(w, "serve: request deadline exceeded", http.StatusGatewayTimeout)
+	case errors.Is(err, context.Canceled):
+		// The client went away; the status is a formality.
+		http.Error(w, "serve: request canceled", http.StatusServiceUnavailable)
+	default:
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// retryAfterSeconds renders d as the whole-second Retry-After form,
+// never below 1 — a zero hint would invite an immediate retry storm.
+func retryAfterSeconds(d time.Duration) string {
+	s := int(d / time.Second)
+	if s < 1 {
+		s = 1
+	}
+	return strconv.Itoa(s)
+}
