@@ -113,7 +113,7 @@ func BenchmarkTable2(b *testing.B) {
 	run := lastEraRun(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res := experiments.RunSection5(run)
+		res := experiments.RunSection5(context.Background(), run)
 		rows, correct, total := experiments.Table2(run, res.Result)
 		if total == 0 {
 			b.Fatal("no validated decisions")
@@ -133,7 +133,7 @@ func BenchmarkSection5(b *testing.B) {
 	run := lastEraRun(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res := experiments.RunSection5(run)
+		res := experiments.RunSection5(context.Background(), run)
 		if res.AgreementAfter <= res.AgreementBefore {
 			b.Fatalf("no improvement: %.3f -> %.3f", res.AgreementBefore, res.AgreementAfter)
 		}
@@ -243,7 +243,7 @@ func BenchmarkCorpusExtract(b *testing.B) {
 
 	b.Run("corpus", func(b *testing.B) {
 		corpus := extract.New(ncs)
-		corpus.Extract(hosts[0]) // warm the compile-once caches outside the timer
+		corpus.Precompile() // warm the compile-once caches outside the timer
 		b.ResetTimer()
 		hits := 0
 		for i := 0; i < b.N; i++ {
@@ -266,7 +266,7 @@ func BenchmarkCorpusExtract(b *testing.B) {
 
 	b.Run("linear-scan", func(b *testing.B) {
 		corpus := extract.New(ncs)
-		corpus.Extract(hosts[0]) // same pre-compiled regexes as above
+		corpus.Precompile() // same pre-compiled regexes as above
 		b.ResetTimer()
 		hits := 0
 		for i := 0; i < b.N; i++ {
@@ -346,7 +346,7 @@ func BenchmarkAblationReasonableness(b *testing.B) {
 	run := lastEraRun(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res := experiments.RunSection5(run)
+		res := experiments.RunSection5(context.Background(), run)
 		wrongUsed, wrongTotal := 0, 0
 		for _, d := range res.Result.Decisions {
 			ifc := run.World.Interface(d.Addr)

@@ -124,7 +124,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	res := an.AnnotateWithNCs(ncs)
+	res := an.AnnotateWithNCs(ctx, ncs)
 	for _, n := range graph.Nodes {
 		marker := ""
 		if res.Annotations[n.ID] != res.Initial[n.ID] {

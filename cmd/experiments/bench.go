@@ -8,6 +8,7 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"fmt"
 	"os"
 	"testing"
 
@@ -36,14 +37,36 @@ func runBench(name string, fn func(b *testing.B)) benchResult {
 	}
 }
 
+// benchExtract measures the canonical extraction workload: the same
+// corpus and host mix every BENCH_PR*.json records.
+func benchExtract() benchResult {
+	ncs, hosts := experiments.CorpusWorkload(128, 100_000)
+	corpus := extract.New(ncs)
+	corpus.Precompile() // warm the compile-once caches
+	return runBench("extract/corpus-batch-100k", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			hits := 0
+			rs, err := corpus.ExtractBatch(context.Background(), hosts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, r := range rs {
+				if r.OK {
+					hits++
+				}
+			}
+			if hits != len(hosts)/2 {
+				b.Fatalf("hits = %d", hits)
+			}
+		}
+	})
+}
+
 // writeBenchJSON measures the learn and extract paths and writes the
 // report to path ("-" for stdout).
 func writeBenchJSON(path string) error {
 	largeItems := experiments.LargeSuffixItems(200)
 	fig4 := experiments.Figure4Items()
-	ncs, hosts := experiments.CorpusWorkload(128, 100_000)
-	corpus := extract.New(ncs)
-	corpus.Extract(hosts[0]) // warm the compile-once caches
 
 	results := []benchResult{
 		runBench("learn/large-suffix-200", func(b *testing.B) {
@@ -76,23 +99,7 @@ func writeBenchJSON(path string) error {
 				}
 			}
 		}),
-		runBench("extract/corpus-batch-100k", func(b *testing.B) {
-			for i := 0; i < b.N; i++ {
-				hits := 0
-				rs, err := corpus.ExtractBatch(context.Background(), hosts)
-				if err != nil {
-					b.Fatal(err)
-				}
-				for _, r := range rs {
-					if r.OK {
-						hits++
-					}
-				}
-				if hits != len(hosts)/2 {
-					b.Fatalf("hits = %d", hits)
-				}
-			}
-		}),
+		benchExtract(),
 	}
 
 	data, err := json.MarshalIndent(map[string]any{"benchmarks": results}, "", "  ")
@@ -105,4 +112,62 @@ func writeBenchJSON(path string) error {
 		return err
 	}
 	return os.WriteFile(path, data, 0o644)
+}
+
+// benchFile is the subset of a BENCH_PR*.json file the gate reads. The
+// recorded numbers live either at the top level (-benchjson output) or
+// under "after" (the annotated before/after files).
+type benchFile struct {
+	Benchmarks []benchResult `json:"benchmarks"`
+	After      *struct {
+		Benchmarks []benchResult `json:"benchmarks"`
+	} `json:"after"`
+}
+
+// runBenchGate re-measures the extraction hot path and fails when it
+// has regressed more than tolerancePct against the baseline recorded in
+// path — the committed BENCH_PR6.json in CI — so a perf regression
+// breaks the build instead of surfacing in the next perf PR. Alloc
+// counts are machine-independent and gated tightly; ns/op is gated at
+// the given tolerance, which assumes baseline and gate run on the same
+// machine class.
+func runBenchGate(path string, tolerancePct float64) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var bf benchFile
+	if err := json.Unmarshal(data, &bf); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	recorded := bf.Benchmarks
+	if bf.After != nil {
+		recorded = bf.After.Benchmarks
+	}
+	var base *benchResult
+	for i := range recorded {
+		if recorded[i].Name == "extract/corpus-batch-100k" {
+			base = &recorded[i]
+			break
+		}
+	}
+	if base == nil {
+		return fmt.Errorf("%s: no extract/corpus-batch-100k baseline", path)
+	}
+	fresh := benchExtract()
+	limit := base.NsPerOp * (1 + tolerancePct/100)
+	fmt.Printf("bench gate: %s: %.0f ns/op, %d allocs/op (baseline %.0f ns/op, %d allocs/op; limit %.0f)\n",
+		fresh.Name, fresh.NsPerOp, fresh.AllocsPerOp, base.NsPerOp, base.AllocsPerOp, limit)
+	// Chunk bookkeeping makes the last alloc or two nondeterministic;
+	// anything beyond a doubling plus slack is a real leak back onto the
+	// per-hostname path.
+	if fresh.AllocsPerOp > base.AllocsPerOp*2+8 {
+		return fmt.Errorf("bench gate: allocs regressed: %d > %d allowed",
+			fresh.AllocsPerOp, base.AllocsPerOp*2+8)
+	}
+	if fresh.NsPerOp > limit {
+		return fmt.Errorf("bench gate: ns/op regressed >%.0f%%: %.0f > %.0f",
+			tolerancePct, fresh.NsPerOp, limit)
+	}
+	return nil
 }

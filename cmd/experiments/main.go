@@ -6,6 +6,7 @@
 //
 //	experiments [-scale 1.0] [-run all|figure5|figure6|table1|table2|section4|section5|figure7] [-o report.md]
 //	experiments -benchjson BENCH.json
+//	experiments -benchgate BENCH_PR6.json [-benchgate-tol 20]
 //
 // -cpuprofile/-memprofile write pprof profiles of whichever mode ran, so
 // perf PRs are measured rather than guessed.
@@ -43,6 +44,8 @@ func run(ctx context.Context, args []string) error {
 	which := fs.String("run", "all", "experiment to run: all, figure5, figure6, table1, table2, section4, section5, figure7")
 	outPath := fs.String("o", "-", "output file ('-' for stdout)")
 	benchJSON := fs.String("benchjson", "", "instead of a report, benchmark the learn/extract hot paths and write JSON to this file ('-' for stdout)")
+	benchGate := fs.String("benchgate", "", "instead of a report, re-measure the extraction hot path and fail if it regressed against this recorded baseline JSON (the CI perf gate)")
+	benchGateTol := fs.Float64("benchgate-tol", 20, "ns/op regression tolerance for -benchgate, in percent")
 	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memProfile := fs.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	if err := fs.Parse(args); err != nil {
@@ -75,6 +78,9 @@ func run(ctx context.Context, args []string) error {
 	}
 	if *benchJSON != "" {
 		return writeBenchJSON(*benchJSON)
+	}
+	if *benchGate != "" {
+		return runBenchGate(*benchGate, *benchGateTol)
 	}
 	var out io.Writer = os.Stdout
 	if *outPath != "-" {
@@ -150,7 +156,7 @@ func Report(ctx context.Context, out io.Writer, scale experiments.Scale, which s
 
 	var s5 *experiments.Section5Result
 	if want("section5") || want("table2") {
-		s5 = experiments.RunSection5(itdkFinal)
+		s5 = experiments.RunSection5(ctx, itdkFinal)
 	}
 
 	if want("section5") {

@@ -64,7 +64,7 @@ func main() {
 		}
 	}
 	fmt.Printf("learned %d conventions (%d good)\n", len(ncs), good)
-	res := an.AnnotateWithNCs(ncs)
+	res := an.AnnotateWithNCs(context.Background(), ncs)
 
 	// Score both variants against ground truth, over nodes that carry at
 	// least one ASN-labelled hostname (where hostname evidence can act).

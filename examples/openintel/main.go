@@ -54,7 +54,7 @@ func main() {
 	// Traceroute view: single-hostname fast path.
 	observed := 0
 	for _, host := range graph.Hostnames {
-		if _, ok := corpus.Extract(host); ok {
+		if _, ok := corpus.Extract(context.Background(), host); ok {
 			observed++
 		}
 	}

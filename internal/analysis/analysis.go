@@ -15,8 +15,10 @@
 //   - rngseed: only explicitly seeded *rand.Rand values; no global
 //     math/rand state, no time-derived seeds, no crypto/rand.
 //   - recompile: regexp.Compile/MustCompile must not run inside loops or
-//     on the per-item hot path reachable from Corpus.Extract and Set
-//     evaluation; use the compile-once paths instead.
+//     on the per-item hot path reachable from the Corpus extraction entry
+//     points and Set evaluation; the sanctioned hot-path matcher is the
+//     compiled internal/match engine (stdlib regexp is the cold-path
+//     fallback behind the compile-once caches).
 //   - wghygiene: WaitGroup and shard-pattern discipline for goroutines
 //     (Add before go, deferred Done, loop-variable-indexed result
 //     writes).
@@ -97,6 +99,7 @@ func Default() Config {
 		"hoiho/internal/core",
 		"hoiho/internal/rex",
 		"hoiho/internal/extract",
+		"hoiho/internal/match",
 		"hoiho/internal/experiments",
 		"hoiho/internal/topo",
 		"hoiho/internal/itdk",
@@ -105,8 +108,15 @@ func Default() Config {
 	return Config{
 		DetPkgs:   det,
 		PanicPkgs: append(append([]string{}, det...), "hoiho/internal/psl", "hoiho/internal/hostname"),
+		// Every extraction entry point of the v2 API roots the hot path,
+		// plus the compiled engine itself: internal/match is the sanctioned
+		// per-hostname matcher, so nothing reachable from it may fall back
+		// to a fresh stdlib compile.
 		HotRoots: []string{
 			"(*hoiho/internal/extract.Corpus).Extract",
+			"(*hoiho/internal/extract.Corpus).ExtractBatch",
+			"(*hoiho/internal/extract.Corpus).ExtractBytes",
+			"(*hoiho/internal/match.Engine).MatchString",
 			"(*hoiho/internal/core.Set).Evaluate",
 			"(*hoiho/internal/core.Set).Learn",
 		},

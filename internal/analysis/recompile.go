@@ -7,9 +7,11 @@ import (
 
 // recompile flags regexp.Compile/MustCompile (and the POSIX variants)
 // inside loop bodies or inside functions reachable from the per-item
-// hot paths (Corpus.Extract serving, Set evaluation during learning).
-// PRs 1-2 exist to guarantee each regex is compiled exactly once — the
-// extract.Corpus entries compile behind a sync.Once and rex.Regex
+// hot paths (the Corpus extraction entry points, the compiled
+// internal/match engine, Set evaluation during learning). Each regex is
+// compiled exactly once — the extract.Corpus entries compile behind a
+// sync.Once into an internal/match.Engine (the sanctioned hot-path
+// matcher; stdlib regexp is only the cold-path fallback) and rex.Regex
 // caches its compiled form — so a fresh Compile per item is always a
 // bug or a missed migration onto those paths. The one legitimate
 // compile inside each cache is annotated //hoiho:recompile-ok.
@@ -50,14 +52,14 @@ func runRecompile(p *Program) []Diagnostic {
 						out = append(out, Diagnostic{
 							Pos:     p.Fset.Position(call.Pos()),
 							Check:   "recompile",
-							Message: "regexp." + obj.Name() + " inside a loop recompiles per iteration; hoist it, or use the cached rex.(*Regex).Compile / extract.Corpus machines",
+							Message: "regexp." + obj.Name() + " inside a loop recompiles per iteration; hoist it, or use the cached rex.(*Regex).Compile / extract.Corpus machines (the compiled internal/match engine)",
 							Suggest: "//hoiho:recompile-ok <why this compile cannot be hoisted>",
 						})
 					case root != "":
 						out = append(out, Diagnostic{
 							Pos:     p.Fset.Position(call.Pos()),
 							Check:   "recompile",
-							Message: "regexp." + obj.Name() + " on the per-item hot path (reachable from " + root + "); use the compile-once paths",
+							Message: "regexp." + obj.Name() + " on the per-item hot path (reachable from " + root + "); use the compile-once paths — hot-path matching belongs to the compiled internal/match engine",
 							Suggest: "//hoiho:recompile-ok <why this hot-path compile runs once>",
 						})
 					}

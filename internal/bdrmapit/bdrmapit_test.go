@@ -1,6 +1,7 @@
 package bdrmapit
 
 import (
+	"context"
 	"net/netip"
 	"testing"
 
@@ -233,7 +234,7 @@ func TestAnnotateWithNCsUsesCorrectHostname(t *testing.T) {
 	rel.AddP2C(100, 200)
 	an := &Annotator{Graph: g, Rel: rel}
 	nc := ncFor(t, "xnet.net", `^as(\\d+)-[a-z]+-[a-z]+\\d+\\.xnet\\.net$`, core.Good)
-	res := an.AnnotateWithNCs([]*core.NC{nc})
+	res := an.AnnotateWithNCs(context.Background(), []*core.NC{nc})
 	if res.Extractions != 1 {
 		t.Fatalf("extractions = %d, want 1", res.Extractions)
 	}
@@ -258,7 +259,7 @@ func TestAnnotateWithNCsRejectsStale(t *testing.T) {
 	g := figure1Graph(t, hostnames)
 	an := &Annotator{Graph: g}
 	nc := ncFor(t, "xnet.net", `^as(\\d+)-[a-z]+-[a-z]+\\d+\\.xnet\\.net$`, core.Good)
-	res := an.AnnotateWithNCs([]*core.NC{nc})
+	res := an.AnnotateWithNCs(context.Background(), []*core.NC{nc})
 	if len(res.Decisions) != 1 {
 		t.Fatalf("decisions = %+v", res.Decisions)
 	}
@@ -277,7 +278,7 @@ func TestAnnotateWithNCsRejectsStale(t *testing.T) {
 func TestAnnotateWithNCsNoHostnames(t *testing.T) {
 	g := figure1Graph(t, nil)
 	an := &Annotator{Graph: g}
-	res := an.AnnotateWithNCs(nil)
+	res := an.AnnotateWithNCs(context.Background(), nil)
 	if res.Extractions != 0 || len(res.Decisions) != 0 {
 		t.Errorf("unexpected extractions: %+v", res)
 	}
@@ -302,14 +303,14 @@ func TestMajority(t *testing.T) {
 func TestCorpusLookup(t *testing.T) {
 	nc := ncFor(t, "xnet.net", `^as(\\d+)\\.xnet\\.net$`, core.Good)
 	corpus := extract.New([]*core.NC{nc})
-	if m, ok := corpus.Extract("as100.xnet.net"); !ok || m.Digits != "100" {
+	if m, ok := corpus.Extract(context.Background(), "as100.xnet.net"); !ok || m.Digits != "100" {
 		t.Errorf("extract = %+v,%v", m, ok)
 	}
 	// Suffix matches but regex does not.
-	if _, ok := corpus.Extract("foo.xnet.net"); ok {
+	if _, ok := corpus.Extract(context.Background(), "foo.xnet.net"); ok {
 		t.Error("non-matching hostname extracted")
 	}
-	if _, ok := corpus.Extract("as100.other.net"); ok {
+	if _, ok := corpus.Extract(context.Background(), "as100.other.net"); ok {
 		t.Error("unknown suffix extracted")
 	}
 }

@@ -1,6 +1,7 @@
 package bdrmapit
 
 import (
+	"context"
 	"net/netip"
 	"sort"
 
@@ -41,8 +42,8 @@ type Result struct {
 // modification. It is a convenience wrapper around AnnotateWithCorpus;
 // callers that already hold a Corpus (or want to share one between
 // consumers) should use that directly.
-func (an *Annotator) AnnotateWithNCs(ncs []*core.NC) *Result {
-	return an.AnnotateWithCorpus(extract.New(ncs))
+func (an *Annotator) AnnotateWithNCs(ctx context.Context, ncs []*core.NC) *Result {
+	return an.AnnotateWithCorpus(ctx, extract.New(ncs))
 }
 
 // AnnotateWithCorpus runs bdrmapIT, then re-evaluates every node with a
@@ -51,7 +52,7 @@ func (an *Annotator) AnnotateWithNCs(ncs []*core.NC) *Result {
 // subsequent or destination ASN sets, or it is a provider of one of the
 // ASes in those sets. Otherwise the hostname is deemed stale or a typo
 // and the heuristic annotation stands.
-func (an *Annotator) AnnotateWithCorpus(corpus *extract.Corpus) *Result {
+func (an *Annotator) AnnotateWithCorpus(ctx context.Context, corpus *extract.Corpus) *Result {
 	initial := an.Annotate()
 	res := &Result{
 		Annotations: make(map[int]asn.ASN, len(initial)),
@@ -76,7 +77,7 @@ func (an *Annotator) AnnotateWithCorpus(corpus *extract.Corpus) *Result {
 			if host == "" {
 				continue
 			}
-			m, ok := corpus.Extract(host)
+			m, ok := corpus.Extract(ctx, host)
 			if !ok {
 				continue
 			}

@@ -1,6 +1,7 @@
 package bdrmapit
 
 import (
+	"context"
 	"net/netip"
 	"testing"
 
@@ -142,7 +143,7 @@ func TestAnnotateEmptyGraph(t *testing.T) {
 	if ann := an.Annotate(); len(ann) != 0 {
 		t.Errorf("annotations for empty graph: %v", ann)
 	}
-	res := an.AnnotateWithNCs(nil)
+	res := an.AnnotateWithNCs(context.Background(), nil)
 	if res.Extractions != 0 {
 		t.Error("extractions in empty graph")
 	}
@@ -161,7 +162,7 @@ func TestCustomerPreferenceRefinement(t *testing.T) {
 	rel.AddP2C(100, 200)
 	an := &Annotator{Graph: g, Rel: rel}
 	nc := ncFor(t, "xnet.net", `cust\\.as(\\d+)\\.xnet\\.net$`, core.Poor)
-	res := an.AnnotateWithNCs([]*core.NC{nc})
+	res := an.AnnotateWithNCs(context.Background(), []*core.NC{nc})
 	if len(res.Decisions) != 1 {
 		t.Fatalf("decisions = %+v", res.Decisions)
 	}
@@ -181,7 +182,7 @@ func TestCustomerPreferenceRefinement(t *testing.T) {
 	// Without relationships the refinement cannot apply, and the plain §5
 	// rule is used verbatim (the paper's text): the extraction passes.
 	an2 := &Annotator{Graph: figure1Graph(t, hostnames)}
-	res2 := an2.AnnotateWithNCs([]*core.NC{nc})
+	res2 := an2.AnnotateWithNCs(context.Background(), []*core.NC{nc})
 	if len(res2.Decisions) != 1 {
 		t.Fatalf("decisions = %+v", res2.Decisions)
 	}

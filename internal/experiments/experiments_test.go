@@ -183,7 +183,7 @@ func TestSection5(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res := RunSection5(run)
+	res := RunSection5(context.Background(), run)
 	t.Logf("agreement %.3f -> %.3f (%s -> %s), decisions=%d used=%d",
 		res.AgreementBefore, res.AgreementAfter,
 		OneIn(res.ErrOneInBefore), OneIn(res.ErrOneInAfter),
@@ -325,7 +325,7 @@ func TestAblationReasonableness(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res := RunSection5(run)
+	res := RunSection5(context.Background(), run)
 	wrongUsed, wrongTotal := 0, 0
 	for _, d := range res.Result.Decisions {
 		ifc := run.World.Interface(d.Addr)

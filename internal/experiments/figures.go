@@ -43,12 +43,16 @@ type Figure6Row struct {
 // inferences).
 func PPVOnTraining(corpus *extract.Corpus, items []core.Item, list *psl.List, orgs *asn.Orgs, siblingCredit bool) (ppv float64, tps, matches int) {
 	groups, _ := core.GroupItems(list, items)
-	for _, nc := range corpus.NCs() {
-		set, err := core.NewSet(nc.Suffix, groups[nc.Suffix], core.Options{})
+	for _, suffix := range corpus.Suffixes() {
+		cv, ok := corpus.Conventions(suffix)
+		if !ok {
+			continue
+		}
+		set, err := core.NewSet(suffix, groups[suffix], core.Options{})
 		if err != nil {
 			continue
 		}
-		_, exts := set.EvaluateDetailed(nc.Regexes...)
+		_, exts := set.EvaluateDetailed(cv.Regexes()...)
 		for _, e := range exts {
 			switch e.Outcome {
 			case core.OutcomeTP:
@@ -201,16 +205,20 @@ func SuffixOriginAnalysis(run *Run) (ownOrg, other int) {
 	// the corpus, which resolves them back to that suffix's own NC.
 	corpus := extract.New(run.NCs)
 	groups, _ := core.GroupItems(psl.Default(), run.Items)
-	for _, nc := range corpus.NCs() {
+	for _, suffix := range corpus.Suffixes() {
+		cv, ok := corpus.Conventions(suffix)
+		if !ok {
+			continue
+		}
 		// Only conventions with enough matches constitute the paper's
 		// "single NCs"; degenerate one-extraction regexes are noise.
-		if !nc.Single || nc.Eval.TP < 3 {
+		if !cv.Single() || cv.Eval().TP < 3 {
 			continue
 		}
 		// Dominant extracted ASN over the suffix's items.
 		votes := make(map[asn.ASN]int)
-		for _, it := range groups[nc.Suffix] {
-			if m, ok := corpus.Extract(it.Hostname); ok {
+		for _, it := range groups[suffix] {
+			if m, ok := corpus.Extract(context.Background(), it.Hostname); ok {
 				votes[m.ASN]++
 			}
 		}
@@ -229,7 +237,7 @@ func SuffixOriginAnalysis(run *Run) (ownOrg, other int) {
 				best, bestN = a, votes[a]
 			}
 		}
-		if owner, ok := suffixOwner[nc.Suffix]; ok && run.World.Orgs.Siblings(owner, best) {
+		if owner, ok := suffixOwner[suffix]; ok && run.World.Orgs.Siblings(owner, best) {
 			ownOrg++
 		} else {
 			other++

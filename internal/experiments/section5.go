@@ -35,8 +35,8 @@ type Section5Result struct {
 
 // RunSection5 re-processes a run's graph with the modified bdrmapIT,
 // supplying every learned NC (good, promising, and poor, as the paper
-// does).
-func RunSection5(run *Run) *Section5Result {
+// does). ctx flows into every extraction.
+func RunSection5(ctx context.Context, run *Run) *Section5Result {
 	an := &bdrmapit.Annotator{
 		Graph: run.Graph,
 		Rel:   run.World.Rel,
@@ -46,7 +46,7 @@ func RunSection5(run *Run) *Section5Result {
 	// One shared corpus drives both the annotator and the agreement
 	// accounting: the NC machines are compiled once for the whole section.
 	corpus := extract.New(run.NCs)
-	res := an.AnnotateWithCorpus(corpus)
+	res := an.AnnotateWithCorpus(ctx, corpus)
 	out := &Section5Result{
 		Result:   res,
 		PerClass: make(map[core.Classification][2]int),
@@ -60,7 +60,7 @@ func RunSection5(run *Run) *Section5Result {
 			if host == "" {
 				continue
 			}
-			m, ok := corpus.Extract(host)
+			m, ok := corpus.Extract(ctx, host)
 			if !ok {
 				continue
 			}
@@ -186,7 +186,7 @@ func Figure7(ctx context.Context, run *Run) (Figure7Result, error) {
 	corpus := extract.New(run.NCs, extract.UsableOnly())
 	var res Figure7Result
 	for _, host := range run.Graph.Hostnames {
-		if _, ok := corpus.Extract(host); ok {
+		if _, ok := corpus.Extract(ctx, host); ok {
 			res.ObservedMatches++
 		}
 	}

@@ -9,12 +9,18 @@ import (
 	"hoiho/internal/faultinject"
 )
 
-// Result is one per-hostname outcome of a batch or stream extraction.
-// Results are always emitted in input order; OK distinguishes hits from
-// misses so positions stay aligned with the input.
-type Result struct {
-	Match
-	OK bool
+// CallOption tunes one ExtractBatch/ExtractStream invocation without
+// rebuilding the corpus.
+type CallOption func(*callOpts)
+
+type callOpts struct {
+	workers int
+}
+
+// CallWorkers overrides the corpus worker bound for this call only.
+// n <= 0 keeps the corpus default.
+func CallWorkers(n int) CallOption {
+	return func(o *callOpts) { o.workers = n }
 }
 
 // batchChunk is the unit of work sharding: small enough to balance skewed
@@ -29,9 +35,9 @@ const batchChunk = 512
 // between chunks: on cancellation the workers stop, the results
 // processed so far are returned alongside ctx.Err(), and the untouched
 // tail is zero-valued (OK == false).
-func (c *Corpus) ExtractBatch(ctx context.Context, hosts []string) ([]Result, error) {
+func (c *Corpus) ExtractBatch(ctx context.Context, hosts []string, opts ...CallOption) ([]Result, error) {
 	out := make([]Result, len(hosts))
-	workers := c.workerCount(len(hosts))
+	workers := c.workerCount(len(hosts), opts)
 	nChunks := (len(hosts) + batchChunk - 1) / batchChunk
 	extractChunk := func(ci int) {
 		lo := ci * batchChunk
@@ -40,7 +46,9 @@ func (c *Corpus) ExtractBatch(ctx context.Context, hosts []string) ([]Result, er
 			hi = len(hosts)
 		}
 		for i := lo; i < hi; i++ {
-			out[i].Match, out[i].OK = c.Extract(hosts[i])
+			if c.extractInto(&out[i], hosts[i]) {
+				out[i].Hostname = hosts[i]
+			}
 		}
 	}
 	if workers <= 1 || len(hosts) <= batchChunk {
@@ -48,7 +56,9 @@ func (c *Corpus) ExtractBatch(ctx context.Context, hosts []string) ([]Result, er
 			if err := ctx.Err(); err != nil {
 				return out, err
 			}
-			faultinject.Fire(ctx, faultinject.StageBatchChunk, strconv.Itoa(ci))
+			if faultinject.Active() {
+				faultinject.Fire(ctx, faultinject.StageBatchChunk, strconv.Itoa(ci))
+			}
 			extractChunk(ci)
 		}
 		return out, nil
@@ -64,7 +74,9 @@ func (c *Corpus) ExtractBatch(ctx context.Context, hosts []string) ([]Result, er
 				if ci >= nChunks {
 					return
 				}
-				faultinject.Fire(ctx, faultinject.StageBatchChunk, strconv.Itoa(ci))
+				if faultinject.Active() {
+					faultinject.Fire(ctx, faultinject.StageBatchChunk, strconv.Itoa(ci))
+				}
 				extractChunk(ci)
 			}
 		}()
@@ -88,9 +100,9 @@ const streamChunk = 256
 // promptly. A consumer that stops reading early MUST cancel ctx (and
 // may then abandon the channel); draining the channel fully needs no
 // cancellation.
-func (c *Corpus) ExtractStream(ctx context.Context, in <-chan string) <-chan Result {
+func (c *Corpus) ExtractStream(ctx context.Context, in <-chan string, opts ...CallOption) <-chan Result {
 	out := make(chan Result, streamChunk)
-	workers := c.workerCount(streamChunk * 4)
+	workers := c.workerCount(streamChunk*4, opts)
 
 	type job struct {
 		seq   int
@@ -147,10 +159,14 @@ func (c *Corpus) ExtractStream(ctx context.Context, in <-chan string) <-chan Res
 		go func() {
 			defer wg.Done()
 			for j := range jobs {
-				faultinject.Fire(ctx, faultinject.StageStreamChunk, strconv.Itoa(j.seq))
+				if faultinject.Active() {
+					faultinject.Fire(ctx, faultinject.StageStreamChunk, strconv.Itoa(j.seq))
+				}
 				rs := make([]Result, len(j.hosts))
 				for i, h := range j.hosts {
-					rs[i].Match, rs[i].OK = c.Extract(h)
+					if c.extractInto(&rs[i], h) {
+						rs[i].Hostname = h
+					}
 				}
 				select {
 				case dones <- done{seq: j.seq, results: rs}:

@@ -93,7 +93,7 @@ func randomHost(rng *rand.Rand, ncs []*core.NC) string {
 
 // naiveScan is the replaced consumer pattern: try every NC against the
 // hostname until one matches.
-func naiveScan(ncs []*core.NC, host string) (Match, bool) {
+func naiveScan(ncs []*core.NC, host string) (Result, bool) {
 	for _, nc := range ncs {
 		digits, ok := nc.Extract(host)
 		if !ok {
@@ -101,11 +101,14 @@ func naiveScan(ncs []*core.NC, host string) (Match, bool) {
 		}
 		a, err := asn.Parse(digits)
 		if err != nil {
-			return Match{}, false
+			return Result{}, false
 		}
-		return Match{Hostname: host, Suffix: nc.Suffix, Class: nc.Class, Digits: digits, ASN: a}, true
+		return Result{
+			Hostname: host, Suffix: nc.Suffix, Class: nc.Class,
+			Digits: digits, ASN: a, OK: true,
+		}, true
 	}
-	return Match{}, false
+	return Result{}, false
 }
 
 // TestExtractAgreesWithLinearScan is the property test: over randomized
@@ -114,10 +117,11 @@ func naiveScan(ncs []*core.NC, host string) (Match, bool) {
 func TestExtractAgreesWithLinearScan(t *testing.T) {
 	ncs := syntheticNCs(t, 150)
 	c := New(ncs)
+	ctx := context.Background()
 	rng := rand.New(rand.NewSource(42))
 	for i := 0; i < 20000; i++ {
 		host := randomHost(rng, ncs)
-		got, gotOK := c.Extract(host)
+		got, gotOK := c.Extract(ctx, host)
 		want, wantOK := naiveScan(ncs, host)
 		if gotOK != wantOK || got != want {
 			t.Fatalf("host %q: corpus = (%+v, %v), linear scan = (%+v, %v)",
@@ -134,51 +138,101 @@ func TestExtractDeepestSuffixWins(t *testing.T) {
 	deep := ncFromJSON(t, "cust.xnet.net", `as(\\d+)\\.cust\\.xnet\\.net$`, core.Good)
 	shallow := ncFromJSON(t, "xnet.net", `^r(\\d+)-[^\\.]+\\.xnet\\.net$`, core.Good)
 	c := New([]*core.NC{shallow, deep})
+	ctx := context.Background()
 
-	if m, ok := c.Extract("a.as77.cust.xnet.net"); !ok || m.Suffix != "cust.xnet.net" || m.ASN != 77 {
+	if m, ok := c.Extract(ctx, "a.as77.cust.xnet.net"); !ok || m.Suffix != "cust.xnet.net" || m.ASN != 77 {
 		t.Fatalf("deep suffix: %+v %v", m, ok)
 	}
-	if m, ok := c.Extract("r12-lax.xnet.net"); !ok || m.Suffix != "xnet.net" || m.ASN != 12 {
+	if m, ok := c.Extract(ctx, "r12-lax.xnet.net"); !ok || m.Suffix != "xnet.net" || m.ASN != 12 {
 		t.Fatalf("shallow suffix: %+v %v", m, ok)
 	}
 	// r99-style hostname under the deep suffix: the deep NC governs and
 	// misses; the shallow NC must not be consulted.
-	if m, ok := c.Extract("r12-lax.cust.xnet.net"); ok {
+	if m, ok := c.Extract(ctx, "r12-lax.cust.xnet.net"); ok {
 		t.Fatalf("fell through to shallower suffix: %+v", m)
 	}
 }
 
 // TestExtractEdgeCases covers empty corpora and degenerate hostnames.
 func TestExtractEdgeCases(t *testing.T) {
+	ctx := context.Background()
 	empty := New(nil)
-	if _, ok := empty.Extract("as1.example.net"); ok {
+	if _, ok := empty.Extract(ctx, "as1.example.net"); ok {
 		t.Fatal("empty corpus matched")
 	}
 	c := New([]*core.NC{ncFromJSON(t, "example.net", `^as(\\d+)\\.example\\.net$`, core.Good)})
 	for _, host := range []string{"", "net", ".", "example.net", "as0.example.net"} {
-		if m, ok := c.Extract(host); ok {
+		if m, ok := c.Extract(ctx, host); ok {
 			t.Fatalf("host %q unexpectedly matched: %+v", host, m)
 		}
 	}
-	if m, ok := c.Extract("as64512.example.net"); !ok || m.ASN != 64512 || m.Digits != "64512" {
+	if m, ok := c.Extract(ctx, "as64512.example.net"); !ok || m.ASN != 64512 || m.Digits != "64512" {
 		t.Fatalf("fast path: %+v %v", m, ok)
 	}
 }
 
-// TestLookup exercises the suffix resolution without application.
-func TestLookup(t *testing.T) {
+// TestExtractCancelledContext: a cancelled context is a miss on entry,
+// not a partial extraction.
+func TestExtractCancelledContext(t *testing.T) {
+	c := New([]*core.NC{ncFromJSON(t, "example.net", `^as(\\d+)\\.example\\.net$`, core.Good)})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if m, ok := c.Extract(ctx, "as64512.example.net"); ok {
+		t.Fatalf("cancelled context extracted: %+v", m)
+	}
+	// nil context means "no cancellation".
+	if _, ok := c.Extract(nil, "as64512.example.net"); !ok { //nolint:staticcheck
+		t.Fatal("nil context refused")
+	}
+}
+
+// TestConventions exercises suffix resolution without application
+// through the read-only view.
+func TestConventions(t *testing.T) {
 	nc := ncFromJSON(t, "example.net", `^as(\\d+)\\.example\\.net$`, core.Promising)
 	c := New([]*core.NC{nc})
-	if got, ok := c.Lookup("foo.bar.example.net"); !ok || got != nc {
-		t.Fatalf("Lookup = %v, %v", got, ok)
+	cv, ok := c.Conventions("foo.bar.example.net")
+	if !ok || cv.Suffix() != "example.net" || cv.Class() != core.Promising {
+		t.Fatalf("Conventions = %+v, %v", cv, ok)
 	}
-	if _, ok := c.Lookup("example.org"); ok {
+	if cv.NumRegexes() != 1 || len(cv.Regexes()) != 1 || len(cv.Strings()) != 1 {
+		t.Fatalf("regex accessors: %d %d %d", cv.NumRegexes(), len(cv.Regexes()), len(cv.Strings()))
+	}
+	// The regexes slice is a copy: mutating it must not reach the corpus.
+	rs := cv.Regexes()
+	rs[0] = nil
+	cv2, _ := c.Conventions("example.net")
+	if cv2.Regexes()[0] == nil {
+		t.Fatal("Regexes() aliases corpus state")
+	}
+	if _, ok := c.Conventions("example.org"); ok {
 		t.Fatal("unrelated suffix resolved")
+	}
+}
+
+// TestSuffixes: sorted, one per retained NC.
+func TestSuffixes(t *testing.T) {
+	ncs := syntheticNCs(t, 10)
+	c := New(ncs)
+	suf := c.Suffixes()
+	if len(suf) != 10 {
+		t.Fatalf("len = %d", len(suf))
+	}
+	for i := 1; i < len(suf); i++ {
+		if suf[i-1] >= suf[i] {
+			t.Fatalf("unsorted at %d: %q >= %q", i, suf[i-1], suf[i])
+		}
+	}
+	for _, s := range suf {
+		if _, ok := c.Conventions(s); !ok {
+			t.Fatalf("suffix %q not resolvable", s)
+		}
 	}
 }
 
 // TestMinClassFilter checks corpus-level class restriction.
 func TestMinClassFilter(t *testing.T) {
+	ctx := context.Background()
 	ncs := []*core.NC{
 		ncFromJSON(t, "good.net", `^as(\\d+)\\.good\\.net$`, core.Good),
 		ncFromJSON(t, "prom.net", `^as(\\d+)\\.prom\\.net$`, core.Promising),
@@ -190,10 +244,10 @@ func TestMinClassFilter(t *testing.T) {
 	if all.Len() != 3 || usable.Len() != 2 || goodOnly.Len() != 1 {
 		t.Fatalf("lens = %d %d %d", all.Len(), usable.Len(), goodOnly.Len())
 	}
-	if _, ok := usable.Extract("as1.poor.net"); ok {
+	if _, ok := usable.Extract(ctx, "as1.poor.net"); ok {
 		t.Fatal("poor NC applied through UsableOnly corpus")
 	}
-	if _, ok := usable.Extract("as1.prom.net"); !ok {
+	if _, ok := usable.Extract(ctx, "as1.prom.net"); !ok {
 		t.Fatal("promising NC missing from UsableOnly corpus")
 	}
 }
@@ -201,26 +255,28 @@ func TestMinClassFilter(t *testing.T) {
 // TestDuplicateSuffixLastWins pins the overwrite behavior inherited from
 // the replaced per-consumer maps.
 func TestDuplicateSuffixLastWins(t *testing.T) {
+	ctx := context.Background()
 	first := ncFromJSON(t, "dup.net", `^a(\\d+)\\.dup\\.net$`, core.Good)
 	second := ncFromJSON(t, "dup.net", `^b(\\d+)\\.dup\\.net$`, core.Good)
 	c := New([]*core.NC{first, second})
 	if c.Len() != 1 {
 		t.Fatalf("len = %d", c.Len())
 	}
-	if _, ok := c.Extract("a5.dup.net"); ok {
+	if _, ok := c.Extract(ctx, "a5.dup.net"); ok {
 		t.Fatal("first NC survived")
 	}
-	if m, ok := c.Extract("b5.dup.net"); !ok || m.ASN != 5 {
+	if m, ok := c.Extract(ctx, "b5.dup.net"); !ok || m.ASN != 5 {
 		t.Fatalf("second NC missing: %+v %v", m, ok)
 	}
 }
 
-// TestConcurrentExtractCompilesOnce hammers a freshly loaded (uncompiled)
+// TestConcurrentExtractCompilesOnce hammers a freshly built (uncompiled)
 // corpus from many goroutines; under -race this verifies the sync.Once
 // compile cache leaves no unsynchronized writes in the hot path.
 func TestConcurrentExtractCompilesOnce(t *testing.T) {
 	ncs := syntheticNCs(t, 64)
 	c := New(ncs)
+	ctx := context.Background()
 	hosts := make([]string, 512)
 	rng := rand.New(rand.NewSource(7))
 	for i := range hosts {
@@ -228,7 +284,7 @@ func TestConcurrentExtractCompilesOnce(t *testing.T) {
 	}
 	want := make([]Result, len(hosts))
 	for i, h := range hosts {
-		want[i].Match, want[i].OK = naiveScan(ncs, h)
+		want[i], _ = naiveScan(ncs, h)
 	}
 
 	var wg sync.WaitGroup
@@ -239,11 +295,11 @@ func TestConcurrentExtractCompilesOnce(t *testing.T) {
 			defer wg.Done()
 			for rep := 0; rep < 50; rep++ {
 				i := (g*31 + rep*17) % len(hosts)
-				m, ok := c.Extract(hosts[i])
-				if ok != want[i].OK || m != want[i].Match {
+				m, ok := c.Extract(ctx, hosts[i])
+				if ok != want[i].OK || m != want[i] {
 					select {
-					case errs <- fmt.Sprintf("goroutine %d: host %q: got (%+v, %v) want (%+v, %v)",
-						g, hosts[i], m, ok, want[i].Match, want[i].OK):
+					case errs <- fmt.Sprintf("goroutine %d: host %q: got (%+v, %v) want %+v",
+						g, hosts[i], m, ok, want[i]):
 					default:
 					}
 					return
@@ -263,12 +319,13 @@ func TestConcurrentExtractCompilesOnce(t *testing.T) {
 func TestExtractBatchMatchesSerial(t *testing.T) {
 	ncs := syntheticNCs(t, 100)
 	c := New(ncs, WithWorkers(8))
+	ctx := context.Background()
 	rng := rand.New(rand.NewSource(99))
 	hosts := make([]string, 10_000)
 	for i := range hosts {
 		hosts[i] = randomHost(rng, ncs)
 	}
-	got, err := c.ExtractBatch(context.Background(), hosts)
+	got, err := c.ExtractBatch(ctx, hosts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -276,19 +333,29 @@ func TestExtractBatchMatchesSerial(t *testing.T) {
 		t.Fatalf("len = %d, want %d", len(got), len(hosts))
 	}
 	for i, h := range hosts {
-		m, ok := c.Extract(h)
-		if got[i].OK != ok || got[i].Match != m {
+		m, ok := c.Extract(ctx, h)
+		if got[i].OK != ok || got[i] != m {
 			t.Fatalf("index %d (%q): batch %+v, serial (%+v, %v)", i, h, got[i], m, ok)
 		}
 	}
 	// Serial corpus (workers=1) must agree too.
-	serial, err := New(ncs, WithWorkers(1)).ExtractBatch(context.Background(), hosts)
+	serial, err := New(ncs, WithWorkers(1)).ExtractBatch(ctx, hosts)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for i := range serial {
 		if serial[i] != got[i] {
 			t.Fatalf("index %d: serial %+v != parallel %+v", i, serial[i], got[i])
+		}
+	}
+	// Per-call worker override must not change results.
+	one, err := c.ExtractBatch(ctx, hosts, CallWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range one {
+		if one[i] != got[i] {
+			t.Fatalf("index %d: CallWorkers(1) %+v != default %+v", i, one[i], got[i])
 		}
 	}
 }
@@ -346,6 +413,7 @@ func TestExtractStreamEmpty(t *testing.T) {
 func TestSaveLoadRoundTrip(t *testing.T) {
 	ncs := syntheticNCs(t, 20)
 	c := New(ncs)
+	ctx := context.Background()
 	var buf bytes.Buffer
 	if err := c.Save(&buf); err != nil {
 		t.Fatal(err)
@@ -360,8 +428,8 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
 	for i := 0; i < 2000; i++ {
 		host := randomHost(rng, ncs)
-		gm, gok := loaded.Extract(host)
-		wm, wok := c.Extract(host)
+		gm, gok := loaded.Extract(ctx, host)
+		wm, wok := c.Extract(ctx, host)
 		if gok != wok || gm != wm {
 			t.Fatalf("host %q: loaded (%+v, %v), original (%+v, %v)", host, gm, gok, wm, wok)
 		}
@@ -371,9 +439,10 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, nc := range usable.NCs() {
-		if !nc.Class.Usable() {
-			t.Fatalf("unusable NC %s survived UsableOnly load", nc.Suffix)
+	for _, s := range usable.Suffixes() {
+		cv, ok := usable.Conventions(s)
+		if !ok || !cv.Class().Usable() {
+			t.Fatalf("unusable NC %s survived UsableOnly load", s)
 		}
 	}
 }
@@ -395,7 +464,7 @@ func TestNonRegisteredSuffixWalk(t *testing.T) {
 	if c.pslDirect {
 		t.Fatal("bare-TLD suffix should disable the PSL direct path")
 	}
-	if m, ok := c.Extract("x.as701.net"); !ok || m.ASN != 701 {
+	if m, ok := c.Extract(context.Background(), "x.as701.net"); !ok || m.ASN != 701 {
 		t.Fatalf("walk missed: %+v %v", m, ok)
 	}
 }
@@ -413,7 +482,7 @@ func TestWithPSL(t *testing.T) {
 	if !c.pslDirect {
 		t.Fatal("expected PSL direct path")
 	}
-	if m, ok := c.Extract("as9.a.example.net"); !ok || m.ASN != 9 {
+	if m, ok := c.Extract(context.Background(), "as9.a.example.net"); !ok || m.ASN != 9 {
 		t.Fatalf("extract: %+v %v", m, ok)
 	}
 }
@@ -426,7 +495,7 @@ func TestCompileSkipsBadRegex(t *testing.T) {
 	good := rex.MustNew(rex.Lit("as"), rex.Capture(), rex.Lit(".example.net"))
 	nc.Regexes = []*rex.Regex{good}
 	c := New([]*core.NC{nc})
-	if m, ok := c.Extract("as5.example.net"); !ok || m.ASN != 5 {
+	if m, ok := c.Extract(context.Background(), "as5.example.net"); !ok || m.ASN != 5 {
 		t.Fatalf("extract: %+v %v", m, ok)
 	}
 }

@@ -60,15 +60,15 @@ func FuzzExtract(f *testing.F) {
 		f.Add(seed)
 	}
 	f.Fuzz(func(t *testing.T, host string) {
-		m, ok := c.Extract(host)
+		m, ok := c.Extract(context.Background(), host)
 		if !ok {
-			if m != (Match{}) {
-				t.Fatalf("miss returned non-zero Match: %+v", m)
+			if m != (Result{}) {
+				t.Fatalf("miss returned non-zero Result: %+v", m)
 			}
 			return
 		}
 		if m.Hostname != host {
-			t.Fatalf("Match.Hostname = %q, want %q", m.Hostname, host)
+			t.Fatalf("Result.Hostname = %q, want %q", m.Hostname, host)
 		}
 		if m.Digits == "" {
 			t.Fatalf("hit with empty digits: %+v", m)
@@ -82,9 +82,15 @@ func FuzzExtract(f *testing.F) {
 			t.Fatal(err)
 		}
 		for i, r := range rs {
-			if !r.OK || r.Match != m {
+			if !r.OK || r != m {
 				t.Fatalf("ExtractBatch[%d] = %+v, want %+v", i, r, m)
 			}
+		}
+		// And the zero-alloc path, modulo its documented field differences.
+		b, bok := c.ExtractBytes([]byte(host))
+		m.Hostname = ""
+		if !bok || b != m {
+			t.Fatalf("ExtractBytes = (%+v, %v), want %+v", b, bok, m)
 		}
 	})
 }

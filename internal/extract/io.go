@@ -75,7 +75,11 @@ func Load(r io.Reader, opts ...Option) (*Corpus, error) {
 			return nil, fmt.Errorf("extract: load: convention %d has no suffix", i)
 		}
 	}
-	return New(ncs, opts...), nil
+	c := New(ncs, opts...)
+	// A loaded corpus is about to serve: pay matcher compilation here,
+	// once, instead of on the first request per suffix.
+	c.Precompile()
+	return c, nil
 }
 
 // LoadFile loads a corpus from a JSON file on disk.

@@ -1,0 +1,98 @@
+package match
+
+// tailTrie is a reversed-byte trie over an engine's distinct anchored
+// tail literals. Every regex is end-anchored, so a program whose last
+// token is a literal can only match hostnames ending in that literal;
+// one backward walk over the hostname computes a bitmask of which tails
+// are present, pruning the whole set in a single pass instead of one
+// suffix comparison per program.
+type tailTrie struct {
+	nodes []trieNode
+}
+
+type trieNode struct {
+	// Sparse children, scanned linearly: tails are short and share long
+	// common suffixes (".<domain>"), so fan-out per node is tiny.
+	keys []byte
+	next []int32
+	// mask marks the tails that end at this node.
+	mask uint64
+}
+
+// newTailTrie assigns each distinct tail a bit, builds the trie, and
+// stamps every program's tailID. It returns nil — leaving the engine on
+// per-program suffix checks — when no program has a literal tail or the
+// set needs more than 64 bits.
+func newTailTrie(programs []*program) *tailTrie {
+	ids := make(map[string]int)
+	for _, p := range programs {
+		if p.tailLit == "" {
+			continue
+		}
+		if _, ok := ids[p.tailLit]; !ok {
+			ids[p.tailLit] = len(ids)
+		}
+	}
+	if len(ids) == 0 || len(ids) > 64 {
+		return nil
+	}
+	tr := &tailTrie{nodes: make([]trieNode, 1)}
+	for tail, id := range ids {
+		tr.insert(tail, id)
+	}
+	for _, p := range programs {
+		if p.tailLit != "" {
+			p.tailID = ids[p.tailLit]
+		} else {
+			p.tailID = -1
+		}
+	}
+	return tr
+}
+
+func (tr *tailTrie) insert(tail string, id int) {
+	cur := 0
+	for i := len(tail) - 1; i >= 0; i-- {
+		b := tail[i]
+		n := &tr.nodes[cur]
+		child := -1
+		for j, k := range n.keys {
+			if k == b {
+				child = int(n.next[j])
+				break
+			}
+		}
+		if child < 0 {
+			child = len(tr.nodes)
+			n.keys = append(n.keys, b)
+			n.next = append(n.next, int32(child))
+			tr.nodes = append(tr.nodes, trieNode{})
+		}
+		cur = child
+	}
+	tr.nodes[cur].mask |= 1 << uint(id)
+}
+
+// suffixMask walks host backward and ORs the masks of every tail that is
+// a suffix of it. No allocation.
+func (tr *tailTrie) suffixMask(host string) uint64 {
+	var mask uint64
+	cur := 0
+	for i := len(host) - 1; i >= 0; i-- {
+		b := host[i]
+		n := &tr.nodes[cur]
+		next := int32(-1)
+		for j, k := range n.keys {
+			if k == b {
+				next = n.next[j]
+				break
+			}
+		}
+		if next < 0 {
+			return mask
+		}
+		cur = int(next)
+		mask |= tr.nodes[cur].mask
+	}
+	return mask
+}

@@ -199,6 +199,98 @@ func (l *List) RegisteredDomain(domain string) (reg string, ok bool) {
 	return rest[i+1:] + "." + suffix, true
 }
 
+// RegisteredDomainStart is the allocation-free form of RegisteredDomain:
+// it returns the byte offset at which the registrable domain of domain
+// begins, so callers slice the input instead of receiving a joined copy.
+// Unlike RegisteredDomain it does not normalize: domain must already be
+// lowercase with no surrounding whitespace and no trailing dot (the form
+// normalize produces). ok is false exactly when RegisteredDomain's ok
+// would be false on the same normalized input.
+func (l *List) RegisteredDomainStart(domain string) (start int, ok bool) {
+	if domain == "" {
+		return 0, false
+	}
+	n := strings.Count(domain, ".") + 1
+	// Walk candidate suffixes from most specific (label 0) to least,
+	// tracking the longest match in labels, exactly as PublicSuffix does.
+	// Candidates with more labels than any rule cannot match and are
+	// skipped without probing.
+	bestLen := 0
+	off := 0
+	for i := 0; i < n; i++ {
+		if n-i <= l.maxLabels {
+			switch kind, ok := l.rules[domain[off:]]; {
+			case !ok:
+			case kind == ruleException:
+				// Exception: the public suffix is the rule minus its
+				// leftmost label, so the registered domain is the rule
+				// itself — unless nothing remains.
+				if n-i-1 <= 0 {
+					return 0, false
+				}
+				return off, true
+			case kind == ruleWildcard:
+				m := n - i + 1
+				if i == 0 {
+					m = n
+				}
+				if m > bestLen {
+					bestLen = m
+				}
+			default: // ruleNormal
+				if m := n - i; m > bestLen {
+					bestLen = m
+				}
+			}
+		}
+		j := strings.IndexByte(domain[off:], '.')
+		if j < 0 {
+			break
+		}
+		off += j + 1
+	}
+	if bestLen == 0 {
+		bestLen = 1 // implicit "*" rule: the TLD is a public suffix
+	}
+	if bestLen >= n {
+		return 0, false // the domain is itself a public suffix
+	}
+	return labelStart(domain, n-bestLen-1), true
+}
+
+// labelStart returns the byte offset of label k (0-based from the left).
+// k must be less than the number of labels in domain.
+func labelStart(domain string, k int) int {
+	off := 0
+	for ; k > 0; k-- {
+		off += strings.IndexByte(domain[off:], '.') + 1
+	}
+	return off
+}
+
+// HasRuleBeneath reports whether any explicit rule lies strictly beneath
+// suffix: a rule whose labels extend suffix to the left (its key ends in
+// "."+suffix), or a wildcard rooted at suffix itself ("*.suffix", stored
+// under the key suffix). When no rule lies beneath a corpus's indexed
+// suffixes, probing the suffix index directly at label boundaries is
+// equivalent to a registered-domain walk, which is how extract earns its
+// fast path.
+func (l *List) HasRuleBeneath(suffix string) bool {
+	if suffix == "" {
+		return false
+	}
+	if kind, ok := l.rules[suffix]; ok && kind == ruleWildcard {
+		return true
+	}
+	dot := "." + suffix
+	for r := range l.rules {
+		if strings.HasSuffix(r, dot) {
+			return true
+		}
+	}
+	return false
+}
+
 // GroupByRegisteredDomain buckets hostnames by their registrable domain.
 // Hostnames with no registrable domain (bare TLDs, empty strings) are
 // dropped. Bucket ordering within a suffix preserves input order; the

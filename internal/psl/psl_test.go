@@ -192,3 +192,118 @@ func BenchmarkRegisteredDomain(b *testing.B) {
 		l.RegisteredDomain("te0-0-24.01.p.bre.ch.as15576.nts.ch")
 	}
 }
+
+// Property: RegisteredDomainStart agrees with RegisteredDomain on every
+// normalized input, across normal, wildcard, exception, and implicit
+// rules, including degenerate shapes (bare TLDs, empty labels, public
+// suffixes themselves).
+func TestRegisteredDomainStartEquivalence(t *testing.T) {
+	lists := map[string]*List{
+		"default": Default(),
+		"mixed": mustFromRules(t, "com", "org.nz", "*.ck", "!www.ck",
+			"deep.rule.zz", "*.wild.qq"),
+	}
+	hosts := []string{
+		"", "com", "a.com", "b.a.com", "x.org.nz", "org.nz", "nz",
+		"anything.ck", "sub.anything.ck", "www.ck", "sub.www.ck",
+		"x.deep.rule.zz", "deep.rule.zz", "rule.zz", "zz",
+		"a.wild.qq", "b.a.wild.qq", "wild.qq", "qq",
+		"a..com", "..com", ".com", "a.b", "b", "no-dots",
+		"x.y.z.w.v.u.t.com",
+	}
+	for name, l := range lists {
+		for _, h := range hosts {
+			if h != normalize(h) {
+				continue // Start requires normalized input by contract
+			}
+			wantReg, wantOK := l.RegisteredDomain(h)
+			start, ok := l.RegisteredDomainStart(h)
+			if ok != wantOK {
+				t.Errorf("%s: RegisteredDomainStart(%q) ok=%v, RegisteredDomain ok=%v",
+					name, h, ok, wantOK)
+				continue
+			}
+			if ok && h[start:] != wantReg {
+				t.Errorf("%s: RegisteredDomainStart(%q) = %q, RegisteredDomain = %q",
+					name, h, h[start:], wantReg)
+			}
+		}
+	}
+}
+
+func TestRegisteredDomainStartRandomized(t *testing.T) {
+	l := Default()
+	f := func(a, b, c, d uint8) bool {
+		parts := make([]string, 0, 4)
+		for _, v := range []uint8{a, b} {
+			if v%3 != 0 {
+				parts = append(parts, string(rune('a'+v%26)))
+			}
+		}
+		parts = append(parts, string(rune('a'+c%26))+"9")
+		parts = append(parts, []string{"com", "org.nz", "ch", "zz", "anything.ck", "www.ck"}[d%6])
+		h := strings.Join(parts, ".")
+		wantReg, wantOK := l.RegisteredDomain(h)
+		start, ok := l.RegisteredDomainStart(h)
+		if ok != wantOK {
+			return false
+		}
+		return !ok || h[start:] == wantReg
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegisteredDomainStartAllocs(t *testing.T) {
+	l := Default()
+	host := "te0-0-24.01.p.bre.ch.as15576.nts.ch"
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, ok := l.RegisteredDomainStart(host); !ok {
+			t.Fatal("no registered domain")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("RegisteredDomainStart allocates %.1f allocs/op, want 0", allocs)
+	}
+}
+
+func TestHasRuleBeneath(t *testing.T) {
+	l := mustFromRules(t, "com", "org.nz", "*.ck", "!www.ck", "deep.rule.zz")
+	cases := []struct {
+		suffix string
+		want   bool
+	}{
+		{"com", false},
+		{"org.nz", false},
+		{"nz", true},       // org.nz lies beneath
+		{"ck", true},       // both *.ck (wildcard rooted at ck) and !www.ck
+		{"rule.zz", true},  // deep.rule.zz lies beneath
+		{"zz", true},       // deep.rule.zz lies beneath
+		{"ule.zz", false},  // label-boundary, not substring, matching
+		{"x.com", false},
+		{"", false},
+	}
+	for _, c := range cases {
+		if got := l.HasRuleBeneath(c.suffix); got != c.want {
+			t.Errorf("HasRuleBeneath(%q) = %v, want %v", c.suffix, got, c.want)
+		}
+	}
+}
+
+func mustFromRules(t *testing.T, rules ...string) *List {
+	t.Helper()
+	l, err := FromRules(rules...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func BenchmarkRegisteredDomainStart(b *testing.B) {
+	l := Default()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		l.RegisteredDomainStart("te0-0-24.01.p.bre.ch.as15576.nts.ch")
+	}
+}

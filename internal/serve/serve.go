@@ -294,8 +294,8 @@ type extractResponse struct {
 	Digits   string `json:"digits,omitempty"`
 }
 
-func toResponse(host string, m extract.Match, ok bool) extractResponse {
-	if !ok {
+func toResponse(host string, m extract.Result) extractResponse {
+	if !m.OK {
 		return extractResponse{Hostname: host}
 	}
 	return extractResponse{
@@ -336,13 +336,13 @@ func (s *Server) handleExtract(w http.ResponseWriter, r *http.Request) {
 		httpError(w, err, s.cfg.QueueWait)
 		return
 	}
-	m, ok := snap.corpus.Extract(host)
+	m, ok := snap.corpus.Extract(r.Context(), host)
 	s.stats.served.Add(1)
 	if ok {
 		s.stats.found.Add(1)
 	}
 	stamp(w, snap)
-	writeJSON(w, http.StatusOK, toResponse(host, m, ok))
+	writeJSON(w, http.StatusOK, toResponse(host, m))
 }
 
 // handleExtractBatch reads newline-separated hostnames (bounded by
@@ -373,7 +373,7 @@ func (s *Server) handleExtractBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	out := make([]extractResponse, len(results))
 	for i, res := range results {
-		out[i] = toResponse(hosts[i], res.Match, res.OK)
+		out[i] = toResponse(hosts[i], res)
 	}
 	s.stats.served.Add(1)
 	s.stats.found.Add(countFound(results))
