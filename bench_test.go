@@ -7,6 +7,7 @@
 package hoiho_test
 
 import (
+	"bytes"
 	"context"
 	"testing"
 
@@ -285,6 +286,44 @@ func BenchmarkCorpusExtract(b *testing.B) {
 			b.Fatalf("hits = %d, want %d", hits, len(hosts)/2)
 		}
 	})
+}
+
+// BenchmarkCorpusColdStart pins the PR-7 startup speedup: time from
+// serialized corpus bytes to a ready-to-serve Corpus, for the stable
+// JSON form (parse + index + compile every matcher) versus the HBC
+// binary form (decode pre-compiled programs; no JSON, no regexp
+// compilation). The acceptance bar is >= 5x on the same 128-NC corpus.
+func BenchmarkCorpusColdStart(b *testing.B) {
+	ncs, _ := experiments.CorpusWorkload(128, 8)
+	corpus := extract.New(ncs)
+	var jsonBuf, hbcBuf bytes.Buffer
+	if err := corpus.Save(&jsonBuf); err != nil {
+		b.Fatal(err)
+	}
+	if err := corpus.SaveBinary(&hbcBuf); err != nil {
+		b.Fatal(err)
+	}
+	for _, c := range []struct {
+		name string
+		data []byte
+	}{
+		{"json", jsonBuf.Bytes()},
+		{"hbc", hbcBuf.Bytes()},
+	} {
+		b.Run(c.name, func(b *testing.B) {
+			b.ReportAllocs()
+			b.SetBytes(int64(len(c.data)))
+			for i := 0; i < b.N; i++ {
+				loaded, err := extract.Load(bytes.NewReader(c.data))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(loaded.Suffixes()) != 128 {
+					b.Fatalf("loaded %d suffixes", len(loaded.Suffixes()))
+				}
+			}
+		})
+	}
 }
 
 // ablationBench learns the last era's conventions under modified learner

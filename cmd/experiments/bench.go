@@ -6,6 +6,7 @@ package main
 // instead of quoting ad-hoc numbers.
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
@@ -62,28 +63,67 @@ func benchExtract() benchResult {
 	})
 }
 
+// benchColdStart measures corpus load-to-ready-to-serve time for both
+// serialized forms of the same 128-suffix corpus: the stable JSON
+// interchange form (parse + index + compile every matcher) and the HBC
+// binary form (decode pre-compiled programs, no JSON, no regexp
+// compilation). The hbc/json ratio is the PR-7 acceptance number.
+func benchColdStart() (jsonRes, hbcRes benchResult) {
+	ncs, _ := experiments.CorpusWorkload(128, 8) // hosts unused: this measures load, not extraction
+	corpus := extract.New(ncs)
+	var jsonBuf, hbcBuf bytes.Buffer
+	if err := corpus.Save(&jsonBuf); err != nil {
+		panic(err)
+	}
+	if err := corpus.SaveBinary(&hbcBuf); err != nil {
+		panic(err)
+	}
+	load := func(data []byte) func(b *testing.B) {
+		return func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				c, err := extract.Load(bytes.NewReader(data))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(c.Suffixes()) != 128 {
+					b.Fatalf("loaded %d suffixes", len(c.Suffixes()))
+				}
+			}
+		}
+	}
+	jsonRes = runBench("extract/cold-start-json", load(jsonBuf.Bytes()))
+	hbcRes = runBench("extract/cold-start-hbc", load(hbcBuf.Bytes()))
+	return jsonRes, hbcRes
+}
+
+// benchLearnLarge measures the PR-7 learning-alloc workload.
+func benchLearnLarge() benchResult {
+	largeItems := experiments.LargeSuffixItems(200)
+	return runBench("learn/large-suffix-200", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			set, err := core.NewSet("bigcarrier.net", largeItems, core.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			nc, err := set.Learn(context.Background())
+			if err != nil {
+				b.Fatal(err)
+			}
+			if nc == nil {
+				b.Fatal("no NC")
+			}
+		}
+	})
+}
+
 // writeBenchJSON measures the learn and extract paths and writes the
 // report to path ("-" for stdout).
 func writeBenchJSON(path string) error {
-	largeItems := experiments.LargeSuffixItems(200)
 	fig4 := experiments.Figure4Items()
 
+	coldJSON, coldHBC := benchColdStart()
 	results := []benchResult{
-		runBench("learn/large-suffix-200", func(b *testing.B) {
-			for i := 0; i < b.N; i++ {
-				set, err := core.NewSet("bigcarrier.net", largeItems, core.Options{})
-				if err != nil {
-					b.Fatal(err)
-				}
-				nc, err := set.Learn(context.Background())
-				if err != nil {
-					b.Fatal(err)
-				}
-				if nc == nil {
-					b.Fatal("no NC")
-				}
-			}
-		}),
+		benchLearnLarge(),
 		runBench("learn/figure4", func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				set, err := core.NewSet("equinix.com", fig4, core.Options{})
@@ -100,6 +140,8 @@ func writeBenchJSON(path string) error {
 			}
 		}),
 		benchExtract(),
+		coldJSON,
+		coldHBC,
 	}
 
 	data, err := json.MarshalIndent(map[string]any{"benchmarks": results}, "", "  ")
@@ -124,13 +166,25 @@ type benchFile struct {
 	} `json:"after"`
 }
 
-// runBenchGate re-measures the extraction hot path and fails when it
-// has regressed more than tolerancePct against the baseline recorded in
-// path — the committed BENCH_PR6.json in CI — so a perf regression
-// breaks the build instead of surfacing in the next perf PR. Alloc
-// counts are machine-independent and gated tightly; ns/op is gated at
-// the given tolerance, which assumes baseline and gate run on the same
+// coldStartMinRatio is the PR-7 acceptance bar: loading the HBC binary
+// corpus must be at least this many times faster than loading the same
+// corpus from JSON. Measured live as a ratio, so it holds on any
 // machine class.
+const coldStartMinRatio = 5.0
+
+// learnAllocCeiling is the PR-7 acceptance bar on the learning path:
+// allocations per learn/large-suffix-200 op after the struct-of-arrays
+// arena work. Alloc counts are machine-independent, so this is gated as
+// an absolute.
+const learnAllocCeiling = 22_000
+
+// runBenchGate re-measures the hot paths and fails when any has
+// regressed against the baseline recorded in path — the committed
+// BENCH_PR7.json in CI — so a perf regression breaks the build instead
+// of surfacing in the next perf PR. Alloc counts and the HBC/JSON
+// cold-start ratio are machine-independent and gated tightly; ns/op is
+// gated at the given tolerance, which assumes baseline and gate run on
+// the same machine class.
 func runBenchGate(path string, tolerancePct float64) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -144,13 +198,15 @@ func runBenchGate(path string, tolerancePct float64) error {
 	if bf.After != nil {
 		recorded = bf.After.Benchmarks
 	}
-	var base *benchResult
-	for i := range recorded {
-		if recorded[i].Name == "extract/corpus-batch-100k" {
-			base = &recorded[i]
-			break
+	baseline := func(name string) *benchResult {
+		for i := range recorded {
+			if recorded[i].Name == name {
+				return &recorded[i]
+			}
 		}
+		return nil
 	}
+	base := baseline("extract/corpus-batch-100k")
 	if base == nil {
 		return fmt.Errorf("%s: no extract/corpus-batch-100k baseline", path)
 	}
@@ -168,6 +224,30 @@ func runBenchGate(path string, tolerancePct float64) error {
 	if fresh.NsPerOp > limit {
 		return fmt.Errorf("bench gate: ns/op regressed >%.0f%%: %.0f > %.0f",
 			tolerancePct, fresh.NsPerOp, limit)
+	}
+
+	// Cold-start: the HBC path must stay >= coldStartMinRatio x faster
+	// than the JSON path. Both sides are measured in this run, so the
+	// gate is a pure ratio and does not depend on the baseline machine.
+	coldJSON, coldHBC := benchColdStart()
+	ratio := coldJSON.NsPerOp / coldHBC.NsPerOp
+	fmt.Printf("bench gate: cold start: json %.0f ns/op, hbc %.0f ns/op (%.1fx, need >= %.0fx)\n",
+		coldJSON.NsPerOp, coldHBC.NsPerOp, ratio, coldStartMinRatio)
+	if ratio < coldStartMinRatio {
+		return fmt.Errorf("bench gate: HBC cold start only %.1fx faster than JSON (need >= %.0fx)",
+			ratio, coldStartMinRatio)
+	}
+
+	// Learning allocations: gated both as the PR-7 absolute ceiling and
+	// against the recorded baseline (with slack for allocator noise).
+	learn := benchLearnLarge()
+	fmt.Printf("bench gate: %s: %d allocs/op (ceiling %d)\n", learn.Name, learn.AllocsPerOp, learnAllocCeiling)
+	if learn.AllocsPerOp > learnAllocCeiling {
+		return fmt.Errorf("bench gate: learn allocs %d exceed ceiling %d", learn.AllocsPerOp, learnAllocCeiling)
+	}
+	if lb := baseline("learn/large-suffix-200"); lb != nil && learn.AllocsPerOp > lb.AllocsPerOp*11/10+64 {
+		return fmt.Errorf("bench gate: learn allocs regressed: %d > %d allowed (baseline %d)",
+			learn.AllocsPerOp, lb.AllocsPerOp*11/10+64, lb.AllocsPerOp)
 	}
 	return nil
 }

@@ -11,20 +11,25 @@
 // including per-regex evaluation and the good/promising/poor class.
 //
 // A learned corpus can be saved and re-applied at scale (§7's workflow):
-// -save writes the stable JSON form after learning, and -apply loads such
-// a file and streams hostnames through the extraction engine, emitting
-// one "hostname<TAB>asn" line per match. -classes restricts application
-// to the good or usable (good+promising) conventions. The same saved
-// file is what the extraction daemon serves: `hoihod -corpus ncs.json`
-// exposes it over HTTP with hot reload (SIGHUP picks up a re-learned
-// file atomically), load shedding, and graceful drain.
+// -save writes the corpus after learning — the stable JSON form by
+// default, or the HBC binary form (-save-format bin, or any path ending
+// in .hbc), which loads to ready-to-serve state without JSON parsing or
+// matcher recompilation. -apply loads either form (sniffed by content)
+// and streams hostnames through the extraction engine, emitting one
+// "hostname<TAB>asn" line per match. -classes restricts application to
+// the good or usable (good+promising) conventions. The same saved file
+// is what the extraction daemon serves: `hoihod -corpus ncs.json` (or
+// `-corpus ncs.hbc` for fast cold start) exposes it over HTTP with hot
+// reload (SIGHUP picks up a re-learned file atomically), load shedding,
+// and graceful drain.
 //
 // Example:
 //
 //	hoiho -format itdk itdk-2020-01.txt
 //	hoiho -json training.txt > ncs.json
 //	hoiho -save ncs.json training.txt
-//	hoiho -apply ncs.json -classes usable ptr-records.txt
+//	hoiho -save ncs.hbc training.txt          # binary corpus, ~7x faster cold start
+//	hoiho -apply ncs.hbc -classes usable ptr-records.txt
 //	zcat ptr.gz | hoiho -apply ncs.json -
 //
 // Long runs are interruptible: SIGINT/SIGTERM (or -timeout) cancels the
@@ -78,7 +83,8 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	noTypo := fs.Bool("no-typo-credit", false, "ablation: disable the edit-distance-1 TP credit")
 	names := fs.Bool("names", false, "learn AS *name* conventions (§7 extension); plain input becomes \"hostname name\"")
 	matches := fs.Bool("matches", false, "show per-hostname classifications under each convention (the paper's data-supplement view)")
-	savePath := fs.String("save", "", "after learning, save the conventions as JSON to this file")
+	savePath := fs.String("save", "", "after learning, save the conventions to this file (format per -save-format)")
+	saveFormat := fs.String("save-format", "auto", "with -save: auto (a .hbc path writes the HBC binary corpus, anything else JSON), json, or bin")
 	applyPath := fs.String("apply", "", "apply a saved conventions JSON to hostnames from <file> (or - for stdin); emits hostname<TAB>asn")
 	classes := fs.String("classes", "usable", "with -apply: which conventions to use: good, usable, or all")
 	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
@@ -199,11 +205,23 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	ncs := report.NCs
 
 	if *savePath != "" {
-		if err := extract.New(ncs, extract.WithPSL(list)).SaveFile(*savePath); err != nil {
+		c := extract.New(ncs, extract.WithPSL(list))
+		switch *saveFormat {
+		case "auto":
+			err = c.SaveFile(*savePath)
+		case "json":
+			err = c.SaveFileJSON(*savePath)
+		case "bin":
+			err = c.SaveFileBinary(*savePath)
+		default:
+			return fmt.Errorf("unknown -save-format %q (want auto, json, or bin)", *saveFormat)
+		}
+		if err != nil {
 			return err
 		}
 		// The saved file is exactly what the serving side loads — both
-		// one-shot (-apply) and the long-running daemon.
+		// one-shot (-apply) and the long-running daemon sniff the format
+		// by content, so JSON and HBC files are interchangeable here.
 		fmt.Fprintf(os.Stderr, "hoiho: saved %d conventions to %s; apply with `hoiho -apply %s <hosts>` or serve with `hoihod -corpus %s`\n",
 			len(ncs), *savePath, *savePath, *savePath)
 	}

@@ -181,6 +181,46 @@ not-this-suffix.example.org
 	}
 }
 
+func TestRunSaveBinaryApply(t *testing.T) {
+	// -save to a .hbc path (and -save-format bin) writes the binary
+	// corpus; -apply sniffs the format and serves it identically.
+	train := writeFile(t, "train.txt", plainTraining)
+	hbcPath := filepath.Join(t.TempDir(), "ncs.hbc")
+	var out bytes.Buffer
+	if err := run(context.Background(), []string{"-save", hbcPath, train}, &out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(hbcPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) < 4 || string(data[:3]) != "HBC" {
+		t.Fatalf("-save ncs.hbc wrote %.8q, want HBC magic", data)
+	}
+
+	// -save-format bin forces the binary form onto any extension.
+	forcedPath := filepath.Join(t.TempDir(), "ncs.json")
+	if err := run(context.Background(), []string{"-save", forcedPath, "-save-format", "bin", train}, &out); err != nil {
+		t.Fatal(err)
+	}
+	forced, err := os.ReadFile(forcedPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(forced[:3]) != "HBC" {
+		t.Fatalf("-save-format bin wrote %.8q, want HBC magic", forced)
+	}
+
+	hosts := writeFile(t, "hosts.txt", "as64500-ams-xe9.example.net\nlo0.fra.example.net\n")
+	out.Reset()
+	if err := run(context.Background(), []string{"-apply", hbcPath, hosts}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if want := "as64500-ams-xe9.example.net\t64500\n"; out.String() != want {
+		t.Errorf("apply output %q, want %q", out.String(), want)
+	}
+}
+
 func TestRunApplyClassRestriction(t *testing.T) {
 	// A hand-written corpus with one good and one poor convention.
 	ncsPath := writeFile(t, "ncs.json", `[

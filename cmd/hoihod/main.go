@@ -1,6 +1,9 @@
 // Command hoihod is the hoiho extraction daemon: it serves a saved
-// conventions corpus (the output of `hoiho -save`) as an HTTP service
-// with hot reload, load shedding, and graceful drain.
+// conventions corpus (the output of `hoiho -save`, JSON or the HBC
+// binary form — the format is sniffed, so -corpus and hot reloads
+// accept either) as an HTTP service with hot reload, load shedding,
+// and graceful drain. An HBC corpus loads pre-compiled, which keeps
+// reload pauses short under load.
 //
 // Endpoints:
 //

@@ -104,6 +104,7 @@ func Default() Config {
 		"hoiho/internal/topo",
 		"hoiho/internal/itdk",
 		"hoiho/internal/bdrmapit",
+		"hoiho/internal/corpusbin",
 	}
 	return Config{
 		DetPkgs:   det,
@@ -119,6 +120,11 @@ func Default() Config {
 			"(*hoiho/internal/match.Engine).MatchString",
 			"(*hoiho/internal/core.Set).Evaluate",
 			"(*hoiho/internal/core.Set).Learn",
+			// The HBC decode path exists to skip recompilation: a cold
+			// start that compiled stdlib regexp per convention would erase
+			// the format's point, so the whole decode is held to the same
+			// compile-once rule as serving.
+			"hoiho/internal/corpusbin.Decode",
 		},
 		CtxPkgs: []string{
 			"hoiho/internal/core",

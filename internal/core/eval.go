@@ -74,26 +74,26 @@ func (e Eval) PPV() float64 {
 	return float64(e.TP) / float64(e.Matches)
 }
 
-// evalItem classifies a single item against an ordered regex set,
-// returning the outcome, the extraction, and the index of the first
-// matching regex (-1 when none matched).
-func (s *Set) evalItem(p prepped, regexes []*rex.Regex) (Outcome, string, int) {
+// evalItem classifies item i against an ordered regex set, returning
+// the outcome, the extraction, and the index of the first matching
+// regex (-1 when none matched).
+func (s *Set) evalItem(i int, regexes []*rex.Regex) (Outcome, string, int) {
 	for ri, r := range regexes {
-		ext, start, end, ok := r.Extract(p.name.Full)
+		ext, start, end, ok := r.Extract(s.ar.full[i])
 		if !ok {
 			continue
 		}
-		if inSpans(p.ipSpans, start, end) {
+		if inSpans(s.ar.spansOf(i), start, end) {
 			// Extracted number is part of an embedded IP address (§3.1,
 			// figure 3b): always a false positive.
 			return OutcomeFP, ext, ri
 		}
-		if Congruent(ext, p.ASN, !s.opts.DisableTypoCredit) {
+		if congruentDigits(ext, s.ar.digits[i], !s.opts.DisableTypoCredit) {
 			return OutcomeTP, ext, ri
 		}
 		return OutcomeFP, ext, ri
 	}
-	if p.apparent {
+	if s.ar.apparent[i] {
 		return OutcomeFN, "", -1
 	}
 	return OutcomeNone, "", -1
@@ -113,8 +113,8 @@ func (s *Set) Evaluate(regexes ...*rex.Regex) Eval {
 	var e Eval
 	uniqueTP := make(map[string]struct{})
 	uniqueAll := make(map[string]struct{})
-	for _, p := range s.items {
-		out, ext, _ := s.evalItem(p, regexes)
+	for i := 0; i < s.ar.len(); i++ {
+		out, ext, _ := s.evalItem(i, regexes)
 		switch out {
 		case OutcomeTP:
 			e.TP++
@@ -142,10 +142,10 @@ func (s *Set) EvaluateDetailed(regexes ...*rex.Regex) (Eval, []Extraction) {
 	var e Eval
 	uniqueTP := make(map[string]struct{})
 	uniqueAll := make(map[string]struct{})
-	exts := make([]Extraction, 0, len(s.items))
-	for _, p := range s.items {
-		out, ext, ri := s.evalItem(p, regexes)
-		exts = append(exts, Extraction{Item: p.Item, Outcome: out, ASN: ext, RegexIdx: ri})
+	exts := make([]Extraction, 0, s.ar.len())
+	for i := 0; i < s.ar.len(); i++ {
+		out, ext, ri := s.evalItem(i, regexes)
+		exts = append(exts, Extraction{Item: s.ar.items[i], Outcome: out, ASN: ext, RegexIdx: ri})
 		switch out {
 		case OutcomeTP:
 			e.TP++
@@ -237,7 +237,7 @@ func (s *Set) uniqueExtractedASNs(ctx context.Context, regexes []*rex.Regex) ([]
 	if err := m.ensure(ctx, regexes); err != nil {
 		return nil, err
 	}
-	n := len(s.items)
+	n := s.ar.len()
 	remaining := newBitset(n)
 	remaining.fill(n)
 	seen := make(map[asn.ASN]struct{})

@@ -237,22 +237,17 @@ func TestFigure3aTypoCongruence(t *testing.T) {
 		{"gw-as20732.init7.net", 207032, true},
 	}
 	for _, c := range cases {
-		set, err := NewSet("x.net", nil, Options{})
-		if err != nil {
-			t.Fatal(err)
-		}
-		_ = set
-		p := prepped{Item: Item{Hostname: c.host, ASN: c.train}}
 		name, err := parseName(c.host)
 		if err != nil {
 			t.Fatal(err)
 		}
-		p.name = name
-		if got := hasApparentASN(p, Options{}); got != c.apparent {
+		runs := name.DigitRuns()
+		digits := c.train.Digits()
+		if got := hasApparentASN(runs, nil, digits, true); got != c.apparent {
 			t.Errorf("hasApparentASN(%s, %d) = %v, want %v", c.host, c.train, got, c.apparent)
 		}
 		// Without typo credit every one is non-apparent.
-		if hasApparentASN(p, Options{DisableTypoCredit: true}) {
+		if hasApparentASN(runs, nil, digits, false) {
 			t.Errorf("%s: apparent without typo credit", c.host)
 		}
 	}
@@ -273,7 +268,7 @@ func TestFigure3bIPFragmentIsFP(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if set.items[0].apparent {
+	if set.ar.apparent[0] {
 		t.Error("IP fragment counted as apparent ASN")
 	}
 	// A regex that would extract the octet: FP.

@@ -1,0 +1,24 @@
+package core
+
+import "hash/fnv"
+
+// FingerprintNCs hashes a convention list's content: every NC's suffix,
+// class, and regex sources, in list order. It is the corpus identity
+// shared by the serving index (extract.Corpus.Fingerprint) and the
+// binary corpus format (internal/corpusbin), which stores it in the
+// header and verifies it after decode — one algorithm, one answer, no
+// matter which layer computes it. Callers that need order-independence
+// pass a suffix-sorted list, as both do.
+func FingerprintNCs(ncs []*NC) uint64 {
+	h := fnv.New64a()
+	for _, nc := range ncs {
+		h.Write([]byte(nc.Suffix))
+		h.Write([]byte{0, byte(nc.Class)})
+		for _, r := range nc.Regexes {
+			h.Write([]byte{0})
+			h.Write([]byte(r.String()))
+		}
+		h.Write([]byte{0xff})
+	}
+	return h.Sum64()
+}

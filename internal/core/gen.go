@@ -3,6 +3,7 @@ package core
 import (
 	"sort"
 
+	"hoiho/internal/hostname"
 	"hoiho/internal/rex"
 )
 
@@ -32,16 +33,15 @@ func (s *Set) generate() []*rex.Regex {
 	seen := make(map[string]*rex.Regex)
 	limit := s.opts.maxGenItems()
 	n := 0
-	for i := range s.items {
-		p := &s.items[i]
-		if !p.apparent {
+	for i := 0; i < s.ar.len(); i++ {
+		if !s.ar.apparent[i] {
 			continue
 		}
 		if n >= limit {
 			break
 		}
 		n++
-		for _, r := range s.candidatesForItem(p) {
+		for _, r := range s.candidatesForItem(i) {
 			key := r.String()
 			if _, ok := seen[key]; !ok {
 				seen[key] = r
@@ -62,32 +62,36 @@ func (s *Set) generate() []*rex.Regex {
 	return out
 }
 
-// candidatesForItem enumerates base regexes for one hostname.
-func (s *Set) candidatesForItem(p *prepped) []*rex.Regex {
-	sufParts, ok := p.name.SuffixParts(s.Suffix)
+// candidatesForItem enumerates base regexes for item i.
+func (s *Set) candidatesForItem(i int) []*rex.Regex {
+	name := s.ar.name(i)
+	sufParts, ok := name.SuffixParts(s.Suffix)
 	if !ok {
 		return nil
 	}
-	parts := p.name.Parts
+	parts := name.Parts
 	sufStart := len(parts) - sufParts
 	if sufStart <= 0 {
 		// Hostname is just the suffix: nothing to capture.
 		return nil
 	}
 	// Literal for the registered-domain tail, including its leading
-	// delimiter (the delimiter of the part preceding the suffix).
-	sufLit := string(parts[sufStart-1].Delim) + p.name.Full[parts[sufStart].Start:]
+	// delimiter: that delimiter is the byte just before the suffix's first
+	// part, so the literal is a zero-copy slice of the normalized hostname.
+	sufLit := name.Full[parts[sufStart].Start-1:]
 
 	var out []*rex.Regex
 	typo := !s.opts.DisableTypoCredit
-	for _, run := range p.name.DigitRuns() {
+	spans := s.ar.spansOf(i)
+	digits := s.ar.digits[i]
+	for _, run := range s.ar.runsOf(i) {
 		if run.Part >= sufStart {
 			continue // ASN embedded in the registered domain itself: skip
 		}
-		if inSpans(p.ipSpans, run.Start, run.End()) {
+		if inSpans(spans, run.Start, run.End()) {
 			continue
 		}
-		if !Congruent(run.Text, p.ASN, typo) {
+		if !congruentDigits(run.Text, digits, typo) {
 			continue
 		}
 		k := run.Part
@@ -101,7 +105,7 @@ func (s *Set) candidatesForItem(p *prepped) []*rex.Regex {
 					if leftKind == "dotplus" && rightKind == "dotplus" {
 						continue // at most one ".+" per regex (§3.2)
 					}
-					r := s.assemble(p, k, ctxPre, ctxPost, sufStart, sufLit, mode, leftKind, rightKind)
+					r := s.assemble(parts, k, ctxPre, ctxPost, sufStart, sufLit, mode, leftKind, rightKind)
 					if r != nil {
 						out = append(out, r)
 					}
@@ -114,21 +118,22 @@ func (s *Set) candidatesForItem(p *prepped) []*rex.Regex {
 
 // assemble builds one candidate regex; nil when the combination is
 // degenerate (e.g. a ".+" with no parts to cover).
-func (s *Set) assemble(p *prepped, k int, ctxPre, ctxPost string, sufStart int, sufLit string, mode exclMode, leftKind, rightKind string) *rex.Regex {
-	parts := p.name.Parts
-	var toks []rex.Token
+func (s *Set) assemble(parts []hostname.Part, k int, ctxPre, ctxPost string, sufStart int, sufLit string, mode exclMode, leftKind, rightKind string) *rex.Regex {
+	// Worst case ("full"/"full"): two tokens per covered part plus the
+	// capture group and suffix literal.
+	toks := make([]rex.Token, 0, 2*sufStart+4)
 	leftOpen := false
 
 	switch leftKind {
 	case "full":
 		for j := 0; j < k; j++ {
-			toks = append(toks, s.component(p, j, mode), rex.Lit(string(parts[j].Delim)))
+			toks = append(toks, s.component(parts, j, mode), rex.Lit(delimLit(parts[j].Delim)))
 		}
 	case "dotplus":
 		if k == 0 {
 			return nil
 		}
-		toks = append(toks, rex.DotPlus(), rex.Lit(string(parts[k-1].Delim)))
+		toks = append(toks, rex.DotPlus(), rex.Lit(delimLit(parts[k-1].Delim)))
 	case "open":
 		if k == 0 {
 			return nil // identical to "full" with no left parts
@@ -141,13 +146,13 @@ func (s *Set) assemble(p *prepped, k int, ctxPre, ctxPost string, sufStart int, 
 	switch rightKind {
 	case "full":
 		for j := k + 1; j < sufStart; j++ {
-			toks = append(toks, rex.Lit(string(parts[j-1].Delim)), s.component(p, j, mode))
+			toks = append(toks, rex.Lit(delimLit(parts[j-1].Delim)), s.component(parts, j, mode))
 		}
 	case "dotplus":
 		if k+1 >= sufStart {
 			return nil
 		}
-		toks = append(toks, rex.Lit(string(parts[k].Delim)), rex.DotPlus())
+		toks = append(toks, rex.Lit(delimLit(parts[k].Delim)), rex.DotPlus())
 	}
 	toks = append(toks, rex.Lit(sufLit))
 
@@ -166,11 +171,24 @@ func (s *Set) assemble(p *prepped, k int, ctxPre, ctxPost string, sufStart int, 
 	return r
 }
 
+// delimLit returns the interned literal string for a part delimiter, so
+// the assembly loops never allocate for single-punctuation literals.
+func delimLit(b byte) string {
+	switch b {
+	case '.':
+		return "."
+	case '-':
+		return "-"
+	case '_':
+		return "_"
+	}
+	return ""
+}
+
 // component builds the variable component for part j: an exclusion class
 // over the adjacent delimiters selected by mode, or an exact literal for
 // empty parts (consecutive punctuation).
-func (s *Set) component(p *prepped, j int, mode exclMode) rex.Token {
-	parts := p.name.Parts
+func (s *Set) component(parts []hostname.Part, j int, mode exclMode) rex.Token {
 	if parts[j].Text == "" {
 		return rex.Lit("")
 	}
@@ -179,37 +197,63 @@ func (s *Set) component(p *prepped, j int, mode exclMode) rex.Token {
 		before = parts[j-1].Delim
 	}
 	after = parts[j].Delim
-	var excl []byte
-	add := func(c byte) {
-		if c == 0 {
-			return
-		}
-		for _, e := range excl {
-			if e == c {
-				return
-			}
-		}
-		excl = append(excl, c)
-	}
+	var a, b byte
 	switch mode {
 	case exclBoth:
-		add(before)
-		add(after)
+		a, b = before, after
 	case exclLeft:
-		add(before)
-		if len(excl) == 0 {
-			add(after)
+		a = before
+		if a == 0 {
+			a = after
 		}
 	case exclRight:
-		add(after)
-		if len(excl) == 0 {
-			add(before)
+		a = after
+		if a == 0 {
+			a = before
 		}
 	}
-	if len(excl) == 0 {
-		// No adjacent punctuation at all (single-part hostname); exclude
-		// '.' so the component cannot cross into the suffix.
-		excl = []byte{'.'}
+	return rex.Excl(exclChars(a, b))
+}
+
+// exclChars returns the interned exclusion-class character string for an
+// ordered pair of adjacent delimiters: zero bytes are skipped, a
+// duplicate second character collapses, and when neither is punctuation
+// (single-part hostname) the class falls back to '.' so the component
+// cannot cross into the suffix. Interning the eleven possible strings
+// keeps the per-candidate token assembly allocation-free.
+func exclChars(a, b byte) string {
+	if a == 0 {
+		a, b = b, 0
 	}
-	return rex.Excl(string(excl))
+	if b == a {
+		b = 0
+	}
+	switch a {
+	case '.':
+		switch b {
+		case '-':
+			return ".-"
+		case '_':
+			return "._"
+		}
+		return "."
+	case '-':
+		switch b {
+		case '.':
+			return "-."
+		case '_':
+			return "-_"
+		}
+		return "-"
+	case '_':
+		switch b {
+		case '.':
+			return "_."
+		case '-':
+			return "_-"
+		}
+		return "_"
+	}
+	// No adjacent punctuation at all (single-part hostname).
+	return "."
 }

@@ -226,16 +226,18 @@ func (s *Set) embedClasses(r *rex.Regex) *rex.Regex {
 		return nil
 	}
 	samples := make(map[int][]string, len(exclIdx))
-	for i := range s.items {
-		p := &s.items[i]
-		spans, ok := r.TokenSpans(p.name.Full)
+	var spanBuf [][2]int
+	for i := 0; i < s.ar.len(); i++ {
+		full := s.ar.full[i]
+		spans, ok := r.AppendTokenSpans(spanBuf, full)
+		spanBuf = spans[:0]
 		if !ok {
 			continue
 		}
 		for _, ti := range exclIdx {
 			sp := spans[ti]
 			if sp[0] >= 0 && sp[1] > sp[0] {
-				samples[ti] = append(samples[ti], p.name.Full[sp[0]:sp[1]])
+				samples[ti] = append(samples[ti], full[sp[0]:sp[1]])
 			}
 		}
 	}

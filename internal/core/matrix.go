@@ -68,6 +68,14 @@ type matrix struct {
 	cols     map[*rex.Regex]*column
 	extIDs   map[string]uint32
 	extStrs  []string // id -> extraction string
+	// Generation-stamped scratch for the unique-extraction counts: one
+	// stamp slot per interned ID (grown by intern), bumped per pass, so
+	// finishColumn and evalSet never allocate per-call seen-maps.
+	seenAll []uint32
+	seenTP  []uint32
+	seenGen uint32
+	// remaining is evalSet's reusable first-match scratch bitset.
+	remaining bitset
 }
 
 // matrix returns the Set's memoization engine, building it on first use.
@@ -77,12 +85,12 @@ func (s *Set) matrix() *matrix {
 	if s.mx == nil {
 		m := &matrix{
 			s:        s,
-			apparent: newBitset(len(s.items)),
+			apparent: newBitset(s.ar.len()),
 			cols:     make(map[*rex.Regex]*column),
 			extIDs:   make(map[string]uint32),
 		}
-		for i := range s.items {
-			if s.items[i].apparent {
+		for i, a := range s.ar.apparent {
+			if a {
 				m.apparent.set(i)
 			}
 		}
@@ -99,33 +107,50 @@ func (m *matrix) intern(ext string) uint32 {
 	id := uint32(len(m.extStrs))
 	m.extIDs[ext] = id
 	m.extStrs = append(m.extStrs, ext)
+	m.seenAll = append(m.seenAll, 0)
+	m.seenTP = append(m.seenTP, 0)
 	return id
 }
 
-// buildColumn runs one regex over every item. It performs no interning
-// and touches no shared state, so builds can fan out across goroutines;
-// the raw extraction strings are returned for a serial finish pass.
-func (m *matrix) buildColumn(r *rex.Regex) (*column, []string) {
-	if _, err := r.Compile(); err != nil {
-		return &column{bad: true}, nil
+// newColumns batch-allocates k columns over n items as a struct-of-arrays
+// arena: one backing word slab shared by every matched/tp bitset and one
+// ID slab shared by every ext column, so a scoring batch costs three
+// slab allocations instead of four-plus heap objects per column.
+func newColumns(k, n int) []column {
+	wpi := (n + 63) / 64
+	cols := make([]column, k)
+	words := make([]uint64, 2*wpi*k)
+	ids := make([]uint32, n*k)
+	for i := range cols {
+		cols[i].matched = bitset(words[(2*i)*wpi : (2*i+1)*wpi : (2*i+1)*wpi])
+		cols[i].tp = bitset(words[(2*i+1)*wpi : (2*i+2)*wpi : (2*i+2)*wpi])
+		cols[i].ext = ids[i*n : (i+1)*n : (i+1)*n]
 	}
-	n := len(m.s.items)
-	c := &column{matched: newBitset(n), tp: newBitset(n), ext: make([]uint32, n)}
-	exts := make([]string, n)
+	return cols
+}
+
+// buildColumn runs one regex over every item, filling the caller's
+// pre-allocated (zeroed) column and exts scratch. It performs no
+// interning and touches no shared state, so builds can fan out across
+// goroutines; the raw extraction strings feed a serial finish pass.
+func (m *matrix) buildColumn(r *rex.Regex, c *column, exts []string) {
+	if _, err := r.Compile(); err != nil {
+		c.bad = true
+		return
+	}
+	ar := &m.s.ar
 	typo := !m.s.opts.DisableTypoCredit
-	for i := range m.s.items {
-		p := &m.s.items[i]
-		ext, start, end, ok := r.Extract(p.name.Full)
+	for i := 0; i < ar.len(); i++ {
+		ext, start, end, ok := r.Extract(ar.full[i])
 		if !ok {
 			continue
 		}
 		c.matched.set(i)
 		exts[i] = ext
-		if !inSpans(p.ipSpans, start, end) && Congruent(ext, p.ASN, typo) {
+		if !inSpans(ar.spansOf(i), start, end) && congruentDigits(ext, ar.digits[i], typo) {
 			c.tp.set(i)
 		}
 	}
-	return c, exts
 }
 
 // finishColumn interns the extraction strings and aggregates the
@@ -135,16 +160,21 @@ func (m *matrix) finishColumn(c *column, exts []string) {
 		c.eval = Eval{FN: m.apparent.count()}
 		return
 	}
-	uniqueTP := make(map[uint32]struct{})
-	uniqueAll := make(map[uint32]struct{})
+	m.seenGen++
+	gen := m.seenGen
+	uniqueTP, uniqueAll := 0, 0
 	for w, word := range c.matched {
 		for rest := word; rest != 0; rest &= rest - 1 {
 			i := w*64 + bits.TrailingZeros64(rest)
 			id := m.intern(exts[i])
 			c.ext[i] = id
-			uniqueAll[id] = struct{}{}
-			if c.tp.get(i) {
-				uniqueTP[id] = struct{}{}
+			if m.seenAll[id] != gen {
+				m.seenAll[id] = gen
+				uniqueAll++
+			}
+			if c.tp.get(i) && m.seenTP[id] != gen {
+				m.seenTP[id] = gen
+				uniqueTP++
 			}
 		}
 	}
@@ -154,16 +184,20 @@ func (m *matrix) finishColumn(c *column, exts []string) {
 	for w := range m.apparent {
 		c.eval.FN += bits.OnesCount64(m.apparent[w] &^ c.matched[w])
 	}
-	c.eval.UniqueTP = len(uniqueTP)
-	c.eval.UniqueExtract = len(uniqueAll)
+	c.eval.UniqueTP = uniqueTP
+	c.eval.UniqueExtract = uniqueAll
 }
 
 // column returns the memoized column for r, building it on first use.
 func (m *matrix) column(r *rex.Regex) *column {
-	if c, ok := m.cols[r]; ok {
+	if c, ok := m.cols[r]; ok && c != nil {
 		return c
 	}
-	c, exts := m.buildColumn(r)
+	n := m.s.ar.len()
+	cols := newColumns(1, n)
+	c := &cols[0]
+	exts := make([]string, n)
+	m.buildColumn(r, c, exts)
 	m.finishColumn(c, exts)
 	m.cols[r] = c
 	return c
@@ -209,14 +243,20 @@ func (m *matrix) ensure(ctx context.Context, regexes []*rex.Regex) error {
 	if workers > len(missing) {
 		workers = len(missing)
 	}
-	built := make([]*column, len(missing))
-	extsAll := make([][]string, len(missing))
+	// One column arena and one extraction-scratch slab for the whole
+	// batch; workers fill disjoint slots, so no synchronization beyond
+	// the job channel is needed.
+	n := m.s.ar.len()
+	cols := newColumns(len(missing), n)
+	extsSlab := make([]string, n*len(missing))
+	done := make([]bool, len(missing))
 	if workers <= 1 {
 		for i, r := range missing {
 			if ctx.Err() != nil {
 				break
 			}
-			built[i], extsAll[i] = m.buildColumn(r)
+			m.buildColumn(r, &cols[i], extsSlab[i*n:(i+1)*n])
+			done[i] = true
 		}
 	} else {
 		jobs := make(chan int)
@@ -229,7 +269,8 @@ func (m *matrix) ensure(ctx context.Context, regexes []*rex.Regex) error {
 					if ctx.Err() != nil {
 						continue // drain remaining jobs without building
 					}
-					built[i], extsAll[i] = m.buildColumn(missing[i])
+					m.buildColumn(missing[i], &cols[i], extsSlab[i*n:(i+1)*n])
+					done[i] = true
 				}
 			}()
 		}
@@ -247,11 +288,11 @@ func (m *matrix) ensure(ctx context.Context, regexes []*rex.Regex) error {
 	// Finish serially in batch order. Under cancellation some columns
 	// were never built: drop their reservations and report the abort.
 	for i, r := range missing {
-		if built[i] == nil {
+		if !done[i] {
 			continue
 		}
-		m.finishColumn(built[i], extsAll[i])
-		m.cols[r] = built[i]
+		m.finishColumn(&cols[i], extsSlab[i*n:(i+1)*n])
+		m.cols[r] = &cols[i]
 	}
 	if err := ctx.Err(); err != nil {
 		release()
@@ -276,11 +317,15 @@ func (o Options) workers() int {
 // corresponding regex set, including the unique-extraction counts.
 func (m *matrix) evalSet(cols []*column) Eval {
 	var e Eval
-	n := len(m.s.items)
-	remaining := newBitset(n)
+	n := m.s.ar.len()
+	if m.remaining == nil {
+		m.remaining = newBitset(n)
+	}
+	remaining := m.remaining
 	remaining.fill(n)
-	uniqueTP := make(map[uint32]struct{})
-	uniqueAll := make(map[uint32]struct{})
+	m.seenGen++
+	gen := m.seenGen
+	uniqueTP, uniqueAll := 0, 0
 	for _, c := range cols {
 		if c.bad {
 			continue
@@ -296,9 +341,13 @@ func (m *matrix) evalSet(cols []*column) Eval {
 			for rest := newly; rest != 0; rest &= rest - 1 {
 				i := w*64 + bits.TrailingZeros64(rest)
 				id := c.ext[i]
-				uniqueAll[id] = struct{}{}
-				if c.tp.get(i) {
-					uniqueTP[id] = struct{}{}
+				if m.seenAll[id] != gen {
+					m.seenAll[id] = gen
+					uniqueAll++
+				}
+				if c.tp.get(i) && m.seenTP[id] != gen {
+					m.seenTP[id] = gen
+					uniqueTP++
 				}
 			}
 		}
@@ -307,8 +356,8 @@ func (m *matrix) evalSet(cols []*column) Eval {
 	for w := range remaining {
 		e.FN += bits.OnesCount64(remaining[w] & m.apparent[w])
 	}
-	e.UniqueTP = len(uniqueTP)
-	e.UniqueExtract = len(uniqueAll)
+	e.UniqueTP = uniqueTP
+	e.UniqueExtract = uniqueAll
 	return e
 }
 
@@ -327,7 +376,7 @@ type setState struct {
 // newSetState starts from the empty set: nothing matched, every
 // apparent-ASN item a false negative.
 func (m *matrix) newSetState() *setState {
-	n := len(m.s.items)
+	n := m.s.ar.len()
 	st := &setState{m: m, remaining: newBitset(n)}
 	st.remaining.fill(n)
 	st.fn = m.apparent.count()

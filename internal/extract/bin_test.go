@@ -1,0 +1,235 @@
+package extract
+
+import (
+	"bytes"
+	"context"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"hoiho/internal/corpusbin"
+	"hoiho/internal/core"
+)
+
+// hbcBytes serializes a corpus to the HBC binary form in memory.
+func hbcBytes(t testing.TB, c *Corpus) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := c.SaveBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestLoadSniffsHBC proves Load picks the codec from content alone: the
+// same corpus saved both ways loads to the same fingerprint and the
+// same extraction results.
+func TestLoadSniffsHBC(t *testing.T) {
+	ncs := syntheticNCs(t, 64)
+	orig := New(ncs)
+
+	var jsonBuf bytes.Buffer
+	if err := orig.Save(&jsonBuf); err != nil {
+		t.Fatal(err)
+	}
+	hbc := hbcBytes(t, orig)
+	if !corpusbin.IsHBC(hbc) {
+		t.Fatal("SaveBinary output does not start with the HBC magic")
+	}
+	if corpusbin.IsHBC(jsonBuf.Bytes()) {
+		t.Fatal("JSON output sniffs as HBC")
+	}
+
+	fromJSON, err := Load(bytes.NewReader(jsonBuf.Bytes()))
+	if err != nil {
+		t.Fatalf("load json: %v", err)
+	}
+	fromHBC, err := Load(bytes.NewReader(hbc))
+	if err != nil {
+		t.Fatalf("load hbc: %v", err)
+	}
+	if a, b := fromJSON.FingerprintString(), fromHBC.FingerprintString(); a != b {
+		t.Fatalf("fingerprints differ: json %s, hbc %s", a, b)
+	}
+	if a, b := orig.FingerprintString(), fromHBC.FingerprintString(); a != b {
+		t.Fatalf("fingerprint changed across save/load: %s -> %s", a, b)
+	}
+
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 2000; i++ {
+		host := randomHost(rng, ncs)
+		rj, okj := fromJSON.Extract(context.Background(), host)
+		rh, okh := fromHBC.Extract(context.Background(), host)
+		if okj != okh || rj != rh {
+			t.Fatalf("host %q: json (%+v,%v) vs hbc (%+v,%v)", host, rj, okj, rh, okh)
+		}
+	}
+}
+
+// TestHBCJSONSaveByteIdentity is the oracle property end to end through
+// the extract API: JSON -> corpus -> HBC -> corpus -> JSON must be
+// byte-identical.
+func TestHBCJSONSaveByteIdentity(t *testing.T) {
+	orig := New(syntheticNCs(t, 32))
+	var before bytes.Buffer
+	if err := orig.Save(&before); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(bytes.NewReader(hbcBytes(t, orig)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var after bytes.Buffer
+	if err := loaded.Save(&after); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before.Bytes(), after.Bytes()) {
+		t.Fatalf("JSON through HBC not byte-identical:\n%s\nvs\n%s", before.Bytes(), after.Bytes())
+	}
+}
+
+// TestHBCLoadOptions proves load-time options apply to the binary form
+// exactly as to JSON: class filtering drops conventions, and the
+// stdlib-matcher fallback still answers identically.
+func TestHBCLoadOptions(t *testing.T) {
+	ncs := syntheticNCs(t, 48)
+	hbc := hbcBytes(t, New(ncs))
+
+	usable, err := Load(bytes.NewReader(hbc), UsableOnly())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range usable.Suffixes() {
+		cv, ok := usable.Conventions(s)
+		if !ok {
+			t.Fatalf("suffix %s not indexed", s)
+		}
+		if cv.Class() < core.Promising {
+			t.Fatalf("UsableOnly kept %s (class %v)", s, cv.Class())
+		}
+	}
+	wantUsable := 0
+	for _, nc := range ncs {
+		if nc.Class >= core.Promising {
+			wantUsable++
+		}
+	}
+	if got := usable.Len(); got != wantUsable {
+		t.Fatalf("UsableOnly kept %d conventions, want %d", got, wantUsable)
+	}
+
+	rng := rand.New(rand.NewSource(11))
+	compiled, err := Load(bytes.NewReader(hbc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stdlib, err := Load(bytes.NewReader(hbc), WithMatcher(MatcherRegexp))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		host := randomHost(rng, ncs)
+		rc, okc := compiled.Extract(context.Background(), host)
+		rs, oks := stdlib.Extract(context.Background(), host)
+		if okc != oks || rc != rs {
+			t.Fatalf("host %q: compiled (%+v,%v) vs stdlib matcher (%+v,%v)", host, rc, okc, rs, oks)
+		}
+	}
+}
+
+// TestSaveFileRoutesByExtension proves the .hbc extension selects the
+// binary codec and everything else stays JSON, and that LoadFile reads
+// both back.
+func TestSaveFileRoutesByExtension(t *testing.T) {
+	dir := t.TempDir()
+	orig := New(syntheticNCs(t, 16))
+
+	hbcPath := filepath.Join(dir, "corpus.hbc")
+	jsonPath := filepath.Join(dir, "corpus.json")
+	if err := orig.SaveFile(hbcPath); err != nil {
+		t.Fatal(err)
+	}
+	if err := orig.SaveFile(jsonPath); err != nil {
+		t.Fatal(err)
+	}
+
+	hbcData, err := os.ReadFile(hbcPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !corpusbin.IsHBC(hbcData) {
+		t.Fatal("SaveFile(.hbc) did not write HBC")
+	}
+	jsonData, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if corpusbin.IsHBC(jsonData) || jsonData[0] != '[' {
+		t.Fatalf("SaveFile(.json) did not write the JSON array form: %.20q", jsonData)
+	}
+
+	// SaveFileBinary writes HBC regardless of extension.
+	forcedPath := filepath.Join(dir, "corpus.dat")
+	if err := orig.SaveFileBinary(forcedPath); err != nil {
+		t.Fatal(err)
+	}
+	forced, err := os.ReadFile(forcedPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !corpusbin.IsHBC(forced) {
+		t.Fatal("SaveFileBinary did not write HBC")
+	}
+
+	for _, path := range []string{hbcPath, jsonPath, forcedPath} {
+		loaded, err := LoadFile(path)
+		if err != nil {
+			t.Fatalf("LoadFile(%s): %v", path, err)
+		}
+		if a, b := loaded.FingerprintString(), orig.FingerprintString(); a != b {
+			t.Fatalf("%s: fingerprint %s, want %s", path, a, b)
+		}
+	}
+}
+
+// TestHBCLoadIsPreArmed proves a binary load serves without compiling:
+// the corpus extracts correctly immediately, concurrently, under -race.
+func TestHBCLoadIsPreArmed(t *testing.T) {
+	ncs := syntheticNCs(t, 32)
+	loaded, err := Load(bytes.NewReader(hbcBytes(t, New(ncs))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hosts := make([]string, 0, 512)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 512; i++ {
+		hosts = append(hosts, randomHost(rng, ncs))
+	}
+	want := make([]Result, len(hosts))
+	for i, h := range hosts {
+		want[i], _ = loaded.Extract(context.Background(), h)
+	}
+	got, err := loaded.ExtractBatch(context.Background(), hosts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range hosts {
+		if got[i] != want[i] {
+			t.Fatalf("host %q: batch %+v vs serial %+v", hosts[i], got[i], want[i])
+		}
+	}
+}
+
+// TestLoadRejectsCorruptHBC proves the extract layer surfaces corpusbin's
+// fail-closed errors instead of falling back to JSON.
+func TestLoadRejectsCorruptHBC(t *testing.T) {
+	data := hbcBytes(t, New(syntheticNCs(t, 8)))
+	data[len(data)-1] ^= 0x40
+	if _, err := Load(bytes.NewReader(data)); err == nil {
+		t.Fatal("corrupt HBC loaded successfully")
+	}
+	if _, err := Load(bytes.NewReader(data[:len(data)/2])); err == nil {
+		t.Fatal("truncated HBC loaded successfully")
+	}
+}

@@ -82,9 +82,14 @@ type entry struct {
 	eng *match.Engine
 }
 
-// matcher returns the entry's engine, compiling it on first use.
+// matcher returns the entry's engine, compiling it on first use. An
+// entry pre-armed by the binary corpus loader (m already set, before
+// the corpus was shared) keeps its deserialized engine.
 func (e *entry) matcher(kind MatcherKind) match.Matcher {
 	e.once.Do(func() {
+		if e.m != nil {
+			return
+		}
 		if kind == MatcherRegexp {
 			e.m = match.NewRegexpSet(e.nc.Regexes)
 		} else {

@@ -2,25 +2,18 @@ package extract
 
 import (
 	"fmt"
-	"hash/fnv"
+
+	"hoiho/internal/core"
 )
 
 // fingerprint hashes the corpus content: every retained NC's suffix,
 // class, and regex sources, in suffix order. Computed once at
 // construction (before the corpus is shared), so reading it later is
-// race-free even though rex's String caches are lazily primed.
+// race-free even though rex's String caches are lazily primed. The
+// algorithm lives in core.FingerprintNCs so the binary corpus format
+// stamps and verifies the identical value.
 func (c *Corpus) fingerprint() uint64 {
-	h := fnv.New64a()
-	for _, nc := range c.ncs {
-		h.Write([]byte(nc.Suffix))
-		h.Write([]byte{0, byte(nc.Class)})
-		for _, src := range nc.Strings() {
-			h.Write([]byte{0})
-			h.Write([]byte(src))
-		}
-		h.Write([]byte{0xff})
-	}
-	return h.Sum64()
+	return core.FingerprintNCs(c.ncs)
 }
 
 // Fingerprint is a stable 64-bit identity for the corpus content —

@@ -6,9 +6,12 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"hoiho/internal/atomicfile"
 	"hoiho/internal/core"
+	"hoiho/internal/corpusbin"
+	"hoiho/internal/match"
 )
 
 // maxLoadBytes caps how much corpus JSON Load will read. The full-scale
@@ -28,13 +31,16 @@ type corpusEnvelope struct {
 // corpusVersion is the only envelope version this build reads.
 const corpusVersion = 1
 
-// Load reads a corpus from the stable NC JSON form (the output of
-// `hoiho -json` / `hoiho -save` / Corpus.Save) and indexes it. Options
-// apply as in New, so a loaded corpus can be filtered at load time, e.g.
+// Load reads a corpus and indexes it, sniffing the format by leading
+// bytes: an HBC binary corpus (the "HBC" magic, see internal/corpusbin)
+// decodes straight to ready-to-serve state with no JSON parsing or
+// matcher recompilation; anything else is the stable NC JSON form (the
+// output of `hoiho -json` / `hoiho -save` / Corpus.Save). Options apply
+// as in New, so a loaded corpus can be filtered at load time, e.g.
 // Load(r, UsableOnly()).
 //
-// Load is strict: inputs over 64 MiB, non-corpus JSON, unsupported
-// envelope versions, and corpora with zero conventions all return
+// Load is strict: inputs over 64 MiB, non-corpus JSON, corrupt or
+// unsupported-version HBC, and corpora with zero conventions all return
 // descriptive errors rather than a silently empty corpus that would
 // extract nothing.
 func Load(r io.Reader, opts ...Option) (*Corpus, error) {
@@ -44,6 +50,9 @@ func Load(r io.Reader, opts ...Option) (*Corpus, error) {
 	}
 	if len(data) > maxLoadBytes {
 		return nil, fmt.Errorf("extract: load: input exceeds %d-byte cap", maxLoadBytes)
+	}
+	if corpusbin.IsHBC(data) {
+		return loadHBC(data, opts...)
 	}
 	trimmed := bytes.TrimSpace(data)
 	if len(trimmed) == 0 {
@@ -82,7 +91,37 @@ func Load(r io.Reader, opts ...Option) (*Corpus, error) {
 	return c, nil
 }
 
-// LoadFile loads a corpus from a JSON file on disk.
+// loadHBC indexes a decoded binary corpus, pre-arming each entry with
+// its deserialized engine so Precompile has nothing left to compile.
+// The engines are only installed when the corpus runs the compiled
+// matcher (the default); WithMatcher(MatcherRegexp) falls back to the
+// normal stdlib compile path, and MinClass filtering simply drops the
+// filtered entries' engines along with their NCs.
+func loadHBC(data []byte, opts ...Option) (*Corpus, error) {
+	dec, err := corpusbin.Decode(data)
+	if err != nil {
+		return nil, fmt.Errorf("extract: load: %w", err)
+	}
+	if len(dec.NCs) == 0 {
+		return nil, fmt.Errorf("extract: load: corpus contains no conventions")
+	}
+	c := New(dec.NCs, opts...)
+	if c.kind == MatcherCompiled {
+		for i, nc := range dec.NCs {
+			e, ok := c.entries[nc.Suffix]
+			if !ok || e.nc != nc || dec.Engines[i] == nil {
+				continue // filtered out, or superseded by a later duplicate
+			}
+			// Single-threaded: the corpus is not shared until Load returns.
+			e.eng = dec.Engines[i]
+			e.m = dec.Engines[i]
+		}
+	}
+	c.Precompile()
+	return c, nil
+}
+
+// LoadFile loads a corpus (JSON or HBC, sniffed by content) from disk.
 func LoadFile(path string, opts ...Option) (*Corpus, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -111,10 +150,55 @@ func (c *Corpus) Save(w io.Writer) error {
 	return err
 }
 
-// SaveFile writes the corpus to a JSON file on disk atomically: the JSON
-// is written to a temp file in the destination directory, synced, and
-// renamed over path, so an interrupted save never leaves a truncated
-// corpus where a good one stood.
+// SaveBinary writes the corpus in the HBC binary form (see
+// internal/corpusbin): the same retained NCs as Save, plus each one's
+// compiled match programs, so a later Load reaches ready-to-serve state
+// without recompiling. Already-compiled engines are reused; suffixes
+// whose matcher was never built (or was built on the stdlib path)
+// compile here, once.
+//
+//hoiho:ctxflow bounded one-shot serialization of the retained NCs, milliseconds even for full-scale corpora; not a streaming pipeline
+func (c *Corpus) SaveBinary(w io.Writer) error {
+	recs := make([]corpusbin.NCRecord, len(c.ncs))
+	for i, nc := range c.ncs {
+		eng := c.compiledEngine(nc)
+		recs[i] = corpusbin.NCRecord{NC: nc, Programs: eng.Wire()}
+	}
+	if err := corpusbin.Encode(w, recs); err != nil {
+		return fmt.Errorf("extract: save: %w", err)
+	}
+	return nil
+}
+
+// compiledEngine returns nc's compiled engine, reusing the entry's when
+// it exists and was built on the compiled path.
+func (c *Corpus) compiledEngine(nc *core.NC) *match.Engine {
+	if e, ok := c.entries[nc.Suffix]; ok && e.nc == nc && e.eng != nil {
+		return e.eng
+	}
+	return match.Compile(nc.Regexes)
+}
+
+// SaveFile writes the corpus to disk atomically: the bytes are written
+// to a temp file in the destination directory, synced, and renamed over
+// path, so an interrupted save never leaves a truncated corpus where a
+// good one stood. A path ending in ".hbc" selects the HBC binary form;
+// anything else writes the stable JSON form.
 func (c *Corpus) SaveFile(path string) error {
+	if strings.HasSuffix(path, ".hbc") {
+		return atomicfile.WriteFile(path, c.SaveBinary)
+	}
+	return atomicfile.WriteFile(path, c.Save)
+}
+
+// SaveFileBinary writes the corpus to disk atomically in the HBC binary
+// form regardless of extension.
+func (c *Corpus) SaveFileBinary(path string) error {
+	return atomicfile.WriteFile(path, c.SaveBinary)
+}
+
+// SaveFileJSON writes the corpus to disk atomically in the stable JSON
+// form regardless of extension.
+func (c *Corpus) SaveFileJSON(path string) error {
 	return atomicfile.WriteFile(path, c.Save)
 }

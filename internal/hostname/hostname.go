@@ -52,18 +52,30 @@ type Name struct {
 // removes one trailing dot, and rejects hostnames containing characters
 // outside [a-z0-9._-] or that are empty after normalization.
 func Parse(s string) (Name, error) {
+	full, parts, err := AppendParse(nil, s)
+	if err != nil {
+		return Name{}, err
+	}
+	return Name{Full: full, Parts: parts}, nil
+}
+
+// AppendParse is Parse with caller-provided Parts storage: the parsed
+// parts are appended to dst and the extended slice is returned alongside
+// the normalized hostname. Bulk callers (the learner's item arena) parse
+// thousands of names into one backing slice instead of one heap slice
+// per name; the caller slices the tail back out by offset.
+func AppendParse(dst []Part, s string) (string, []Part, error) {
 	s = strings.ToLower(strings.TrimSpace(s))
 	s = strings.TrimSuffix(s, ".")
 	if s == "" {
-		return Name{}, fmt.Errorf("hostname: empty name")
+		return "", dst, fmt.Errorf("hostname: empty name")
 	}
 	for i := 0; i < len(s); i++ {
 		c := s[i]
 		if !IsAlpha(c) && !IsDigit(c) && !IsPunct(c) {
-			return Name{}, fmt.Errorf("hostname: %q: invalid character %q at %d", s, c, i)
+			return "", dst, fmt.Errorf("hostname: %q: invalid character %q at %d", s, c, i)
 		}
 	}
-	n := Name{Full: s}
 	start := 0
 	for i := 0; i <= len(s); i++ {
 		if i == len(s) || IsPunct(s[i]) {
@@ -71,11 +83,11 @@ func Parse(s string) (Name, error) {
 			if i < len(s) {
 				delim = s[i]
 			}
-			n.Parts = append(n.Parts, Part{Text: s[start:i], Start: start, Delim: delim})
+			dst = append(dst, Part{Text: s[start:i], Start: start, Delim: delim})
 			start = i + 1
 		}
 	}
-	return n, nil
+	return s, dst, nil
 }
 
 // String returns the normalized hostname.
@@ -94,7 +106,14 @@ func (r Run) End() int { return r.Start + len(r.Text) }
 // DigitRuns returns every maximal digit run in the hostname, in order of
 // appearance. Runs never span punctuation.
 func (n Name) DigitRuns() []Run {
-	var runs []Run
+	return n.AppendDigitRuns(nil)
+}
+
+// AppendDigitRuns appends every maximal digit run to dst (see DigitRuns)
+// and returns the extended slice, so bulk callers can pool the run
+// storage for many names in one backing slice.
+func (n Name) AppendDigitRuns(dst []Run) []Run {
+	runs := dst
 	for pi, p := range n.Parts {
 		i := 0
 		for i < len(p.Text) {
@@ -137,11 +156,20 @@ func (s Span) Overlaps(start, end int) bool { return start < s.End && end > s.St
 //
 // If addr is the zero Addr, or not IPv4, no spans are returned.
 func (n Name) EmbeddedIPSpans(addr netip.Addr) []Span {
+	return n.AppendEmbeddedIPSpans(nil, addr)
+}
+
+// AppendEmbeddedIPSpans appends the embedded-IP spans to dst (see
+// EmbeddedIPSpans) and returns the extended slice; the appended tail is
+// sorted and coalesced in place, so dst's existing contents are
+// untouched.
+func (n Name) AppendEmbeddedIPSpans(dst []Span, addr netip.Addr) []Span {
 	if !addr.Is4() {
-		return nil
+		return dst
 	}
 	oct := addr.As4()
-	var spans []Span
+	off := len(dst)
+	spans := dst
 	// Forward and reversed octet sequences over consecutive parts.
 	for _, order := range [][4]byte{
 		{oct[0], oct[1], oct[2], oct[3]},
@@ -161,7 +189,8 @@ func (n Name) EmbeddedIPSpans(addr netip.Addr) []Span {
 			spans = append(spans, Span{p.Start, p.End()})
 		}
 	}
-	return mergeSpans(spans)
+	merged := mergeSpans(spans[off:])
+	return spans[:off+len(merged)]
 }
 
 // partsMatchOctets reports whether the four parts are exactly the decimal

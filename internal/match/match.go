@@ -66,11 +66,12 @@ type Engine struct {
 // NewRegexpSet drops, so compiled and oracle indexes stay aligned.
 func Compile(regexes []*rex.Regex) *Engine {
 	e := &Engine{}
-	for _, r := range regexes {
+	for i, r := range regexes {
 		if r == nil {
 			continue
 		}
 		if p, ok := compileProgram(r); ok {
+			p.rxIndex = i
 			e.programs = append(e.programs, p)
 		}
 	}

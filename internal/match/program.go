@@ -103,7 +103,14 @@ type program struct {
 	// following literal's first byte cannot extend its run — so a match
 	// attempt never backtracks and runs on the iterative matchDet loop
 	// instead of the VM. Learned conventions are almost always det.
+	// det programs never consult re: matchDet and matchDetAll have no
+	// stdlib fallback, which is what lets the binary corpus loader skip
+	// regexp compilation for them entirely.
 	det bool
+	// rxIndex is the program's position in the regex list it compiled
+	// from (Compile drops stdlib-uncompilable regexes, so program count
+	// can trail regex count). It keys the wire form back to its source.
+	rxIndex int
 }
 
 // compileProgram lowers r. ok is false when the stdlib cannot compile r
@@ -171,12 +178,46 @@ func compileProgram(r *rex.Regex) (*program, bool) {
 			supported = false
 		}
 		p.ops = append(p.ops, o)
+	}
+	p.oracle = !supported
+	p.finalize()
+	return p, true
+}
+
+// finalize derives every field the matcher dispatch needs from the
+// fundamental op sequence (kind, lit, set, alts, opt, capture) and the
+// oracle flag: per-op minW/excl1/isDigit/fixedTail, the program's
+// minLen and head/tail literals, and the det classification. It is the
+// single derivation path shared by compileProgram and the wire decoder
+// (EngineFromWire), so a deserialized program behaves bit-for-bit like
+// a freshly compiled one.
+func (p *program) finalize() {
+	p.minLen = 0
+	for i := range p.ops {
+		o := &p.ops[i]
+		switch o.kind {
+		case opLit:
+			o.minW = len(o.lit)
+		case opSet, opExcl:
+			o.minW = 1
+		case opAlt:
+			o.minW = 0
+			if !o.opt && len(o.alts) > 0 {
+				o.minW = len(o.alts[0])
+				for _, a := range o.alts[1:] {
+					if len(a) < o.minW {
+						o.minW = len(a)
+					}
+				}
+			}
+		}
 		p.minLen += o.minW
 	}
 	var digits asciiSet
 	digits.addRange('0', '9')
 	for i := range p.ops {
 		o := &p.ops[i]
+		o.excl1, o.isExcl1, o.isDigit = 0, false, false
 		if o.kind == opExcl && bits.OnesCount64(o.set[0])+bits.OnesCount64(o.set[1]) == 1 {
 			if o.set[0] != 0 {
 				o.excl1 = byte(bits.TrailingZeros64(o.set[0]))
@@ -203,6 +244,7 @@ func compileProgram(r *rex.Regex) (*program, bool) {
 			allLit = false
 		}
 	}
+	p.headLit, p.tailLit = "", ""
 	if n := len(p.ops); n > 0 {
 		if p.ops[0].kind == opLit {
 			p.headLit = p.ops[0].lit
@@ -211,9 +253,7 @@ func compileProgram(r *rex.Regex) (*program, bool) {
 			p.tailLit = p.ops[n-1].lit
 		}
 	}
-	p.oracle = !supported
 	p.det = !p.oracle && p.deterministic()
-	return p, true
 }
 
 // deterministic reports whether every quantified op in the program has

@@ -20,6 +20,7 @@ import (
 	"io"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // List is a compiled public suffix list. The zero value is not usable;
@@ -29,6 +30,12 @@ type List struct {
 	rules map[string]ruleKind
 	// maxLabels is the largest number of labels in any rule, bounding lookups.
 	maxLabels int
+
+	// beneath holds every proper label-boundary tail of every rule key —
+	// the set of suffixes with an explicit rule strictly beneath them.
+	// Built lazily by HasRuleBeneath; guarded by beneathOnce.
+	beneathOnce sync.Once
+	beneath     map[string]struct{}
 }
 
 type ruleKind uint8
@@ -275,6 +282,12 @@ func labelStart(domain string, k int) int {
 // suffixes, probing the suffix index directly at label boundaries is
 // equivalent to a registered-domain walk, which is how extract earns its
 // fast path.
+//
+// The first call builds a tails index over the rule set (every proper
+// label-boundary tail of every rule key), so corpus indexing — which
+// asks this once per suffix — pays one pass over the rules instead of
+// one per query. That pass matters: it is a measurable slice of corpus
+// cold-start time.
 func (l *List) HasRuleBeneath(suffix string) bool {
 	if suffix == "" {
 		return false
@@ -282,13 +295,22 @@ func (l *List) HasRuleBeneath(suffix string) bool {
 	if kind, ok := l.rules[suffix]; ok && kind == ruleWildcard {
 		return true
 	}
-	dot := "." + suffix
-	for r := range l.rules {
-		if strings.HasSuffix(r, dot) {
-			return true
+	l.beneathOnce.Do(func() {
+		tails := make(map[string]struct{}, len(l.rules))
+		for r := range l.rules {
+			for {
+				dot := strings.IndexByte(r, '.')
+				if dot < 0 {
+					break
+				}
+				r = r[dot+1:]
+				tails[r] = struct{}{}
+			}
 		}
-	}
-	return false
+		l.beneath = tails
+	})
+	_, ok := l.beneath[suffix]
+	return ok
 }
 
 // GroupByRegisteredDomain buckets hostnames by their registrable domain.

@@ -97,14 +97,14 @@ func Alt(opt bool, alts ...string) Token {
 func (t Token) render(sb *strings.Builder) {
 	switch t.Kind {
 	case KindLit:
-		sb.WriteString(escapeLit(t.Lit))
+		writeEscLit(sb, t.Lit)
 	case KindCapture:
 		sb.WriteString(`(\d+)`)
 	case KindCaptureAlpha:
 		sb.WriteString(`([a-z]+)`)
 	case KindExcl:
 		sb.WriteString("[^")
-		sb.WriteString(escapeClassChars(t.Excl))
+		writeClassChars(sb, t.Excl)
 		sb.WriteString("]+")
 	case KindClass:
 		switch t.Class {
@@ -123,12 +123,31 @@ func (t Token) render(sb *strings.Builder) {
 			if i > 0 {
 				sb.WriteByte('|')
 			}
-			sb.WriteString(escapeLit(a))
+			writeEscLit(sb, a)
 		}
 		sb.WriteByte(')')
 		if t.Opt {
 			sb.WriteByte('?')
 		}
+	}
+}
+
+// renderMax is a cheap upper bound on the token's rendered byte length,
+// used to size the String builder in one allocation.
+func (t Token) renderMax() int {
+	switch t.Kind {
+	case KindLit:
+		return 2 * len(t.Lit)
+	case KindExcl:
+		return 3 + 2*len(t.Excl)
+	case KindAlt:
+		n := 5
+		for _, a := range t.Alts {
+			n += 2*len(a) + 1
+		}
+		return n
+	default:
+		return 8 // the widest fixed form is "([a-z]+)"
 	}
 }
 
@@ -159,10 +178,30 @@ func escapeLit(s string) string {
 	return regexp.QuoteMeta(s)
 }
 
-// escapeClassChars renders characters inside [^...] the way the paper
+// litMeta marks the bytes regexp.QuoteMeta escapes; writeEscLit keeps
+// byte-for-byte parity with escapeLit without QuoteMeta's intermediate
+// string (candidate generation renders thousands of regexes per suffix).
+var litMeta = func() (t [256]bool) {
+	for _, b := range []byte(`\.+*?()|[]{}^$`) {
+		t[b] = true
+	}
+	return
+}()
+
+// writeEscLit writes s with regex metacharacters escaped, equivalent to
+// sb.WriteString(escapeLit(s)) with zero intermediate allocation.
+func writeEscLit(sb *strings.Builder, s string) {
+	for i := 0; i < len(s); i++ {
+		if litMeta[s[i]] {
+			sb.WriteByte('\\')
+		}
+		sb.WriteByte(s[i])
+	}
+}
+
+// writeClassChars renders characters inside [^...] the way the paper
 // prints them: dot escaped, dash last.
-func escapeClassChars(chars string) string {
-	var sb strings.Builder
+func writeClassChars(sb *strings.Builder, chars string) {
 	dash := false
 	for i := 0; i < len(chars); i++ {
 		switch chars[i] {
@@ -177,7 +216,6 @@ func escapeClassChars(chars string) string {
 	if dash {
 		sb.WriteByte('-')
 	}
-	return sb.String()
 }
 
 // Regex is a token sequence with exactly one Capture token. It is always
@@ -210,7 +248,7 @@ func NewOpen(tokens ...Token) (*Regex, error) {
 }
 
 func build(leftOpen bool, tokens []Token) (*Regex, error) {
-	var cleaned []Token
+	cleaned := make([]Token, 0, len(tokens))
 	for _, t := range tokens {
 		if t.Kind == KindLit && t.Lit == "" {
 			continue
@@ -263,7 +301,12 @@ func (r *Regex) LeftOpen() bool { return r.leftOpen }
 // String renders the regex in the paper's syntax, including anchors.
 func (r *Regex) String() string {
 	if r.str == "" {
+		size := 2
+		for _, t := range r.tokens {
+			size += t.renderMax()
+		}
 		var sb strings.Builder
+		sb.Grow(size)
 		if !r.leftOpen {
 			sb.WriteByte('^')
 		}
@@ -329,6 +372,14 @@ func (r *Regex) Extract(hostname string) (asn string, start, end int, ok bool) {
 // match. Optional alternations that matched nothing yield a zero-width
 // span.
 func (r *Regex) TokenSpans(hostname string) (spans [][2]int, ok bool) {
+	return r.AppendTokenSpans(nil, hostname)
+}
+
+// AppendTokenSpans is TokenSpans with caller-provided span storage: the
+// spans are appended to dst[:0]'s backing array when it has capacity, so
+// a caller probing many hostnames against one regex (phase-3 class
+// embedding) reuses a single buffer instead of allocating per match.
+func (r *Regex) AppendTokenSpans(dst [][2]int, hostname string) (spans [][2]int, ok bool) {
 	if r.inRe == nil {
 		var sb strings.Builder
 		if !r.leftOpen {
@@ -369,18 +420,18 @@ func (r *Regex) TokenSpans(hostname string) (spans [][2]int, ok bool) {
 		//hoiho:recompile-ok compile-once cache for the instrumented span matcher: stored on r.inRe, rebuilt never
 		re, err := regexp.Compile(sb.String())
 		if err != nil {
-			return nil, false
+			return dst[:0], false
 		}
 		r.inRe = re
 	}
 	m := r.inRe.FindStringSubmatchIndex(hostname)
 	if m == nil {
-		return nil, false
+		return dst[:0], false
 	}
-	spans = make([][2]int, len(r.tokens))
+	spans = dst[:0]
 	for i := range r.tokens {
 		g := r.inIdx[i]
-		spans[i] = [2]int{m[2*g], m[2*g+1]}
+		spans = append(spans, [2]int{m[2*g], m[2*g+1]})
 	}
 	return spans, true
 }

@@ -27,10 +27,12 @@ import (
 	"net/http/httptest"
 	"os"
 	"strconv"
+	"strings"
 	"sync"
 	"testing"
 	"time"
 
+	"hoiho/internal/extract"
 	"hoiho/internal/faultinject"
 	"hoiho/internal/leaktest"
 )
@@ -189,6 +191,129 @@ func TestChaosReloadUnderLoad(t *testing.T) {
 		t.Errorf("reloads = %d, want %d", st.Reloads, reloads+1)
 	}
 	t.Logf("verified %d responses across %d hot reloads", total, reloads)
+}
+
+// writeCorpusHBC writes the variant's corpus to path in the HBC binary
+// form. The daemon's reload path sniffs format by content, so the same
+// corpus path can alternate between JSON and HBC across reloads.
+func writeCorpusHBC(t testing.TB, path, variant string) {
+	t.Helper()
+	c, err := extract.Load(strings.NewReader(corpusJSON(variant)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SaveFileBinary(path); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestChaosReloadAlternatingFormats is the PR-7 variant of the reload
+// storm: 20 hot reloads under sustained load, alternating the on-disk
+// corpus between the JSON and HBC binary forms (and between the two
+// ASN-routing variants) every iteration. The HBC form of a corpus
+// carries the same fingerprint as its JSON form, so the matrix check is
+// unchanged: every response must be a 200 whose ASN is exactly what the
+// corpus named in its X-Hoiho-Corpus header extracts, regardless of
+// which serialization the serving corpus booted from.
+func TestChaosReloadAlternatingFormats(t *testing.T) {
+	defer leaktest.Check(t)()
+	s, path := newTestServer(t, func(c *Config) {
+		c.MaxInflight = 32
+		c.MaxQueue = 128
+		c.RequestTimeout = 10 * time.Second
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	defer ts.Client().CloseIdleConnections()
+	cl := &chaosClient{t: t, ts: ts}
+
+	fpFirst := fingerprintOf(t, "first")
+	fpSecond := fingerprintOf(t, "second")
+
+	const workers = 8
+	const reloads = 20
+	stop := make(chan struct{})
+	type sample struct {
+		host        string
+		asn         uint32
+		fingerprint string
+		code        int
+	}
+	results := make([][]sample, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(500 + w)))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				a, b := rng.Intn(60000)+1, rng.Intn(60000)+1
+				host := fmt.Sprintf("as%d-pod%d.serve%d.net", a, b, rng.Intn(nSuffixes))
+				r := cl.get("/extract?host=" + host)
+				results[w] = append(results[w], sample{
+					host: host, asn: r.body.ASN, fingerprint: r.fingerprint, code: r.code,
+				})
+			}
+		}(w)
+	}
+
+	variant := "second"
+	for i := 0; i < reloads; i++ {
+		if i%2 == 0 {
+			writeCorpusHBC(t, path, variant)
+		} else {
+			writeCorpus(t, path, variant)
+		}
+		if code, body := cl.post("/-/reload"); code != http.StatusOK {
+			t.Fatalf("reload %d: status %d body %q", i, code, body)
+		}
+		if variant == "second" {
+			variant = "first"
+		} else {
+			variant = "second"
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+
+	total := 0
+	for w := range results {
+		for _, smp := range results[w] {
+			total++
+			if smp.code != http.StatusOK {
+				t.Fatalf("request for %s failed with status %d during reload", smp.host, smp.code)
+			}
+			var wantA, wantB int
+			if _, err := fmt.Sscanf(smp.host, "as%d-pod%d.", &wantA, &wantB); err != nil {
+				t.Fatalf("unparseable host %q", smp.host)
+			}
+			switch smp.fingerprint {
+			case fpFirst:
+				if smp.asn != uint32(wantA) {
+					t.Fatalf("misrouted: %s served asn %d by first-variant corpus, want %d", smp.host, smp.asn, wantA)
+				}
+			case fpSecond:
+				if smp.asn != uint32(wantB) {
+					t.Fatalf("misrouted: %s served asn %d by second-variant corpus, want %d", smp.host, smp.asn, wantB)
+				}
+			default:
+				t.Fatalf("response for %s stamped unknown corpus %q", smp.host, smp.fingerprint)
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("no requests completed during the reload storm")
+	}
+	if st := s.StatusNow(); st.Reloads != uint64(reloads)+1 { // +1 boot load
+		t.Errorf("reloads = %d, want %d", st.Reloads, reloads+1)
+	}
+	t.Logf("verified %d responses across %d mixed-format hot reloads", total, reloads)
 }
 
 // TestChaosCorruptReloadKeepsServing drives both corrupt-file rejection
