@@ -1,0 +1,103 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"hoiho/internal/analysis"
+)
+
+// A baseline entry identifies an accepted finding by check,
+// module-relative file, and message — deliberately NOT by line number,
+// so unrelated edits that shift code do not invalidate the baseline.
+// Count carries multiplicity: n identical findings in one file consume
+// n baseline slots, so a refactor that introduces another copy of an
+// accepted finding still fails the gate.
+type baselineEntry struct {
+	Check   string `json:"check"`
+	File    string `json:"file"`
+	Message string `json:"message"`
+	Count   int    `json:"count"`
+}
+
+func baselineKey(check, file, message string) string {
+	return check + "\x00" + file + "\x00" + message
+}
+
+// relFile maps a diagnostic's absolute filename to the module-relative
+// slash path used in baseline files, so baselines are portable across
+// checkouts.
+func relFile(root, filename string) string {
+	if rel, err := filepath.Rel(root, filename); err == nil {
+		return filepath.ToSlash(rel)
+	}
+	return filepath.ToSlash(filename)
+}
+
+// writeBaseline rewrites path with the current findings, sorted for
+// stable diffs.
+func writeBaseline(path, root string, diags []analysis.Diagnostic) error {
+	counts := make(map[string]*baselineEntry)
+	for _, d := range diags {
+		f := relFile(root, d.Pos.Filename)
+		k := baselineKey(d.Check, f, d.Message)
+		if e := counts[k]; e != nil {
+			e.Count++
+			continue
+		}
+		counts[k] = &baselineEntry{Check: d.Check, File: f, Message: d.Message, Count: 1}
+	}
+	entries := make([]baselineEntry, 0, len(counts))
+	for _, e := range counts {
+		entries = append(entries, *e)
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		a, b := entries[i], entries[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Check != b.Check {
+			return a.Check < b.Check
+		}
+		return a.Message < b.Message
+	})
+	data, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// subtractBaseline drops findings accepted by the baseline, consuming
+// multiplicity per (check, file, message) key.
+func subtractBaseline(path, root string, diags []analysis.Diagnostic) ([]analysis.Diagnostic, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("baseline: %w", err)
+	}
+	var entries []baselineEntry
+	if err := json.Unmarshal(data, &entries); err != nil {
+		return nil, fmt.Errorf("baseline %s: %w", path, err)
+	}
+	budget := make(map[string]int)
+	for _, e := range entries {
+		n := e.Count
+		if n <= 0 {
+			n = 1
+		}
+		budget[baselineKey(e.Check, e.File, e.Message)] += n
+	}
+	var out []analysis.Diagnostic
+	for _, d := range diags {
+		k := baselineKey(d.Check, relFile(root, d.Pos.Filename), d.Message)
+		if budget[k] > 0 {
+			budget[k]--
+			continue
+		}
+		out = append(out, d)
+	}
+	return out, nil
+}

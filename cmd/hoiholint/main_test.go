@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"hoiho/internal/analysis"
@@ -106,5 +107,146 @@ func TestLoadErrorExitCode(t *testing.T) {
 	defer devnull.Close()
 	if code := run([]string{"-C", dir}, stdout, devnull); code != 2 {
 		t.Fatalf("exit code = %d, want 2", code)
+	}
+}
+
+// outFile returns a temp *os.File plus a closure that reads what was
+// written to it.
+func outFile(t *testing.T) (*os.File, func() string) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "out")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f, func() string {
+		f.Close()
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(data)
+	}
+}
+
+// TestBaselineRoundTrip: -update-baseline accepts the current findings,
+// a subsequent run with -baseline is clean, and the acceptance survives
+// line shifts because entries are keyed by message, not line number.
+func TestBaselineRoundTrip(t *testing.T) {
+	dir := writeTempModule(t)
+	base := filepath.Join(t.TempDir(), "lint.baseline.json")
+
+	stdout, _ := outFile(t)
+	if code := run([]string{"-C", dir, "-baseline", base, "-update-baseline"}, stdout, os.Stderr); code != 0 {
+		t.Fatalf("-update-baseline exit code = %d, want 0", code)
+	}
+	data, err := os.ReadFile(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var entries []baselineEntry
+	if err := json.Unmarshal(data, &entries); err != nil {
+		t.Fatalf("baseline is not valid JSON: %v\n%s", err, data)
+	}
+	if len(entries) != 1 || entries[0].Check != "recompile" || entries[0].File != "main.go" || entries[0].Count != 1 {
+		t.Fatalf("baseline entries = %+v, want one recompile finding in main.go", entries)
+	}
+
+	stdout, _ = outFile(t)
+	if code := run([]string{"-C", dir, "-baseline", base}, stdout, os.Stderr); code != 0 {
+		t.Fatalf("baselined run exit code = %d, want 0", code)
+	}
+
+	// Shift the finding to a different line; the baseline must still
+	// absorb it.
+	mainGo := filepath.Join(dir, "main.go")
+	src, err := os.ReadFile(mainGo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(mainGo, append([]byte("// shifted by an unrelated edit\n\n"), src...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	stdout, _ = outFile(t)
+	if code := run([]string{"-C", dir, "-baseline", base}, stdout, os.Stderr); code != 0 {
+		t.Fatalf("baselined run after line shift exit code = %d, want 0", code)
+	}
+
+	// Without the baseline the finding still fails the run.
+	stdout, _ = outFile(t)
+	if code := run([]string{"-C", dir}, stdout, os.Stderr); code != 1 {
+		t.Fatalf("unbaselined run exit code = %d, want 1", code)
+	}
+}
+
+func TestUpdateBaselineRequiresPath(t *testing.T) {
+	dir := writeTempModule(t)
+	stdout, _ := outFile(t)
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer devnull.Close()
+	if code := run([]string{"-C", dir, "-update-baseline"}, stdout, devnull); code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+}
+
+// TestGraphDump: -graph prints a DOT digraph rooted at the named
+// function and exits 0 without linting.
+func TestGraphDump(t *testing.T) {
+	dir := writeTempModule(t)
+	stdout, read := outFile(t)
+	if code := run([]string{"-C", dir, "-graph", "tmpmod.main"}, stdout, os.Stderr); code != 0 {
+		t.Fatalf("exit code = %d, want 0", code)
+	}
+	out := read()
+	if !strings.Contains(out, "digraph") || !strings.Contains(out, "tmpmod.main") {
+		t.Fatalf("-graph output does not look like DOT:\n%s", out)
+	}
+}
+
+func TestGraphUnresolvedRoot(t *testing.T) {
+	dir := writeTempModule(t)
+	stdout, _ := outFile(t)
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer devnull.Close()
+	if code := run([]string{"-C", dir, "-graph", "tmpmod.noSuchFunc"}, stdout, devnull); code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+}
+
+// TestCheckRootsUnresolved: hoiho's configured roots do not exist in
+// the throwaway module, so -checkroots must hard-fail instead of
+// silently disabling the hot-path analyzers.
+func TestCheckRootsUnresolved(t *testing.T) {
+	dir := writeTempModule(t)
+	stdout, _ := outFile(t)
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer devnull.Close()
+	if code := run([]string{"-C", dir, "-checkroots"}, stdout, devnull); code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+}
+
+// TestCheckRootsResolveOnModule mirrors the CI gate: every configured
+// root must resolve against the real module.
+func TestCheckRootsResolveOnModule(t *testing.T) {
+	root, err := analysis.FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := analysis.LoadModule(root, analysis.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if missing := prog.UnresolvedRoots(); len(missing) > 0 {
+		t.Fatalf("unresolved analysis roots: %v", missing)
 	}
 }

@@ -7,7 +7,9 @@
 // invariants machine-checked.
 //
 // The pass is stdlib-only (go/parser + go/types + go/ast; no x/tools),
-// loads every package in the module, and runs five analyzers:
+// loads every package in the module through go/types, builds a typed
+// interprocedural call graph (callgraph.go) shared by every
+// reachability-based analyzer, and runs the analyzers:
 //
 //   - detmap: in deterministic packages, range over a map must not leak
 //     iteration order into slices, strings, output, or channels unless
@@ -28,6 +30,18 @@
 //     goroutines or loop over per-item work must accept and consult a
 //     context.Context, so every long-running entry point stays
 //     cancellable.
+//   - hotalloc: no allocation site (append growth, string concat or
+//     conversion, composite literals, interface boxing, closure
+//     creation, fmt calls) may be reachable from the zero-alloc
+//     extraction roots unless budgeted with //hoiho:hotalloc.
+//   - lockorder: mutexes must be acquired in one consistent order, and
+//     a field accessed through sync/atomic must never also be accessed
+//     plainly.
+//   - errwrap: fmt.Errorf in the serving/codec packages must qualify
+//     errors with the package path and wrap error operands with %w.
+//   - gororeturn: a channel send inside a goroutine must sit in a
+//     select with a ctx.Done (or default) arm, so cancelled consumers
+//     cannot strand the sender.
 //
 // Intentional violations are suppressed with a //hoiho:<verb>-ok
 // annotation carrying a reason; see annot.go for the grammar.
@@ -66,9 +80,12 @@ type Analyzer struct {
 	Run  func(*Program) []Diagnostic
 }
 
-// Analyzers returns the full pass in reporting order.
+// Analyzers returns the full pass in reporting order. The first six
+// are the PR 3 syntax-era analyzers (since migrated onto the typed call
+// graph); hotalloc, lockorder, errwrap, and gororeturn are the typed
+// interprocedural additions.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{detmap, rngseed, recompile, wghygiene, panicguard, ctxflow}
+	return []*Analyzer{detmap, rngseed, recompile, wghygiene, panicguard, ctxflow, hotalloc, lockorder, errwrap, gororeturn}
 }
 
 // Config scopes the analyzers to the project's packages. The zero value
@@ -89,6 +106,21 @@ type Config struct {
 	// ctxflow applies only here. These are the pipeline packages whose
 	// exported entry points can run for minutes on real corpora.
 	CtxPkgs []string
+	// ZeroAllocRoots are types.Func full names rooting the zero-alloc
+	// contract: hotalloc flags every allocation site reachable from them
+	// unless budgeted with //hoiho:hotalloc.
+	ZeroAllocRoots []string
+	// LockPkgs are the import paths under lock discipline: lockorder
+	// checks mutex acquisition order and atomic/non-atomic field mixing
+	// only here.
+	LockPkgs []string
+	// ErrPkgs are the import paths under the error-taxonomy contract:
+	// errwrap requires fmt.Errorf calls here to be path-qualified and to
+	// wrap error operands with %w.
+	ErrPkgs []string
+	// GoroPkgs are the import paths where gororeturn checks that channel
+	// sends inside goroutines carry a ctx-cancel select arm.
+	GoroPkgs []string
 }
 
 // Default is hoiho's lint configuration: the deterministic packages the
@@ -130,12 +162,39 @@ func Default() Config {
 			"hoiho/internal/core",
 			"hoiho/internal/extract",
 		},
+		// The PR 6 contract: after Precompile, per-hostname extraction and
+		// matching allocate nothing (the batch path budgets its result
+		// slice and worker closures explicitly). benchgate enforces this
+		// dynamically; hotalloc proves it statically.
+		ZeroAllocRoots: []string{
+			"(*hoiho/internal/extract.Corpus).Extract",
+			"(*hoiho/internal/extract.Corpus).ExtractBatch",
+			"(*hoiho/internal/extract.Corpus).ExtractBytes",
+			"(*hoiho/internal/match.Engine).MatchString",
+		},
+		LockPkgs: []string{
+			"hoiho/internal/serve",
+			"hoiho/internal/core",
+		},
+		ErrPkgs: []string{
+			"hoiho/internal/serve",
+			"hoiho/internal/extract",
+			"hoiho/internal/corpusbin",
+		},
+		GoroPkgs: []string{
+			"hoiho/internal/serve",
+			"hoiho/internal/core",
+			"hoiho/internal/extract",
+		},
 	}
 }
 
 func (c Config) det(path string) bool     { return containsStr(c.DetPkgs, path) }
 func (c Config) panicky(path string) bool { return containsStr(c.PanicPkgs, path) }
 func (c Config) ctx(path string) bool     { return containsStr(c.CtxPkgs, path) }
+func (c Config) lock(path string) bool    { return containsStr(c.LockPkgs, path) }
+func (c Config) errw(path string) bool    { return containsStr(c.ErrPkgs, path) }
+func (c Config) goro(path string) bool    { return containsStr(c.GoroPkgs, path) }
 
 func containsStr(xs []string, s string) bool {
 	for _, x := range xs {
@@ -155,6 +214,8 @@ func (p *Program) Run(analyzers []*Analyzer) []Diagnostic {
 		verbs[a.Verb] = true
 	}
 	ann := collectAnnotations(p, verbs)
+	p.ann = ann
+	defer func() { p.ann = nil }()
 	out := append([]Diagnostic{}, ann.diags...)
 	for _, a := range analyzers {
 		for _, d := range a.Run(p) {
@@ -164,6 +225,9 @@ func (p *Program) Run(analyzers []*Analyzer) []Diagnostic {
 			out = append(out, d)
 		}
 	}
+	// An annotation no diagnostic or budget lookup touched is stale:
+	// the code it excused has been fixed or moved, so the waiver must go.
+	out = append(out, ann.stale()...)
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
 		if a.Pos.Filename != b.Pos.Filename {

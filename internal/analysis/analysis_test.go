@@ -12,14 +12,21 @@ import (
 // testdata/src the way Default scopes them to hoiho's packages.
 func fixtureConfig() Config {
 	return Config{
-		DetPkgs:   []string{"fix/detmapfix", "fix/rngseedfix"},
-		PanicPkgs: []string{"fix/panicfix"},
-		HotRoots:  []string{"fix/recompilefix.ServeItem"},
-		CtxPkgs:   []string{"fix/ctxflowfix"},
+		DetPkgs:        []string{"fix/detmapfix", "fix/rngseedfix", "fix/annotfix"},
+		PanicPkgs:      []string{"fix/panicfix"},
+		HotRoots:       []string{"fix/recompilefix.ServeItem", "fix/recompilefix.ServeItem2"},
+		CtxPkgs:        []string{"fix/ctxflowfix"},
+		ZeroAllocRoots: []string{"fix/hotallocfix.ServeHot"},
+		LockPkgs:       []string{"fix/lockorderfix"},
+		ErrPkgs:        []string{"fix/errwrapfix"},
+		GoroPkgs:       []string{"fix/gorofix"},
 	}
 }
 
-var fixturePkgs = []string{"detmapfix", "rngseedfix", "recompilefix", "wgfix", "panicfix", "ctxflowfix"}
+var fixturePkgs = []string{
+	"detmapfix", "rngseedfix", "recompilefix", "wgfix", "panicfix", "ctxflowfix",
+	"hotallocfix", "lockorderfix", "errwrapfix", "gorofix", "annotfix",
+}
 
 // want is one "// want `re`" expectation parsed from a fixture.
 type want struct {

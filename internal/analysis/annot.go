@@ -2,52 +2,73 @@ package analysis
 
 import (
 	"go/token"
+	"sort"
 	"strings"
+	"unicode"
 )
 
 // Annotation grammar
 //
 //	//hoiho:<verb> <reason>
 //
-// where <verb> names the analyzer being overruled (nondet-ok, rng-ok,
-// recompile-ok, wg-ok, panic-ok, ctxflow) and <reason> is mandatory free text
-// explaining why the flagged construct is intentionally safe. The
-// annotation suppresses matching diagnostics on its own line (trailing
-// comment) or on the line directly below (comment above the
-// statement). An unknown verb or a missing reason is itself reported —
-// a silent typo must not silently disable a check.
+// where <verb> names the analyzer being overruled (see Analyzers for
+// the live set; the error message lists it) and <reason> is mandatory
+// free text explaining why the flagged construct is intentionally
+// safe. The annotation suppresses matching diagnostics on its own line
+// (trailing comment) or on the line directly below (comment above the
+// statement). Several annotations may be stacked in one comment group
+// above a declaration — every verb in the group applies to the
+// declaration line, not just the last comment's.
+//
+// Two verbs are budget annotations rather than plain suppressions:
+// //hoiho:hotalloc on a function declaration's doc comment marks the
+// whole function as a budgeted cold region (hotalloc stops traversal
+// there), while on a single statement it budgets that one allocation
+// site.
+//
+// An unknown verb, a missing reason, or whitespace where the verb
+// should be is itself reported — a silent typo must not silently
+// disable a check. So is a stale annotation: a suppression that no
+// longer matches any diagnostic is reported at the end of the run, so
+// fixed code sheds its waivers instead of accumulating them.
 
 type annotation struct {
 	verb   string
 	reason string
+	pos    token.Position // the comment's own position, for stale reporting
+	used   bool
 }
 
 type annotations struct {
 	// byLine maps filename -> line -> annotations attached to that line.
-	byLine map[string]map[int][]annotation
+	// One annotation may be registered on several lines (stacking); the
+	// records are shared so a hit anywhere marks the annotation used.
+	byLine map[string]map[int][]*annotation
+	all    []*annotation
 	diags  []Diagnostic
 }
 
 // collectAnnotations scans every file's comments for //hoiho: markers.
 // verbs is the set of annotation verbs known to the active analyzers.
 func collectAnnotations(p *Program, verbs map[string]bool) *annotations {
-	ann := &annotations{byLine: make(map[string]map[int][]annotation)}
+	known := knownVerbList(verbs)
+	ann := &annotations{byLine: make(map[string]map[int][]*annotation)}
 	for _, pkg := range p.Packages {
 		for _, f := range pkg.Files {
 			for _, cg := range f.Comments {
+				groupEnd := p.Fset.Position(cg.End()).Line
 				for _, c := range cg.List {
 					rest, ok := strings.CutPrefix(c.Text, "//hoiho:")
 					if !ok {
 						continue
 					}
 					pos := p.Fset.Position(c.Pos())
-					verb, reason, _ := strings.Cut(rest, " ")
-					reason = strings.TrimSpace(reason)
+					verb, reason := splitVerb(rest)
 					if !verbs[verb] {
 						ann.diags = append(ann.diags, Diagnostic{
 							Pos:     pos,
 							Check:   "annotation",
-							Message: "unknown annotation verb " + quote(verb) + " (known: nondet-ok, rng-ok, recompile-ok, wg-ok, panic-ok, ctxflow)",
+							Message: "unknown annotation verb " + quote(verb) + " (known: " + known + ")",
 						})
 						continue
 					}
@@ -59,12 +80,16 @@ func collectAnnotations(p *Program, verbs map[string]bool) *annotations {
 						})
 						continue
 					}
-					m := ann.byLine[pos.Filename]
-					if m == nil {
-						m = make(map[int][]annotation)
-						ann.byLine[pos.Filename] = m
+					a := &annotation{verb: verb, reason: reason, pos: pos}
+					ann.all = append(ann.all, a)
+					ann.register(pos.Filename, pos.Line, a)
+					// Stacked annotations: a non-last comment in the group
+					// also applies where the group as a whole applies — the
+					// group's final line, which the line-above rule extends
+					// to the annotated declaration.
+					if pos.Line != groupEnd {
+						ann.register(pos.Filename, groupEnd, a)
 					}
-					m[pos.Line] = append(m[pos.Line], annotation{verb: verb, reason: reason})
 				}
 			}
 		}
@@ -72,21 +97,94 @@ func collectAnnotations(p *Program, verbs map[string]bool) *annotations {
 	return ann
 }
 
+func (a *annotations) register(file string, line int, an *annotation) {
+	m := a.byLine[file]
+	if m == nil {
+		m = make(map[int][]*annotation)
+		a.byLine[file] = m
+	}
+	m[line] = append(m[line], an)
+}
+
+// splitVerb separates the verb from the reason, robust to tabs and
+// repeated spaces. A marker like "//hoiho: verb reason" (whitespace
+// before the verb) yields an empty verb, which the caller reports as
+// unknown rather than silently reinterpreting.
+func splitVerb(rest string) (verb, reason string) {
+	i := strings.IndexFunc(rest, unicode.IsSpace)
+	if i < 0 {
+		return rest, ""
+	}
+	return rest[:i], strings.TrimSpace(rest[i:])
+}
+
+func knownVerbList(verbs map[string]bool) string {
+	names := make([]string, 0, len(verbs))
+	for v := range verbs {
+		names = append(names, v)
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
+}
+
 // suppressed reports whether a diagnostic with the given verb at pos is
-// overruled by an annotation on the same line or the line above.
+// overruled by an annotation on the same line or the line above, and
+// marks the matching annotation used.
 func (a *annotations) suppressed(verb string, pos token.Position) bool {
 	m := a.byLine[pos.Filename]
 	if m == nil {
 		return false
 	}
+	hit := false
 	for _, line := range [2]int{pos.Line, pos.Line - 1} {
 		for _, an := range m[line] {
 			if an.verb == verb {
-				return true
+				an.used = true
+				hit = true
 			}
 		}
 	}
-	return false
+	return hit
+}
+
+// take looks up an annotation with the given verb attached to pos (same
+// line or line above), marks it used, and returns its reason. Analyzers
+// use it for budget annotations that gate behavior rather than suppress
+// an emitted diagnostic — e.g. hotalloc's function-level cold-region
+// marker, which would otherwise read as stale.
+func (a *annotations) take(verb string, pos token.Position) (reason string, ok bool) {
+	m := a.byLine[pos.Filename]
+	if m == nil {
+		return "", false
+	}
+	for _, line := range [2]int{pos.Line, pos.Line - 1} {
+		for _, an := range m[line] {
+			if an.verb == verb {
+				an.used = true
+				if !ok {
+					reason, ok = an.reason, true
+				}
+			}
+		}
+	}
+	return reason, ok
+}
+
+// stale returns a diagnostic for every annotation never matched by any
+// diagnostic or budget lookup this run.
+func (a *annotations) stale() []Diagnostic {
+	var out []Diagnostic
+	for _, an := range a.all {
+		if an.used {
+			continue
+		}
+		out = append(out, Diagnostic{
+			Pos:     an.pos,
+			Check:   "annotation",
+			Message: "stale //hoiho:" + an.verb + " suppression: no diagnostic matches it; remove the annotation",
+		})
+	}
+	return out
 }
 
 func quote(s string) string {

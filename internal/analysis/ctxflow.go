@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 )
 
@@ -25,6 +26,7 @@ var ctxflow = &Analyzer{
 }
 
 func runCtxFlow(p *Program) []Diagnostic {
+	g := p.CallGraph()
 	var out []Diagnostic
 	for _, pkg := range p.Packages {
 		if !p.Config.ctx(pkg.Path) {
@@ -36,7 +38,7 @@ func runCtxFlow(p *Program) []Diagnostic {
 				if !ok || fd.Body == nil || !exportedEntry(fd) {
 					continue
 				}
-				out = append(out, checkCtxFlow(p, pkg, fd)...)
+				out = append(out, checkCtxFlow(p, g, pkg, fd)...)
 			}
 		}
 	}
@@ -67,9 +69,9 @@ func exportedEntry(fd *ast.FuncDecl) bool {
 	}
 }
 
-func checkCtxFlow(p *Program, pkg *Package, fd *ast.FuncDecl) []Diagnostic {
+func checkCtxFlow(p *Program, g *Graph, pkg *Package, fd *ast.FuncDecl) []Diagnostic {
 	ctxParams := contextParams(pkg, fd)
-	spawns, loops := fanOut(pkg, fd)
+	spawns, loops := fanOut(g, pkg, fd)
 
 	var out []Diagnostic
 	if len(ctxParams) == 0 && (spawns || loops) {
@@ -155,8 +157,36 @@ func usesObject(pkg *Package, body *ast.BlockStmt, obj types.Object) bool {
 // fanOut reports whether the function body spawns goroutines (spawns)
 // or ranges over a slice/array/map/channel with a same-package call in
 // the loop body (loops) — the two shapes of per-item work that must be
-// interruptible.
-func fanOut(pkg *Package, fd *ast.FuncDecl) (spawns, loops bool) {
+// interruptible. Per-item calls are taken from the typed call graph, so
+// a method value or interface dispatch invoked inside the loop counts
+// the same as a direct call — the shape the old ident-based scan
+// missed.
+func fanOut(g *Graph, pkg *Package, fd *ast.FuncDecl) (spawns, loops bool) {
+	// Every graph edge originating anywhere inside this declaration
+	// (its own body or a nested literal), by position.
+	var edges []Edge
+	for _, n := range g.Nodes {
+		if n.Pkg != pkg {
+			continue
+		}
+		within := (n.Decl == fd) ||
+			(n.Lit != nil && n.Lit.Pos() >= fd.Pos() && n.Lit.End() <= fd.End())
+		if !within {
+			continue
+		}
+		edges = append(edges, n.Edges...)
+	}
+	samePkgCallIn := func(lo, hi token.Pos) bool {
+		for _, e := range edges {
+			if e.Kind == EdgeClosure || e.Pos < lo || e.Pos > hi {
+				continue
+			}
+			if e.To.Fn != nil && e.To.Fn.Pkg() == pkg.Types {
+				return true
+			}
+		}
+		return false
+	}
 	ast.Inspect(fd.Body, func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.GoStmt:
@@ -165,18 +195,9 @@ func fanOut(pkg *Package, fd *ast.FuncDecl) (spawns, loops bool) {
 			if !collectionType(pkg.Info.TypeOf(n.X)) {
 				return true
 			}
-			ast.Inspect(n.Body, func(b ast.Node) bool {
-				call, ok := b.(*ast.CallExpr)
-				if !ok {
-					return true
-				}
-				if obj := calleeObj(pkg.Info, call); obj != nil && obj.Pkg() == pkg.Types {
-					if _, isFunc := obj.(*types.Func); isFunc {
-						loops = true
-					}
-				}
-				return !loops
-			})
+			if samePkgCallIn(n.Body.Pos(), n.Body.End()) {
+				loops = true
+			}
 		}
 		return !(spawns && loops)
 	})

@@ -1,0 +1,152 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// errwrap enforces the error taxonomy of the serving and codec layers
+// (Config.ErrPkgs). Two rules over every fmt.Errorf call:
+//
+//   - Wrapping: an error-typed operand must be formatted with %w, never
+//     %v or %s. The serve layer's taxonomy (sentinels + ReloadError
+//     with Unwrap) only composes if every intermediate wrap preserves
+//     the chain for errors.Is/As.
+//
+//   - Qualification: the format must identify its origin — it starts
+//     with the package's name ("serve: ...", "corpusbin: ...") or with
+//     a formatting verb supplying a dynamic qualifier
+//     ("%s: %w" with a path argument). An unqualified message like
+//     "nc 3: invalid regex" is unattributable once it crosses the
+//     daemon boundary.
+//
+// Dynamic format strings (built at runtime) are skipped: there is
+// nothing to check statically.
+var errwrap = &Analyzer{
+	Name: "errwrap",
+	Doc:  "errors are path-qualified and %w-wrapped in the serving/codec packages",
+	Verb: "errwrap-ok",
+	Run:  runErrWrap,
+}
+
+func runErrWrap(p *Program) []Diagnostic {
+	var out []Diagnostic
+	for _, pkg := range p.Packages {
+		if !p.Config.errw(pkg.Path) {
+			continue
+		}
+		errType := types.Universe.Lookup("error").Type()
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || !isPkgFunc(pkg.Info, call, "fmt", "Errorf") || len(call.Args) == 0 {
+					return true
+				}
+				format, ok := stringLiteral(pkg, call.Args[0])
+				if !ok {
+					return true
+				}
+				verbs, parsed := parseVerbs(format)
+				if !parsed {
+					return true // indexed or otherwise exotic format; out of scope
+				}
+				// Rule 1: error operands use %w.
+				for i, arg := range call.Args[1:] {
+					if i >= len(verbs) {
+						break
+					}
+					t := pkg.Info.TypeOf(arg)
+					if t == nil || !types.Implements(t, errType.Underlying().(*types.Interface)) {
+						continue
+					}
+					if verbs[i] != 'w' {
+						out = append(out, Diagnostic{
+							Pos:     p.Fset.Position(arg.Pos()),
+							Check:   "errwrap",
+							Message: "error operand formatted with %" + string(verbs[i]) + " breaks the errors.Is/As chain; wrap it with %w",
+							Suggest: "//hoiho:errwrap-ok <why this error must not be wrapped>",
+						})
+					}
+				}
+				// Rule 2: the message is qualified.
+				if !qualified(format, pkg.Types.Name()) {
+					out = append(out, Diagnostic{
+						Pos:     p.Fset.Position(call.Args[0].Pos()),
+						Check:   "errwrap",
+						Message: "fmt.Errorf message " + strconv.Quote(trimFormat(format)) + " is not qualified; start it with " + strconv.Quote(pkg.Types.Name()+": ") + " (or a dynamic %s qualifier) so the error names its origin",
+						Suggest: "//hoiho:errwrap-ok <why this message is intentionally unqualified>",
+					})
+				}
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// stringLiteral resolves a compile-time constant string: a literal, a
+// named constant, or a concatenation of them.
+func stringLiteral(pkg *Package, e ast.Expr) (string, bool) {
+	tv, ok := pkg.Info.Types[e]
+	if !ok || tv.Value == nil {
+		return "", false
+	}
+	s, err := strconv.Unquote(tv.Value.ExactString())
+	if err != nil {
+		return "", false
+	}
+	return s, true
+}
+
+// parseVerbs extracts the verb letters of a format string in argument
+// order. ok is false for formats it cannot map one-to-one onto the
+// argument list (explicit argument indexes, '*' widths).
+func parseVerbs(format string) (verbs []byte, ok bool) {
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+		// flags, width, precision
+		for i < len(format) && strings.IndexByte("+-# 0123456789.", format[i]) >= 0 {
+			i++
+		}
+		if i >= len(format) {
+			return nil, false
+		}
+		switch format[i] {
+		case '%':
+			continue
+		case '[', '*':
+			return nil, false
+		default:
+			verbs = append(verbs, format[i])
+		}
+	}
+	return verbs, true
+}
+
+// qualified reports whether the format identifies its origin: it begins
+// with "<pkgname>: " (possibly after deeper qualifiers, e.g.
+// "corpusbin: decode: ..."), or with a formatting verb whose argument
+// supplies the qualifier dynamically ("%s: ...").
+func qualified(format, pkgName string) bool {
+	if strings.HasPrefix(format, pkgName+": ") {
+		return true
+	}
+	head, _, found := strings.Cut(format, ": ")
+	if !found {
+		return false
+	}
+	return strings.HasPrefix(head, "%")
+}
+
+// trimFormat shortens a long format string for the diagnostic.
+func trimFormat(format string) string {
+	if len(format) > 40 {
+		return format[:37] + "..."
+	}
+	return format
+}

@@ -1,0 +1,205 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// gororeturn checks the statically visible shape of the PR 4/5 leak
+// bugs: a goroutine performing a blocking channel send with no way out
+// when the consumer has already left. In Config.GoroPkgs, every send
+// inside a goroutine body on a channel the goroutine does not own
+// (i.e. did not make itself) must sit in a select that also has a
+// cancellation arm — a receive from a context's Done channel (or a
+// done/stop/quit channel) or a default clause. Without that arm, a
+// consumer that returns early on ctx cancellation strands the sender
+// forever: the goroutine, its stack, and everything it captured leak.
+//
+// Goroutine bodies are resolved through the typed call graph, so both
+// `go func(){...}()` and `go s.worker(jobs)` are checked; a named
+// worker launched from several sites is checked once.
+var gororeturn = &Analyzer{
+	Name: "gororeturn",
+	Doc:  "channel sends inside goroutines carry a ctx-cancel select arm",
+	Verb: "goro-ok",
+	Run:  runGoroReturn,
+}
+
+func runGoroReturn(p *Program) []Diagnostic {
+	g := p.CallGraph()
+	var out []Diagnostic
+	checked := make(map[*Node]bool)
+	for _, pkg := range p.Packages {
+		if !p.Config.goro(pkg.Path) {
+			continue
+		}
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				gs, ok := n.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				var node *Node
+				if lit, ok := ast.Unparen(gs.Call.Fun).(*ast.FuncLit); ok {
+					node = g.NodeOfLit(lit)
+				} else if fn, ok := calleeObj(pkg.Info, gs.Call).(*types.Func); ok {
+					node = g.NodeOf(fn)
+				}
+				if node == nil || node.Body() == nil || checked[node] {
+					return true
+				}
+				checked[node] = true
+				out = append(out, checkGoroSends(p, node)...)
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// checkGoroSends flags unguarded sends in one goroutine body.
+func checkGoroSends(p *Program, n *Node) []Diagnostic {
+	body := n.Body()
+	pkg := n.Pkg
+	var out []Diagnostic
+
+	// Channels the goroutine owns: made inside this body. A send on a
+	// channel nobody else holds yet cannot block on a departed consumer.
+	owned := make(map[types.Object]bool)
+	ast.Inspect(body, func(x ast.Node) bool {
+		as, ok := x.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+			if !ok || !isBuiltin(pkg.Info, call, "make") || i >= len(as.Lhs) {
+				continue
+			}
+			if id, ok := as.Lhs[i].(*ast.Ident); ok {
+				if obj := objOf(pkg.Info, id); obj != nil {
+					owned[obj] = true
+				}
+			}
+		}
+		return true
+	})
+
+	// selectGuard maps each send statement that is a select case to
+	// whether its select carries a cancellation arm.
+	type sendCtx struct {
+		send    *ast.SendStmt
+		guarded bool
+	}
+	var sends []sendCtx
+	var visit func(x ast.Node)
+	visit = func(x ast.Node) {
+		if x == nil {
+			return
+		}
+		switch x := x.(type) {
+		case *ast.FuncLit:
+			if n.Lit == nil || x != n.Lit {
+				return // nested goroutines/closures get their own go-site checks
+			}
+		case *ast.SelectStmt:
+			guarded := selectHasCancelArm(pkg, x)
+			for _, clause := range x.Body.List {
+				comm, ok := clause.(*ast.CommClause)
+				if !ok {
+					continue
+				}
+				if send, ok := comm.Comm.(*ast.SendStmt); ok {
+					sends = append(sends, sendCtx{send: send, guarded: guarded})
+				}
+				for _, s := range comm.Body {
+					visit(s)
+				}
+			}
+			return
+		case *ast.SendStmt:
+			sends = append(sends, sendCtx{send: x, guarded: false})
+			return
+		}
+		var children []ast.Node
+		ast.Inspect(x, func(c ast.Node) bool {
+			if c == nil || c == x {
+				return c == x
+			}
+			children = append(children, c)
+			return false
+		})
+		for _, c := range children {
+			visit(c)
+		}
+	}
+	visit(body)
+
+	for _, sc := range sends {
+		if sc.guarded {
+			continue
+		}
+		if id := rootIdent(sc.send.Chan); id != nil {
+			if obj := objOf(pkg.Info, id); obj != nil && owned[obj] {
+				continue
+			}
+		}
+		out = append(out, Diagnostic{
+			Pos:     p.Fset.Position(sc.send.Pos()),
+			Check:   "gororeturn",
+			Message: "send on " + quote(exprString(sc.send.Chan)) + " inside a goroutine has no cancellation arm; if the consumer returns early this goroutine leaks — select on it alongside ctx.Done()",
+			Suggest: "//hoiho:goro-ok <why the consumer provably outlives this send>",
+		})
+	}
+	return out
+}
+
+// selectHasCancelArm reports whether the select can abandon its send: a
+// default clause, a receive from a context Done() channel, or a receive
+// from a channel whose name says it signals shutdown.
+func selectHasCancelArm(pkg *Package, sel *ast.SelectStmt) bool {
+	for _, clause := range sel.Body.List {
+		comm, ok := clause.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		if comm.Comm == nil {
+			return true // default
+		}
+		var recv ast.Expr
+		switch c := comm.Comm.(type) {
+		case *ast.ExprStmt:
+			recv = c.X
+		case *ast.AssignStmt:
+			if len(c.Rhs) == 1 {
+				recv = c.Rhs[0]
+			}
+		}
+		u, ok := ast.Unparen(recv).(*ast.UnaryExpr)
+		if !ok || u.Op != token.ARROW {
+			continue
+		}
+		ch := ast.Unparen(u.X)
+		if call, ok := ch.(*ast.CallExpr); ok {
+			if obj := calleeObj(pkg.Info, call); obj != nil && obj.Name() == "Done" {
+				if obj.Pkg() != nil && obj.Pkg().Path() == "context" {
+					return true
+				}
+				// A Done() method on a module type mirroring the context
+				// contract counts too.
+				if sig, ok := obj.Type().(*types.Signature); ok && sig.Recv() != nil {
+					return true
+				}
+			}
+		}
+		if id := rootIdent(ch); id != nil {
+			name := strings.ToLower(id.Name)
+			if strings.Contains(name, "done") || strings.Contains(name, "stop") || strings.Contains(name, "quit") || strings.Contains(name, "cancel") {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -11,6 +11,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Package is one loaded, type-checked module package.
@@ -27,6 +28,15 @@ type Program struct {
 	Fset     *token.FileSet
 	Packages []*Package // sorted by import path
 	Config   Config
+
+	// graph is the typed call graph, built lazily by CallGraph.
+	graphOnce sync.Once
+	graph     *Graph
+
+	// ann is the annotation index for the in-flight Run, so analyzers
+	// that honor function-level budget annotations (hotalloc) can mark
+	// them used; nil outside Run.
+	ann *annotations
 }
 
 // loader type-checks module packages from source, resolving module-local

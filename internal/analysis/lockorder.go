@@ -1,0 +1,151 @@
+package analysis
+
+import (
+	"sort"
+)
+
+// lockorder guards the serve-layer concurrency discipline two ways:
+//
+//   - Acquisition order: when one function acquires mutex B while
+//     holding mutex A, and another acquires A while holding B, the two
+//     can deadlock under contention. The analyzer summarizes every
+//     function's lock operations (lockSummary), derives held-while-
+//     acquiring pairs, and reports every inversion. Mutexes are
+//     identified structurally (Type.field / pkg.var), so the reload
+//     path taking reloadMu then drainMu in one method and the reverse
+//     in another is caught across function boundaries.
+//
+//   - Atomic mixing: a field updated through sync/atomic in one place
+//     and read or written plainly in another has no happens-before
+//     relationship at the plain access; under -race this is a report,
+//     in production it is a torn or stale read. (Typed atomics —
+//     atomic.Int64 and friends — are immune by construction and need
+//     nothing from this check.)
+//
+// Both rules run only over Config.LockPkgs.
+var lockorder = &Analyzer{
+	Name: "lockorder",
+	Doc:  "consistent mutex acquisition order; no mixed atomic/plain field access",
+	Verb: "lockorder-ok",
+	Run:  runLockOrder,
+}
+
+type lockPair struct {
+	first, second string
+}
+
+func runLockOrder(p *Program) []Diagnostic {
+	g := p.CallGraph()
+	var out []Diagnostic
+
+	// --- acquisition order ---------------------------------------------
+	// pairs maps (held, acquired) to the acquisition that first
+	// established the order.
+	pairs := make(map[lockPair]Diagnostic)
+	for _, n := range g.Nodes {
+		if n.Pkg == nil || !p.Config.lock(n.Pkg.Path) {
+			continue
+		}
+		ops := lockSummary(n.Pkg, n)
+		var held []string
+		for _, op := range ops {
+			if op.Unlock {
+				if op.Defer {
+					continue // releases at return; stays held for ordering
+				}
+				for i := len(held) - 1; i >= 0; i-- {
+					if held[i] == op.Key {
+						held = append(held[:i], held[i+1:]...)
+						break
+					}
+				}
+				continue
+			}
+			for _, h := range held {
+				if h == op.Key {
+					continue
+				}
+				pr := lockPair{first: h, second: op.Key}
+				if _, ok := pairs[pr]; !ok {
+					pairs[pr] = Diagnostic{
+						Pos:     p.Fset.Position(op.Pos),
+						Check:   "lockorder",
+						Message: "acquires " + quote(op.Key) + " while holding " + quote(h),
+					}
+				}
+			}
+			held = append(held, op.Key)
+		}
+	}
+	var keys []lockPair
+	for pr := range pairs {
+		keys = append(keys, pr)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].first != keys[j].first {
+			return keys[i].first < keys[j].first
+		}
+		return keys[i].second < keys[j].second
+	})
+	reported := make(map[lockPair]bool)
+	for _, pr := range keys {
+		inv := lockPair{first: pr.second, second: pr.first}
+		other, ok := pairs[inv]
+		if !ok || reported[pr] || reported[inv] {
+			continue
+		}
+		reported[pr], reported[inv] = true, true
+		d := pairs[pr]
+		d.Message = "lock order inversion: " + d.Message + ", but " + other.Pos.String() + " acquires " + quote(inv.second) + " while holding " + quote(inv.first) + "; pick one order"
+		d.Suggest = "//hoiho:lockorder-ok <why these two orders cannot deadlock>"
+		out = append(out, d)
+		o := other
+		o.Message = "lock order inversion: " + o.Message + ", but " + pairs[pr].Pos.String() + " acquires " + quote(pr.second) + " while holding " + quote(pr.first) + "; pick one order"
+		o.Suggest = "//hoiho:lockorder-ok <why these two orders cannot deadlock>"
+		out = append(out, o)
+	}
+
+	// --- atomic / plain mixing -----------------------------------------
+	atomicAt := make(map[string]Diagnostic) // field key -> first atomic access
+	var plain []struct {
+		key string
+		d   Diagnostic
+	}
+	for _, n := range g.Nodes {
+		if n.Pkg == nil || !p.Config.lock(n.Pkg.Path) {
+			continue
+		}
+		for _, acc := range atomicSummary(n.Pkg, n) {
+			pos := p.Fset.Position(acc.Pos)
+			if acc.Atomic {
+				if _, ok := atomicAt[acc.Key]; !ok {
+					atomicAt[acc.Key] = Diagnostic{Pos: pos}
+				}
+			} else {
+				what := "read"
+				if acc.Write {
+					what = "write"
+				}
+				plain = append(plain, struct {
+					key string
+					d   Diagnostic
+				}{acc.Key, Diagnostic{
+					Pos:     pos,
+					Check:   "lockorder",
+					Message: "plain " + what + " of " + quote(acc.Key) + " which is accessed via sync/atomic",
+				}})
+			}
+		}
+	}
+	for _, pl := range plain {
+		at, ok := atomicAt[pl.key]
+		if !ok {
+			continue
+		}
+		d := pl.d
+		d.Message += " at " + at.Pos.String() + "; use the atomic API everywhere or switch the field to a typed atomic"
+		d.Suggest = "//hoiho:lockorder-ok <why this plain access cannot race the atomic ones>"
+		out = append(out, d)
+	}
+	return out
+}

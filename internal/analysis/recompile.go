@@ -2,7 +2,6 @@ package analysis
 
 import (
 	"go/ast"
-	"go/types"
 )
 
 // recompile flags regexp.Compile/MustCompile (and the POSIX variants)
@@ -15,6 +14,11 @@ import (
 // caches its compiled form — so a fresh Compile per item is always a
 // bug or a missed migration onto those paths. The one legitimate
 // compile inside each cache is annotated //hoiho:recompile-ok.
+//
+// Reachability runs on the typed call graph (callgraph.go), so a
+// compile hidden behind a method value, a stored function field, or an
+// interface dispatch is attributed to the hot root that reaches it —
+// the false-negative class of the old ident-based graph.
 var recompile = &Analyzer{
 	Name: "recompile",
 	Doc:  "regexes compile once: no regexp.Compile in loops or on hot paths",
@@ -25,47 +29,83 @@ var recompile = &Analyzer{
 var compileFuncs = []string{"Compile", "MustCompile", "CompilePOSIX", "MustCompilePOSIX"}
 
 func runRecompile(p *Program) []Diagnostic {
-	reach := hotReachable(p)
+	g := p.CallGraph()
+	reach := g.Reachable(p.Config.HotRoots, nil)
 	var out []Diagnostic
+
+	// In-loop compiles: walked over whole declarations (nested literals
+	// included — a closure built inside a loop typically runs per
+	// iteration), independent of reachability. Calls flagged here are
+	// not re-flagged by the hot-path rule.
+	inLoop := make(map[*ast.CallExpr]bool)
 	for _, pkg := range p.Packages {
 		for _, f := range pkg.Files {
-			var decls []*ast.FuncDecl
 			for _, d := range f.Decls {
-				if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
-					decls = append(decls, fd)
-				}
-			}
-			for _, fd := range decls {
-				fn, _ := pkg.Info.Defs[fd.Name].(*types.Func)
-				root := ""
-				if fn != nil {
-					root = reach[fn]
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
 				}
 				walkLoopDepth(fd.Body, 0, func(n ast.Node, loopDepth int) {
 					call, ok := n.(*ast.CallExpr)
-					if !ok || !isPkgFunc(pkg.Info, call, "regexp", compileFuncs...) {
+					if !ok || loopDepth == 0 || !isPkgFunc(pkg.Info, call, "regexp", compileFuncs...) {
 						return
 					}
+					inLoop[call] = true
 					obj := calleeObj(pkg.Info, call)
-					switch {
-					case loopDepth > 0:
-						out = append(out, Diagnostic{
-							Pos:     p.Fset.Position(call.Pos()),
-							Check:   "recompile",
-							Message: "regexp." + obj.Name() + " inside a loop recompiles per iteration; hoist it, or use the cached rex.(*Regex).Compile / extract.Corpus machines (the compiled internal/match engine)",
-							Suggest: "//hoiho:recompile-ok <why this compile cannot be hoisted>",
-						})
-					case root != "":
-						out = append(out, Diagnostic{
-							Pos:     p.Fset.Position(call.Pos()),
-							Check:   "recompile",
-							Message: "regexp." + obj.Name() + " on the per-item hot path (reachable from " + root + "); use the compile-once paths — hot-path matching belongs to the compiled internal/match engine",
-							Suggest: "//hoiho:recompile-ok <why this hot-path compile runs once>",
-						})
-					}
+					out = append(out, Diagnostic{
+						Pos:     p.Fset.Position(call.Pos()),
+						Check:   "recompile",
+						Message: "regexp." + obj.Name() + " inside a loop recompiles per iteration; hoist it, or use the cached rex.(*Regex).Compile / extract.Corpus machines (the compiled internal/match engine)",
+						Suggest: "//hoiho:recompile-ok <why this compile cannot be hoisted>",
+					})
 				})
 			}
 		}
+	}
+
+	// Hot-path compiles: every graph node reachable from a hot root is
+	// scanned over its own body (nested literals are their own nodes and
+	// are reached through closure edges, so they carry their root too).
+	for _, n := range g.Nodes {
+		root, hot := reach[n]
+		if !hot {
+			continue
+		}
+		body := n.Body()
+		if body == nil {
+			continue
+		}
+		pkg := n.Pkg
+		var visit func(x ast.Node)
+		visit = func(x ast.Node) {
+			if x == nil {
+				return
+			}
+			if lit, ok := x.(*ast.FuncLit); ok && lit != n.Lit {
+				return // separate node with its own reachability
+			}
+			if call, ok := x.(*ast.CallExpr); ok && !inLoop[call] && isPkgFunc(pkg.Info, call, "regexp", compileFuncs...) {
+				obj := calleeObj(pkg.Info, call)
+				out = append(out, Diagnostic{
+					Pos:     p.Fset.Position(call.Pos()),
+					Check:   "recompile",
+					Message: "regexp." + obj.Name() + " on the per-item hot path (reachable from " + root + "); use the compile-once paths — hot-path matching belongs to the compiled internal/match engine",
+					Suggest: "//hoiho:recompile-ok <why this hot-path compile runs once>",
+				})
+			}
+			var children []ast.Node
+			ast.Inspect(x, func(c ast.Node) bool {
+				if c == nil || c == x {
+					return c == x
+				}
+				children = append(children, c)
+				return false
+			})
+			for _, c := range children {
+				visit(c)
+			}
+		}
+		visit(body)
 	}
 	return out
 }
@@ -95,58 +135,4 @@ func walkLoopDepth(n ast.Node, depth int, visit func(ast.Node, int)) {
 	for _, c := range children {
 		walkLoopDepth(c, enter, visit)
 	}
-}
-
-// hotReachable computes the functions reachable from Config.HotRoots
-// through static calls, mapping each to the root's name for reporting.
-// Dynamic calls (function values, unresolved interface methods) are not
-// followed; the graph is best-effort by design.
-func hotReachable(p *Program) map[*types.Func]string {
-	callees := make(map[*types.Func][]*types.Func)
-	byName := make(map[string]*types.Func)
-	for _, pkg := range p.Packages {
-		for _, f := range pkg.Files {
-			for _, d := range f.Decls {
-				fd, ok := d.(*ast.FuncDecl)
-				if !ok || fd.Body == nil {
-					continue
-				}
-				fn, _ := pkg.Info.Defs[fd.Name].(*types.Func)
-				if fn == nil {
-					continue
-				}
-				byName[fn.FullName()] = fn
-				ast.Inspect(fd.Body, func(n ast.Node) bool {
-					call, ok := n.(*ast.CallExpr)
-					if !ok {
-						return true
-					}
-					if callee, ok := calleeObj(pkg.Info, call).(*types.Func); ok {
-						callees[fn] = append(callees[fn], callee)
-					}
-					return true
-				})
-			}
-		}
-	}
-	reach := make(map[*types.Func]string)
-	var queue []*types.Func
-	for _, rootName := range p.Config.HotRoots {
-		if fn, ok := byName[rootName]; ok {
-			reach[fn] = rootName
-			queue = append(queue, fn)
-		}
-	}
-	for len(queue) > 0 {
-		fn := queue[0]
-		queue = queue[1:]
-		for _, callee := range callees[fn] {
-			if _, seen := reach[callee]; seen {
-				continue
-			}
-			reach[callee] = reach[fn]
-			queue = append(queue, callee)
-		}
-	}
-	return reach
 }

@@ -1,0 +1,16 @@
+// Method-value fan-out: the per-item call happens through a local
+// binding of a method value, which only the typed call graph sees.
+package ctxflowfix
+
+type runner struct{}
+
+func (runner) step(item string) {}
+
+// LoopMethodValue fans out per-item work through a method value.
+func LoopMethodValue(items []string) { // want `"LoopMethodValue" loops over items calling back into the package but has no context.Context parameter`
+	r := runner{}
+	f := r.step
+	for _, it := range items {
+		f(it)
+	}
+}

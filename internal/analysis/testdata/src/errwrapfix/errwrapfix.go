@@ -1,0 +1,46 @@
+// Package errwrapfix exercises errwrap: %w discipline for error
+// operands and package-qualified fmt.Errorf messages.
+package errwrapfix
+
+import "fmt"
+
+// qualifiedWrap is the blessed shape: package-prefixed message, %w
+// operand.
+func qualifiedWrap(err error) error {
+	return fmt.Errorf("errwrapfix: decode: %w", err)
+}
+
+// dynamicQualifier supplies the qualifier through a leading verb (a
+// path, a corpus name): equally attributable.
+func dynamicQualifier(path string, err error) error {
+	return fmt.Errorf("%s: %w", path, err)
+}
+
+// dynamicFormat builds the format at runtime; nothing to check
+// statically, so it is skipped.
+func dynamicFormat(f string, err error) error {
+	return fmt.Errorf(f, err)
+}
+
+func unqualified(err error) error {
+	return fmt.Errorf("step 3: %w", err) // want `fmt.Errorf message "step 3: %w" is not qualified`
+}
+
+func missingColon(err error) error {
+	return fmt.Errorf("errwrapfix %w", err) // want `fmt.Errorf message "errwrapfix %w" is not qualified`
+}
+
+func vWrapped(err error) error {
+	return fmt.Errorf("errwrapfix: load: %v", err) // want `error operand formatted with %v breaks the errors.Is/As chain; wrap it with %w`
+}
+
+func sWrapped(err error) error {
+	return fmt.Errorf("errwrapfix: read: %s", err) // want `error operand formatted with %s breaks the errors.Is/As chain`
+}
+
+// deliberate flattens the chain on purpose; the annotation carries the
+// why.
+func deliberate(err error) error {
+	//hoiho:errwrap-ok terminal log line compared as a string across the daemon boundary
+	return fmt.Errorf("errwrapfix: flat: %v", err)
+}

@@ -1,0 +1,96 @@
+// Package gorofix exercises gororeturn: a blocking send inside a
+// goroutine needs a cancellation arm unless the goroutine owns the
+// channel or the select can bail out.
+package gorofix
+
+import "context"
+
+// fanOut is the blessed shape: every send can abandon on ctx.Done.
+func fanOut(ctx context.Context, in []int) <-chan int {
+	out := make(chan int)
+	go func() {
+		defer close(out)
+		for _, v := range in {
+			select {
+			case out <- v:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	return out
+}
+
+// leaky is the PR 4/5 bug shape: the consumer leaves, the send blocks
+// forever, and the goroutine plus everything it captured leaks.
+func leaky(in []int) <-chan int {
+	out := make(chan int)
+	go func() {
+		for _, v := range in {
+			out <- v // want `send on "out" inside a goroutine has no cancellation arm`
+		}
+		close(out)
+	}()
+	return out
+}
+
+// selectNoCancel has a select, but no arm can bail out: both cases
+// block on departed consumers.
+func selectNoCancel(a, b chan int, v int) {
+	go func() {
+		select {
+		case a <- v: // want `send on "a" inside a goroutine has no cancellation arm`
+		case b <- v: // want `send on "b" inside a goroutine has no cancellation arm`
+		}
+	}()
+}
+
+// spawnNamed launches a named worker: the body resolves through the
+// typed call graph and is held to the same rules as a literal.
+func spawnNamed(jobs chan int) {
+	go pump(jobs)
+}
+
+func pump(jobs chan int) {
+	for i := 0; i < 10; i++ {
+		jobs <- i // want `send on "jobs" inside a goroutine has no cancellation arm`
+	}
+}
+
+// trySend is non-blocking: the default arm is a cancellation arm.
+func trySend(ch chan int, v int) {
+	go func() {
+		select {
+		case ch <- v:
+		default:
+		}
+	}()
+}
+
+// stopAware selects on a shutdown channel, recognized by name.
+func stopAware(ch chan int, stop chan struct{}, v int) {
+	go func() {
+		select {
+		case ch <- v:
+		case <-stop:
+		}
+	}()
+}
+
+// owned sends on a channel the goroutine itself made: nobody else can
+// hold the receive side yet, so the send cannot strand.
+func owned() {
+	go func() {
+		tmp := make(chan int, 1)
+		tmp <- 1
+		<-tmp
+	}()
+}
+
+// bounded documents a deliberate unguarded send.
+func bounded(ch chan int) {
+	go func() {
+		//hoiho:goro-ok the receiver drains exactly one value before any return path
+		ch <- 1
+	}()
+}

@@ -1,0 +1,75 @@
+// Package lockorderfix exercises lockorder: acquisition-order
+// inversions detected across method boundaries, and atomic/plain mixed
+// access to one field.
+package lockorderfix
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type server struct {
+	mu    sync.Mutex
+	state sync.Mutex
+	hits  int64
+	gauge atomic.Int64
+}
+
+// lockAB establishes the order mu -> state.
+func (s *server) lockAB() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.state.Lock() // want `lock order inversion: acquires "server.state" while holding "server.mu"`
+	s.state.Unlock()
+}
+
+// lockBA acquires the same two mutexes in the opposite order — the
+// classic deadlock under contention, invisible to any single-function
+// check.
+func (s *server) lockBA() {
+	s.state.Lock()
+	defer s.state.Unlock()
+	s.mu.Lock() // want `lock order inversion: acquires "server.mu" while holding "server.state"`
+	s.mu.Unlock()
+}
+
+type filePair struct {
+	a sync.Mutex
+	b sync.Mutex
+}
+
+// first and second take a before b consistently: no inversion.
+func (p *filePair) first() {
+	p.a.Lock()
+	defer p.a.Unlock()
+	p.b.Lock()
+	p.b.Unlock()
+}
+
+func (p *filePair) second() {
+	p.a.Lock()
+	p.b.Lock()
+	p.b.Unlock()
+	p.a.Unlock()
+}
+
+// hit updates hits through sync/atomic.
+func (s *server) hit() {
+	atomic.AddInt64(&s.hits, 1)
+}
+
+// report reads the same field plainly: no happens-before relationship
+// with the atomic adds — a stale or torn read.
+func (s *server) report() int64 {
+	return s.hits // want `plain read of "server.hits" which is accessed via sync/atomic`
+}
+
+// reset writes it plainly: same race, write side.
+func (s *server) reset() {
+	s.hits = 0 // want `plain write of "server.hits" which is accessed via sync/atomic`
+}
+
+// gaugeUp uses a typed atomic, immune by construction: no finding.
+func (s *server) gaugeUp() {
+	s.gauge.Add(1)
+}

@@ -1,0 +1,18 @@
+// Method-value reachability: ServeItem2 reaches build only through a
+// stored method value — the edge the syntax-era ident graph missed.
+package recompilefix
+
+import "regexp"
+
+type compiler struct{}
+
+func (compiler) build(p string) *regexp.Regexp {
+	return regexp.MustCompile(p) // want `regexp.MustCompile on the per-item hot path \(reachable from fix/recompilefix.ServeItem2\); use the compile-once paths`
+}
+
+// ServeItem2 is a second hot root (fixtureConfig HotRoots).
+func ServeItem2(pattern, host string) bool {
+	c := compiler{}
+	f := c.build
+	return f(pattern).MatchString(host)
+}

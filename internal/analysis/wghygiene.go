@@ -20,6 +20,12 @@ import (
 //     parameter, or a captured per-iteration loop variable — never by a
 //     variable shared across goroutines, and never via append (the
 //     shard pattern: out[i] = f(in[i])).
+//
+// Both `go func(){...}()` and `go worker(...)` launches are checked:
+// named workers resolve through the typed call graph to their
+// declaration, whose body is held to the same rules (parameters count
+// as goroutine-owned). A worker launched from several sites is checked
+// once.
 var wghygiene = &Analyzer{
 	Name: "wghygiene",
 	Doc:  "WaitGroup and shard-pattern discipline for goroutines",
@@ -28,6 +34,8 @@ var wghygiene = &Analyzer{
 }
 
 func runWGHygiene(p *Program) []Diagnostic {
+	g := p.CallGraph()
+	checkedDecl := make(map[*Node]bool)
 	var out []Diagnostic
 	for _, pkg := range p.Packages {
 		for _, f := range pkg.Files {
@@ -73,7 +81,16 @@ func runWGHygiene(p *Program) []Diagnostic {
 								owned[o] = true
 							}
 						}
-						out = append(out, checkGoroutine(p, pkg, lit, owned)...)
+						out = append(out, checkGoroutineBody(p, pkg, lit.Body, lit.Pos(), lit.End(), owned)...)
+					} else if fn, ok := calleeObj(pkg.Info, n.Call).(*types.Func); ok {
+						// A named worker: resolve to its declaration and hold
+						// the body to the same rules. Its parameters are
+						// declared within the decl span, so they count as
+						// goroutine-owned automatically.
+						if node := g.NodeOf(fn); node != nil && node.Decl != nil && node.Decl.Body != nil && !checkedDecl[node] {
+							checkedDecl[node] = true
+							out = append(out, checkGoroutineBody(p, node.Pkg, node.Decl.Body, node.Decl.Pos(), node.Decl.End(), nil)...)
+						}
 					}
 				}
 				var children []ast.Node
@@ -97,17 +114,18 @@ func runWGHygiene(p *Program) []Diagnostic {
 	return out
 }
 
-// checkGoroutine inspects one go func(){...}() body. owned is the set
-// of enclosing per-iteration loop variables the goroutine may safely
-// use as shard indexes.
-func checkGoroutine(p *Program, pkg *Package, lit *ast.FuncLit, owned map[types.Object]bool) []Diagnostic {
+// checkGoroutineBody inspects one goroutine body — a go'd function
+// literal or the declaration of a named worker. owned is the set of
+// enclosing per-iteration loop variables the goroutine may safely use
+// as shard indexes; anything declared within [lo, hi] (locals,
+// parameters) is owned implicitly.
+func checkGoroutineBody(p *Program, pkg *Package, body *ast.BlockStmt, lo, hi token.Pos, owned map[types.Object]bool) []Diagnostic {
 	var out []Diagnostic
-	lo, hi := lit.Pos(), lit.End()
 	local := func(obj types.Object) bool {
 		return owned[obj] || declaredWithin(obj, lo, hi)
 	}
 	hasReturn := false
-	ast.Inspect(lit.Body, func(n ast.Node) bool {
+	ast.Inspect(body, func(n ast.Node) bool {
 		if _, ok := n.(*ast.ReturnStmt); ok {
 			hasReturn = true
 		}
@@ -173,7 +191,7 @@ func checkGoroutine(p *Program, pkg *Package, lit *ast.FuncLit, owned map[types.
 			visit(c, deferred)
 		}
 	}
-	visit(lit.Body, false)
+	visit(body, false)
 	return out
 }
 

@@ -107,8 +107,6 @@ func (s *Set) evalItem(i int, regexes []*rex.Regex) (Outcome, string, int) {
 // evaluates through the memoized match matrix (matrix.go), which is
 // proven bit-for-bit equivalent against this oracle by
 // TestMatrixMatchesOracle.
-//
-//hoiho:ctxflow reference oracle over one suffix's items; bounded, and cancellation lives in the matrix path the pipeline actually uses
 func (s *Set) Evaluate(regexes ...*rex.Regex) Eval {
 	var e Eval
 	uniqueTP := make(map[string]struct{})
@@ -136,8 +134,6 @@ func (s *Set) Evaluate(regexes ...*rex.Regex) Eval {
 
 // EvaluateDetailed returns the evaluation together with per-item
 // extractions, in training order.
-//
-//hoiho:ctxflow one pass over one suffix's items for reporting; bounded, not a learning-pipeline stage
 func (s *Set) EvaluateDetailed(regexes ...*rex.Regex) (Eval, []Extraction) {
 	var e Eval
 	uniqueTP := make(map[string]struct{})

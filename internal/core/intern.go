@@ -63,7 +63,7 @@ func (in *Interner) Intern(b []byte) string {
 	if s, ok := sh.m[string(b)]; ok {
 		return s
 	}
-	s = string(b)
+	s = string(b) //hoiho:hotalloc first sight of a new string interns exactly one copy; every later lookup hits the allocation-free map probe above
 	sh.m[s] = s
 	return s
 }

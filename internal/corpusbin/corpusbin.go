@@ -420,7 +420,7 @@ func Decode(data []byte) (*Decoded, error) {
 	for i := 0; i < nNCs; i++ {
 		nc, eng, err := d.decodeNC(table)
 		if err != nil {
-			return nil, fmt.Errorf("nc %d: %w", i, err)
+			return nil, fmt.Errorf("corpusbin: decode: nc %d: %w", i, err)
 		}
 		out.NCs = append(out.NCs, nc)
 		out.Engines = append(out.Engines, eng)
@@ -479,7 +479,7 @@ func (d *decoder) decodeNC(table []string) (*core.NC, *match.Engine, error) {
 	for j := 0; j < nRx; j++ {
 		r, err := d.decodeRegex(table)
 		if err != nil {
-			return nil, nil, fmt.Errorf("regex %d: %w", j, err)
+			return nil, nil, fmt.Errorf("corpusbin: decode: regex %d: %w", j, err)
 		}
 		nc.Regexes = append(nc.Regexes, r)
 	}

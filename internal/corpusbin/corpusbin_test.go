@@ -2,7 +2,10 @@ package corpusbin
 
 import (
 	"bytes"
+	"encoding/binary"
+	"errors"
 	"fmt"
+	"regexp"
 	"strings"
 	"testing"
 
@@ -294,4 +297,42 @@ func FuzzHBCDecode(f *testing.F) {
 			t.Fatalf("accepted corpus with fingerprint mismatch: %016x vs %016x", got, dec.Fingerprint)
 		}
 	})
+}
+
+// TestDecodeErrorsQualifiedAndChained pins the error contract hoiholint's
+// errwrap analyzer enforces (and whose violation it caught in the per-NC
+// and per-regex decode wraps): every decode failure is path-qualified
+// with the "corpusbin: decode:" prefix, and the record-level wraps use
+// %w so errors.Unwrap still reaches the underlying cause once the error
+// has crossed the daemon boundary. Corruption is injected after the
+// header with the checksum re-stamped, so the flips reach the record
+// decoders instead of dying at the checksum gate.
+func TestDecodeErrorsQualifiedAndChained(t *testing.T) {
+	data := encodeCorpus(t, testNCs(t))
+	wrapRE := regexp.MustCompile(`^corpusbin: decode: nc \d+: `)
+	mut := make([]byte, len(data))
+	sawChain := false
+	for i := headerLen; i < len(data); i++ {
+		for b := 0; b < 8; b++ {
+			copy(mut, data)
+			mut[i] ^= 1 << b
+			binary.LittleEndian.PutUint64(mut[12:], checksum(mut[headerLen:]))
+			_, err := Decode(mut)
+			if err == nil {
+				continue // flip landed somewhere semantically inert
+			}
+			if !strings.HasPrefix(err.Error(), "corpusbin: decode: ") {
+				t.Fatalf("flip at byte %d bit %d: unqualified error %q", i, b, err)
+			}
+			if wrapRE.MatchString(err.Error()) {
+				if errors.Unwrap(err) == nil {
+					t.Fatalf("flip at byte %d bit %d: record wrap lost the chain: %q", i, b, err)
+				}
+				sawChain = true
+			}
+		}
+	}
+	if !sawChain {
+		t.Fatal("no corruption exercised the per-NC wrap; the regression has lost its teeth")
+	}
 }

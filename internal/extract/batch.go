@@ -36,9 +36,10 @@ const batchChunk = 512
 // processed so far are returned alongside ctx.Err(), and the untouched
 // tail is zero-valued (OK == false).
 func (c *Corpus) ExtractBatch(ctx context.Context, hosts []string, opts ...CallOption) ([]Result, error) {
-	out := make([]Result, len(hosts))
+	out := make([]Result, len(hosts)) //hoiho:hotalloc one result slice per batch call, amortized over len(hosts) items; benchgate pins the 3 allocs/op batch budget
 	workers := c.workerCount(len(hosts), opts)
 	nChunks := (len(hosts) + batchChunk - 1) / batchChunk
+	//hoiho:hotalloc one chunk-worker closure per batch call, not per hostname
 	extractChunk := func(ci int) {
 		lo := ci * batchChunk
 		hi := lo + batchChunk
@@ -67,6 +68,7 @@ func (c *Corpus) ExtractBatch(ctx context.Context, hosts []string, opts ...CallO
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
+		//hoiho:hotalloc one goroutine closure per worker per batch call, amortized over the whole batch
 		go func() {
 			defer wg.Done()
 			for ctx.Err() == nil {

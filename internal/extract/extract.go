@@ -86,6 +86,7 @@ type entry struct {
 // entry pre-armed by the binary corpus loader (m already set, before
 // the corpus was shared) keeps its deserialized engine.
 func (e *entry) matcher(kind MatcherKind) match.Matcher {
+	//hoiho:hotalloc compile-once guard: the literal runs once per entry and does not escape on the armed fast path; benchgate pins 0 allocs/op after Precompile
 	e.once.Do(func() {
 		if e.m != nil {
 			return
@@ -542,6 +543,8 @@ func (c *Corpus) walk(host string) *entry {
 // It allocates — dirty inputs are the rare case. Only reached when
 // pslDirect is set; the non-direct fallback walks raw bytes for every
 // input, exactly as it always did.
+//
+//hoiho:hotalloc budgeted cold region: dirty-input fallback; the hot path slices via RegisteredDomainStart and never gets here
 func (c *Corpus) lookupDirty(host string) *entry {
 	reg, ok := c.list.RegisteredDomain(host)
 	if !ok {

@@ -158,6 +158,7 @@ func Fire(ctx context.Context, stage, key string) error {
 	return p.fire(ctx, stage, key)
 }
 
+//hoiho:hotalloc budgeted cold region: fire only runs with a chaos plan installed; the production path exits Fire on one atomic load
 func (p *Plan) fire(ctx context.Context, stage, key string) error {
 	for i, r := range p.Rules {
 		if r.Stage != stage || (r.Key != "" && r.Key != key) {
