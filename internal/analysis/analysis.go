@@ -161,6 +161,7 @@ func Default() Config {
 		CtxPkgs: []string{
 			"hoiho/internal/core",
 			"hoiho/internal/extract",
+			"hoiho/internal/cluster",
 		},
 		// The PR 6 contract: after Precompile, per-hostname extraction and
 		// matching allocate nothing (the batch path budgets its result
@@ -175,16 +176,19 @@ func Default() Config {
 		LockPkgs: []string{
 			"hoiho/internal/serve",
 			"hoiho/internal/core",
+			"hoiho/internal/cluster",
 		},
 		ErrPkgs: []string{
 			"hoiho/internal/serve",
 			"hoiho/internal/extract",
 			"hoiho/internal/corpusbin",
+			"hoiho/internal/cluster",
 		},
 		GoroPkgs: []string{
 			"hoiho/internal/serve",
 			"hoiho/internal/core",
 			"hoiho/internal/extract",
+			"hoiho/internal/cluster",
 		},
 	}
 }

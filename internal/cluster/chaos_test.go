@@ -1,0 +1,231 @@
+package cluster
+
+// Chaos tests for the cluster: the acceptance suite for the PR's
+// headline guarantees, run under -race.
+//
+//   - Replica failover: killing one node of an R=2 cluster mid-storm
+//     leaks zero 5xx responses and zero fingerprint mismatches — the
+//     surviving replica absorbs the shard.
+//   - Rollout atomicity: a storm of rollout epochs under sustained
+//     traffic, with rotating injected faults (corrupt corpus, failing
+//     node, crashing node, coordinator faults, stalled phases), never
+//     lets a client observe a fingerprint that was not committed
+//     cluster-wide, and every aborted epoch leaves every node on the
+//     prior generation.
+//
+// Faults are deterministic (seeded faultinject plans, probability 1,
+// and explicit per-node failure modes), and both tests run under the
+// shared internal/leaktest check — a leaked probe loop, hedged loser,
+// or fanout goroutine is a test failure.
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hoiho/internal/faultinject"
+	"hoiho/internal/leaktest"
+)
+
+// stormStats aggregates what the traffic workers observed.
+type stormStats struct {
+	requests  atomic.Uint64
+	non200    atomic.Uint64
+	mismatch  atomic.Uint64
+	forbidden atomic.Uint64
+}
+
+// stormTraffic runs workers hammering the router until stop is closed.
+// Every response must be a 200 whose ASN matches what its X-Hoiho-Corpus
+// stamp promises; a stamp outside allowed (or equal to forbidden) is a
+// violation.
+func stormTraffic(t *testing.T, rt *Router, workers int, stop chan struct{},
+	allowed map[string]uint32, forbiddenFP string) (*stormStats, *sync.WaitGroup) {
+	t.Helper()
+	stats := &stormStats{}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				a, b, n := 1+(i+w)%40, 1+i%9, i%nSuffixes
+				host := fmt.Sprintf("as%d-pod%d.cluster%d.net", a, b, n)
+				rec, rep := doGet(t, rt, "/extract?host="+host)
+				stats.requests.Add(1)
+				if rec.Code != 200 {
+					stats.non200.Add(1)
+					continue
+				}
+				fp := rec.Header().Get("X-Hoiho-Corpus")
+				if fp == forbiddenFP {
+					stats.forbidden.Add(1)
+				}
+				wantASN, ok := allowed[fp]
+				if !ok {
+					stats.mismatch.Add(1)
+					continue
+				}
+				// wantASN 1 means the variant captures the first number,
+				// 2 the second: the response must match its stamp.
+				want := uint32(a)
+				if wantASN == 2 {
+					want = uint32(b)
+				}
+				if !rep.Found || rep.ASN != want {
+					stats.mismatch.Add(1)
+				}
+			}
+		}(w)
+	}
+	return stats, &wg
+}
+
+// TestChaosReplicaFailover: R=2, three nodes, sustained storm; one node
+// is killed mid-storm. No client sees a 5xx, no response carries a
+// wrong corpus, and the router accounts the failover.
+func TestChaosReplicaFailover(t *testing.T) {
+	check := leaktest.Check(t)
+	t.Run("storm", func(t *testing.T) {
+		nodes := newTestNodes(t, 3)
+		rt := newTestRouter(t, nodes, func(c *Config) { c.TryTimeout = time.Second })
+		fpFirst := fingerprintOf(t, "first")
+		allowed := map[string]uint32{fpFirst: 1}
+
+		stop := make(chan struct{})
+		stats, wg := stormTraffic(t, rt, 8, stop, allowed, "")
+
+		// Let the storm establish, then kill one replica outright: the
+		// listener closes, in-flight proxied attempts get transport
+		// errors, and failover must absorb all of it.
+		time.Sleep(50 * time.Millisecond)
+		nodes[2].ts.Close()
+		time.Sleep(300 * time.Millisecond)
+
+		close(stop)
+		wg.Wait()
+
+		if n := stats.non200.Load(); n != 0 {
+			t.Errorf("%d non-200 responses leaked through failover", n)
+		}
+		if n := stats.mismatch.Load(); n != 0 {
+			t.Errorf("%d responses carried a wrong corpus or ASN", n)
+		}
+		if stats.requests.Load() == 0 {
+			t.Fatal("storm made no requests")
+		}
+		if rt.stats.retries.Load()+rt.stats.unhealthy.Load() == 0 {
+			t.Error("killing a node produced no observable failover")
+		}
+	})
+	check()
+}
+
+// TestChaosRolloutStormAtomicity: 20 rollout epochs under sustained
+// traffic. Even epochs are honest and must commit; odd epochs ship a
+// third corpus variant that is sabotaged a different way each time and
+// must abort. The third variant's fingerprint must never appear in any
+// response, and after every epoch all nodes serve exactly the epoch's
+// committed (or prior) generation.
+func TestChaosRolloutStormAtomicity(t *testing.T) {
+	check := leaktest.Check(t)
+	t.Run("storm", func(t *testing.T) {
+		nodes := newTestNodes(t, 3)
+		rt := newTestRouter(t, nodes, func(c *Config) {
+			c.RolloutPhaseTimeout = 500 * time.Millisecond
+		})
+		fpA := fingerprintOf(t, "first")
+		fpB := fingerprintOf(t, "second")
+		fpC := fingerprintOf(t, "third")
+		allowed := map[string]uint32{fpA: 1, fpB: 2}
+
+		stop := make(chan struct{})
+		stats, wg := stormTraffic(t, rt, 4, stop, allowed, fpC)
+
+		currentFP := fpA
+		currentVariant := "first"
+		ctx := context.Background()
+		for epoch := 0; epoch < 20; epoch++ {
+			if epoch%2 == 0 {
+				// Honest epoch: flip to the other good variant.
+				next := "second"
+				if currentVariant == "second" {
+					next = "first"
+				}
+				res, err := rt.Rollout(ctx, []byte(corpusJSON(next)), 0)
+				if err != nil {
+					t.Fatalf("epoch %d: honest rollout failed: %v", epoch, err)
+				}
+				currentVariant = next
+				currentFP = res.Fingerprint
+			} else {
+				// Sabotaged epoch: try to roll out the forbidden variant
+				// with a rotating fault. It must abort.
+				victim := nodes[epoch%3]
+				data := []byte(corpusJSON("third"))
+				var restore func()
+				switch (epoch / 2) % 5 {
+				case 0:
+					data = []byte("{corrupt corpus on the wire")
+				case 1:
+					restore = faultinject.Activate(&faultinject.Plan{Rules: []faultinject.Rule{
+						{Stage: faultinject.StageClusterRollout, Key: "prepare:" + victim.url(),
+							Kind: faultinject.KindError, Prob: 1},
+					}})
+				case 2:
+					victim.setMode(modeRollout500)
+				case 3:
+					victim.setMode(modeRolloutCrash)
+				case 4:
+					// Stall the coordinator past the phase timeout: the
+					// validate call starts with an expired context.
+					restore = faultinject.Activate(&faultinject.Plan{Rules: []faultinject.Rule{
+						{Stage: faultinject.StageClusterRollout, Key: "validate:" + victim.url(),
+							Kind: faultinject.KindStall, Prob: 1, Stall: 5 * time.Second},
+					}})
+				}
+				_, err := rt.Rollout(ctx, data, 0)
+				if restore != nil {
+					restore()
+				}
+				victim.setMode(modeNormal)
+				if err == nil {
+					t.Fatalf("epoch %d: sabotaged rollout committed", epoch)
+				}
+			}
+			// Invariant: after every epoch, every node serves exactly the
+			// committed generation of that epoch.
+			for i, n := range nodes {
+				if fp, _ := nodeFP(t, n); fp != currentFP {
+					t.Fatalf("epoch %d: node %d serves %s, committed is %s", epoch, i, fp, currentFP)
+				}
+			}
+		}
+
+		close(stop)
+		wg.Wait()
+
+		if n := stats.forbidden.Load(); n != 0 {
+			t.Errorf("%d responses carried the never-committed corpus %s", n, fpC)
+		}
+		if n := stats.mismatch.Load(); n != 0 {
+			t.Errorf("%d responses carried an uncommitted corpus or wrong ASN", n)
+		}
+		if n := stats.non200.Load(); n != 0 {
+			t.Errorf("%d traffic requests failed during the rollout storm", n)
+		}
+		if rt.stats.rollouts.Load() != 10 || rt.stats.aborted.Load() != 10 {
+			t.Errorf("epochs accounted: %d committed %d aborted, want 10/10",
+				rt.stats.rollouts.Load(), rt.stats.aborted.Load())
+		}
+	})
+	check()
+}

@@ -1,0 +1,67 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+)
+
+// The cluster error taxonomy, mirroring internal/serve's design: every
+// failure the router or rollout coordinator can produce is a sentinel
+// or a wrapper with Unwrap, classified by errors.Is/As — never by
+// string matching.
+var (
+	// ErrNoMembers means the router has no cluster members at all —
+	// misconfiguration, or every node has been removed.
+	ErrNoMembers = errors.New("cluster: no cluster members configured")
+	// ErrShardUnavailable means every replica of the request's shard
+	// (and every degraded fallback) failed or is unreachable. The
+	// request was shed, not misrouted.
+	ErrShardUnavailable = errors.New("cluster: all replicas of the shard are unavailable")
+	// ErrRolloutInProgress means a rollout or membership change is
+	// already running; the protocol is strictly one epoch at a time.
+	ErrRolloutInProgress = errors.New("cluster: a rollout or membership change is already in progress")
+	// ErrMemberExists means a join named a node already in the ring.
+	ErrMemberExists = errors.New("cluster: node is already a member")
+	// ErrMemberUnknown means a leave named a node not in the ring.
+	ErrMemberUnknown = errors.New("cluster: node is not a member")
+)
+
+// ForwardError is one failed forwarding attempt: the node that was
+// tried and why it failed. The router retries other replicas; a
+// ForwardError surfaces only when every candidate is exhausted.
+type ForwardError struct {
+	// Node is the member name the attempt targeted.
+	Node string
+	// Err is the transport or status failure.
+	Err error
+}
+
+func (e *ForwardError) Error() string {
+	return fmt.Sprintf("cluster: forward to %s: %v", e.Node, e.Err)
+}
+
+// Unwrap exposes the transport failure to errors.Is/As.
+func (e *ForwardError) Unwrap() error { return e.Err }
+
+// RolloutError is a failed rollout epoch: the phase that broke, the
+// node that broke it, and the underlying cause. By the time a
+// RolloutError is returned, the coordinator has already aborted the
+// epoch — every node is back on (or never left) the prior generation.
+type RolloutError struct {
+	// Phase is "prepare", "validate", or "commit".
+	Phase string
+	// Node is the member that nacked or timed out, when attributable.
+	Node string
+	// Err is the underlying failure.
+	Err error
+}
+
+func (e *RolloutError) Error() string {
+	if e.Node == "" {
+		return fmt.Sprintf("cluster: rollout %s phase failed: %v", e.Phase, e.Err)
+	}
+	return fmt.Sprintf("cluster: rollout %s phase failed at %s: %v", e.Phase, e.Node, e.Err)
+}
+
+// Unwrap exposes the cause to errors.Is/As.
+func (e *RolloutError) Unwrap() error { return e.Err }

@@ -1,0 +1,139 @@
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strconv"
+)
+
+// Ring is a consistent-hash ring over the registered-domain suffix
+// space. Each node contributes vnodes points; a key's owners are the
+// first R distinct nodes found walking clockwise from the key's hash.
+// Consistent hashing keeps re-sharding cheap: when a node joins or
+// leaves, only the keys whose clockwise walk crossed that node move —
+// every other suffix keeps its replica set, so a membership change
+// never invalidates the whole routing table.
+//
+// A Ring is immutable after construction. The router publishes rings
+// through an atomic pointer; a membership change builds a new Ring and
+// swaps it in, while requests already routing on the old one finish
+// there — nodes serve the full corpus, so routing on a stale ring is a
+// locality miss, never a wrong answer.
+type Ring struct {
+	nodes  []string // sorted, distinct node names
+	repl   int      // replicas per key, capped at len(nodes)
+	points []ringPoint
+}
+
+type ringPoint struct {
+	hash uint64
+	node int32 // index into nodes
+}
+
+// NewRing builds a ring over the given node names with vnodes virtual
+// points per node and repl-way replication. Names must be non-empty and
+// distinct; repl is capped at the node count. The construction is fully
+// deterministic: the same membership always yields the same ring,
+// regardless of input order.
+//
+//hoiho:ctxflow bounded in-memory construction over the member list (a handful of nodes times vnodes hashes), microseconds; nothing to cancel
+func NewRing(nodes []string, vnodes, repl int) (*Ring, error) {
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("cluster: ring needs at least one node")
+	}
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	if repl <= 0 {
+		repl = 1
+	}
+	if repl > len(nodes) {
+		repl = len(nodes)
+	}
+	sorted := append([]string(nil), nodes...)
+	sort.Strings(sorted)
+	for i, n := range sorted {
+		if n == "" {
+			return nil, fmt.Errorf("cluster: ring node name must not be empty")
+		}
+		if i > 0 && sorted[i-1] == n {
+			return nil, fmt.Errorf("cluster: duplicate ring node %q", n)
+		}
+	}
+	r := &Ring{
+		nodes:  sorted,
+		repl:   repl,
+		points: make([]ringPoint, 0, len(sorted)*vnodes),
+	}
+	for i, n := range sorted {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{
+				hash: hashKey(n + "#" + strconv.Itoa(v)),
+				node: int32(i),
+			})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool {
+		if r.points[a].hash != r.points[b].hash {
+			return r.points[a].hash < r.points[b].hash
+		}
+		// Hash ties (vanishingly rare) break on node index so the ring
+		// stays deterministic.
+		return r.points[a].node < r.points[b].node
+	})
+	return r, nil
+}
+
+// Nodes returns the ring's member names, sorted.
+func (r *Ring) Nodes() []string { return append([]string(nil), r.nodes...) }
+
+// Replication returns the effective replica count per key.
+func (r *Ring) Replication() int { return r.repl }
+
+// Owners returns the key's replica set: up to Replication() distinct
+// node names in preference order (primary first).
+func (r *Ring) Owners(key string) []string {
+	return r.OwnersAppend(nil, key)
+}
+
+// OwnersAppend appends the key's replica set to dst and returns it,
+// letting a caller on the forwarding path reuse one backing array.
+func (r *Ring) OwnersAppend(dst []string, key string) []string {
+	h := hashKey(key)
+	// First point at or after h, wrapping.
+	i := sort.Search(len(r.points), func(j int) bool { return r.points[j].hash >= h })
+	seen := 0
+	for off := 0; off < len(r.points) && seen < r.repl; off++ {
+		p := r.points[(i+off)%len(r.points)]
+		name := r.nodes[p.node]
+		dup := false
+		for _, have := range dst[len(dst)-seen:] {
+			if have == name {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		dst = append(dst, name)
+		seen++
+	}
+	return dst
+}
+
+// Owner returns the key's primary owner.
+func (r *Ring) Owner(key string) string {
+	owners := r.OwnersAppend(make([]string, 0, 1), key)
+	return owners[0]
+}
+
+// hashKey is the ring's point and key hash: FNV-1a over the bytes.
+// Deterministic across processes and runs, so every router instance
+// computes the identical shard map from the same membership.
+func hashKey(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}

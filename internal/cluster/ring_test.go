@@ -1,0 +1,126 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func mustRing(t testing.TB, nodes []string, vnodes, repl int) *Ring {
+	t.Helper()
+	r, err := NewRing(nodes, vnodes, repl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func sampleKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("domain%d.example.net", i)
+	}
+	return keys
+}
+
+func TestRingValidation(t *testing.T) {
+	if _, err := NewRing(nil, 8, 2); err == nil {
+		t.Error("NewRing with no nodes must fail")
+	}
+	if _, err := NewRing([]string{"a", "a"}, 8, 2); err == nil {
+		t.Error("NewRing with duplicate nodes must fail")
+	}
+	if _, err := NewRing([]string{"a", ""}, 8, 2); err == nil {
+		t.Error("NewRing with an empty node name must fail")
+	}
+}
+
+// TestRingDeterminism: the same membership yields the same routing
+// regardless of input order — routers built independently agree.
+func TestRingDeterminism(t *testing.T) {
+	a := mustRing(t, []string{"n1", "n2", "n3", "n4"}, 32, 2)
+	b := mustRing(t, []string{"n4", "n2", "n1", "n3"}, 32, 2)
+	for _, key := range sampleKeys(200) {
+		oa, ob := a.Owners(key), b.Owners(key)
+		if fmt.Sprint(oa) != fmt.Sprint(ob) {
+			t.Fatalf("key %q: owners %v vs %v across input orders", key, oa, ob)
+		}
+	}
+}
+
+// TestRingOwnersDistinct: every key gets exactly R distinct owners, and
+// replication is capped at the node count.
+func TestRingOwnersDistinct(t *testing.T) {
+	r := mustRing(t, []string{"n1", "n2", "n3"}, 32, 2)
+	for _, key := range sampleKeys(500) {
+		owners := r.Owners(key)
+		if len(owners) != 2 {
+			t.Fatalf("key %q: %d owners, want 2", key, len(owners))
+		}
+		if owners[0] == owners[1] {
+			t.Fatalf("key %q: duplicate owner %q", key, owners[0])
+		}
+	}
+	small := mustRing(t, []string{"only"}, 32, 3)
+	if got := small.Replication(); got != 1 {
+		t.Errorf("replication on a 1-node ring = %d, want 1", got)
+	}
+	if owners := small.Owners("k"); len(owners) != 1 || owners[0] != "only" {
+		t.Errorf("1-node owners = %v", owners)
+	}
+}
+
+// TestRingBalance: with enough virtual points, no node's primary share
+// collapses — every node carries a meaningful slice of the key space.
+func TestRingBalance(t *testing.T) {
+	nodes := []string{"n1", "n2", "n3", "n4", "n5"}
+	r := mustRing(t, nodes, DefaultVNodes, 1)
+	counts := map[string]int{}
+	keys := sampleKeys(10000)
+	for _, key := range keys {
+		counts[r.Owner(key)]++
+	}
+	for _, n := range nodes {
+		share := float64(counts[n]) / float64(len(keys))
+		if share < 0.05 {
+			t.Errorf("node %s owns %.1f%% of keys; balance collapsed (%v)", n, share*100, counts)
+		}
+	}
+}
+
+// TestRingMinimalMovement: removing one node only moves the keys that
+// node owned — consistent hashing's whole point. Every key whose
+// primary survives keeps its primary.
+func TestRingMinimalMovement(t *testing.T) {
+	before := mustRing(t, []string{"n1", "n2", "n3", "n4", "n5"}, DefaultVNodes, 2)
+	after := mustRing(t, []string{"n1", "n2", "n3", "n4"}, DefaultVNodes, 2)
+	moved := 0
+	keys := sampleKeys(5000)
+	for _, key := range keys {
+		was := before.Owner(key)
+		now := after.Owner(key)
+		if was == "n5" {
+			moved++
+			continue
+		}
+		if was != now {
+			t.Fatalf("key %q: primary moved %s -> %s though %s survived", key, was, now, was)
+		}
+	}
+	if moved == 0 {
+		t.Error("no keys were owned by the removed node; the test proved nothing")
+	}
+}
+
+// TestRingErrorTaxonomy: sentinel classification via errors.Is works
+// through the router's wrapping.
+func TestRingErrorTaxonomy(t *testing.T) {
+	fe := &ForwardError{Node: "n1", Err: ErrShardUnavailable}
+	if !errors.Is(fe, ErrShardUnavailable) {
+		t.Error("ForwardError must unwrap to its cause")
+	}
+	re := &RolloutError{Phase: "prepare", Node: "n1", Err: ErrNoMembers}
+	if !errors.Is(re, ErrNoMembers) {
+		t.Error("RolloutError must unwrap to its cause")
+	}
+}

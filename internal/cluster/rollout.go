@@ -1,0 +1,311 @@
+package cluster
+
+// Two-phase corpus rollout, coordinator side. The invariant the
+// protocol buys: within one rollout epoch, no client ever observes a
+// generation that was not committed cluster-wide. The coordinator
+// drives every node of the current view through three rounds:
+//
+//	prepare  — ship the corpus bytes to every node's side buffer. Each
+//	           ack carries the prepared fingerprint (X-Hoiho-Corpus)
+//	           and the serving generation it would supersede
+//	           (X-Hoiho-Generation). All prepared fingerprints must
+//	           agree — the first ack is the reference, because nodes
+//	           running a -classes filter fingerprint the retained
+//	           subset, which the coordinator cannot precompute.
+//	validate — every node re-acks the same fingerprint and an unmoved
+//	           serving generation. A node that lost its side buffer,
+//	           reloaded mid-epoch, or died since prepare nacks here.
+//	commit   — every node publishes, pinned to the agreed fingerprint.
+//
+// Any nack or timeout in prepare/validate aborts the epoch: every side
+// buffer is dropped and serving state is untouched. A partial commit —
+// the one window where some nodes have published — is repaired by
+// rolling the committed nodes back through the nodes' existing
+// /-/rollback path, restoring the pre-epoch corpus everywhere.
+//
+// The protocol is strictly one epoch at a time (adminMu), and the
+// member set is pinned to the view loaded at epoch start, so a
+// concurrent join/leave cannot split a phase across two rings.
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"hoiho/internal/faultinject"
+)
+
+// maxRolloutBodyBytes caps a corpus accepted by POST /-/rollout,
+// matching the node-side prepare cap.
+const maxRolloutBodyBytes = 64 << 20
+
+// RolloutResult reports a committed epoch: the cluster-wide fingerprint
+// and each node's new serving generation.
+type RolloutResult struct {
+	Fingerprint string       `json:"fingerprint"`
+	Nodes       []NodeCommit `json:"nodes"`
+}
+
+// NodeCommit is one node's post-commit identity.
+type NodeCommit struct {
+	Node       string `json:"node"`
+	Generation uint64 `json:"generation"`
+}
+
+// phaseAck is one node's answer to one rollout phase.
+type phaseAck struct {
+	node string
+	fp   string
+	gen  uint64
+	err  error
+}
+
+// Rollout drives one two-phase corpus swap across the whole cluster.
+// data is the corpus to ship (HBC or JSON — nodes sniff). holdValidate,
+// when positive, pauses between prepare and validate; it exists so
+// chaos tests and the CI smoke script can widen the window in which to
+// kill a node mid-epoch. On any failure the epoch is aborted (committed
+// nodes rolled back) and the returned RolloutError names the phase and
+// node that broke it.
+func (rt *Router) Rollout(ctx context.Context, data []byte, holdValidate time.Duration) (*RolloutResult, error) {
+	if !rt.adminMu.TryLock() {
+		return nil, ErrRolloutInProgress
+	}
+	defer rt.adminMu.Unlock()
+	v := rt.view.Load()
+	members := v.members
+	if len(members) == 0 {
+		return nil, ErrNoMembers
+	}
+
+	// Phase 1: prepare. Ship the bytes everywhere; agree on the
+	// fingerprint.
+	preps := rt.phaseFanout(ctx, "prepare", members, func(pctx context.Context, m *member) (string, uint64, error) {
+		return rt.rolloutPost(pctx, "prepare", m, "/-/rollout/prepare", "", data)
+	})
+	var fp string
+	for _, a := range preps {
+		if a.err != nil {
+			rt.abortEpoch(ctx, members, "prepare", a.node, a.err)
+			return nil, &RolloutError{Phase: "prepare", Node: a.node, Err: a.err}
+		}
+		if fp == "" {
+			fp = a.fp
+		} else if a.fp != fp {
+			err := fmt.Errorf("cluster: prepared fingerprint %s disagrees with reference %s (mismatched corpus or class filters across nodes)", a.fp, fp)
+			rt.abortEpoch(ctx, members, "prepare", a.node, err)
+			return nil, &RolloutError{Phase: "prepare", Node: a.node, Err: err}
+		}
+	}
+
+	// Optional hold between phases (chaos/test hook), bounded by ctx.
+	if holdValidate > 0 {
+		t := time.NewTimer(holdValidate)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			rt.abortEpoch(ctx, members, "validate", "", ctx.Err())
+			return nil, &RolloutError{Phase: "validate", Err: ctx.Err()}
+		}
+	}
+
+	// Phase 2: validate. Every node must still hold the agreed corpus
+	// over the generation it acked at prepare.
+	vals := rt.phaseFanout(ctx, "validate", members, func(pctx context.Context, m *member) (string, uint64, error) {
+		return rt.rolloutPost(pctx, "validate", m, "/-/rollout/validate", "", nil)
+	})
+	for i, a := range vals {
+		err := a.err
+		if err == nil && a.fp != fp {
+			err = fmt.Errorf("cluster: validate acked fingerprint %s, epoch agreed on %s", a.fp, fp)
+		}
+		if err == nil && a.gen != preps[i].gen {
+			err = fmt.Errorf("cluster: serving generation moved from %d to %d during the epoch", preps[i].gen, a.gen)
+		}
+		if err != nil {
+			rt.abortEpoch(ctx, members, "validate", a.node, err)
+			return nil, &RolloutError{Phase: "validate", Node: a.node, Err: err}
+		}
+	}
+
+	// Phase 3: commit, pinned to the agreed fingerprint. A partial
+	// commit is repaired: committed nodes roll back, the rest abort.
+	coms := rt.phaseFanout(ctx, "commit", members, func(pctx context.Context, m *member) (string, uint64, error) {
+		return rt.rolloutPost(pctx, "commit", m, "/-/rollout/commit", "fingerprint="+fp, nil)
+	})
+	var commitErr *RolloutError
+	for _, a := range coms {
+		if a.err != nil {
+			commitErr = &RolloutError{Phase: "commit", Node: a.node, Err: a.err}
+			break
+		}
+	}
+	if commitErr != nil {
+		for i, a := range coms {
+			m := members[i]
+			if a.err == nil {
+				if err := rt.rollbackNode(ctx, m); err != nil {
+					rt.logf("rollout: rollback of committed node %s failed: %v", m.name, err)
+				}
+			} else {
+				rt.abortNode(ctx, m)
+			}
+		}
+		rt.stats.aborted.Add(1)
+		rt.logf("rollout: epoch aborted at commit: %v", commitErr)
+		return nil, commitErr
+	}
+
+	res := &RolloutResult{Fingerprint: fp, Nodes: make([]NodeCommit, len(coms))}
+	for i, a := range coms {
+		res.Nodes[i] = NodeCommit{Node: a.node, Generation: a.gen}
+	}
+	rt.stats.rollouts.Add(1)
+	rt.logf("rollout: committed %s on %d nodes", fp, len(coms))
+	return res, nil
+}
+
+// phaseFanout runs one phase against every member concurrently, each
+// call bounded by RolloutPhaseTimeout, and collects the acks in member
+// order.
+func (rt *Router) phaseFanout(ctx context.Context, phase string, members []*member, call func(context.Context, *member) (string, uint64, error)) []phaseAck {
+	acks := make([]phaseAck, len(members))
+	var wg sync.WaitGroup
+	for i, m := range members {
+		wg.Add(1)
+		go func(i int, m *member) {
+			defer wg.Done()
+			pctx, cancel := context.WithTimeout(ctx, rt.cfg.RolloutPhaseTimeout)
+			defer cancel()
+			fp, gen, err := call(pctx, m)
+			acks[i] = phaseAck{node: m.name, fp: fp, gen: gen, err: err}
+		}(i, m)
+	}
+	wg.Wait()
+	return acks
+}
+
+// rolloutPost performs one phase call against one node and decodes the
+// ack headers. The faultinject hook (keyed "<phase>:<node>") lets chaos
+// tests break specific nodes in specific phases deterministically.
+func (rt *Router) rolloutPost(ctx context.Context, phase string, m *member, path, rawQuery string, body []byte) (string, uint64, error) {
+	if err := faultinject.Fire(ctx, faultinject.StageClusterRollout, phase+":"+m.name); err != nil {
+		return "", 0, err
+	}
+	u := *m.base
+	u.Path, u.RawQuery = path, rawQuery
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, u.String(), rd)
+	if err != nil {
+		return "", 0, fmt.Errorf("cluster: rollout %s request: %w", phase, err)
+	}
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		return "", 0, fmt.Errorf("cluster: rollout %s call: %w", phase, err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	if resp.StatusCode != http.StatusOK {
+		return "", 0, fmt.Errorf("cluster: rollout %s nacked with %d: %s", phase, resp.StatusCode, bytes.TrimSpace(b))
+	}
+	fp := resp.Header.Get("X-Hoiho-Corpus")
+	if fp == "" {
+		return "", 0, fmt.Errorf("cluster: rollout %s ack carries no X-Hoiho-Corpus proof", phase)
+	}
+	gen, err := strconv.ParseUint(resp.Header.Get("X-Hoiho-Generation"), 10, 64)
+	if err != nil {
+		return "", 0, fmt.Errorf("cluster: rollout %s ack generation: %w", phase, err)
+	}
+	return fp, gen, nil
+}
+
+// abortEpoch drops every node's side buffer and accounts the aborted
+// epoch. Best effort by design: an abort that cannot reach a node
+// leaves only an inert side buffer behind (it never serves, and the
+// next prepare overwrites it).
+func (rt *Router) abortEpoch(ctx context.Context, members []*member, phase, node string, cause error) {
+	for _, m := range members {
+		rt.abortNode(ctx, m)
+	}
+	rt.stats.aborted.Add(1)
+	rt.logf("rollout: epoch aborted in %s at %s: %v", phase, node, cause)
+}
+
+// abortNode drops one node's side buffer. No faultinject hook here: the
+// abort path is the protocol's safety net and must stay maximally
+// reliable even under injected chaos.
+func (rt *Router) abortNode(ctx context.Context, m *member) {
+	pctx, cancel := context.WithTimeout(ctx, rt.cfg.RolloutPhaseTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(pctx, http.MethodPost, m.endpoint("/-/rollout/abort"), nil)
+	if err != nil {
+		return
+	}
+	if resp, err := rt.client.Do(req); err == nil {
+		resp.Body.Close()
+	}
+}
+
+// rollbackNode undoes a committed node through the existing single-node
+// rollback path, restoring the pre-epoch corpus.
+func (rt *Router) rollbackNode(ctx context.Context, m *member) error {
+	pctx, cancel := context.WithTimeout(ctx, rt.cfg.RolloutPhaseTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(pctx, http.MethodPost, m.endpoint("/-/rollback"), nil)
+	if err != nil {
+		return fmt.Errorf("cluster: rollback request: %w", err)
+	}
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		return fmt.Errorf("cluster: rollback call: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("cluster: rollback refused with %d: %s", resp.StatusCode, bytes.TrimSpace(b))
+	}
+	return nil
+}
+
+// handleRollout is the operator entry point: the corpus arrives in the
+// request body, an optional ?hold-validate=DURATION widens the
+// prepare→validate window (chaos/CI hook), and the response is the
+// committed RolloutResult or the error that aborted the epoch.
+func (rt *Router) handleRollout(w http.ResponseWriter, r *http.Request) {
+	data, err := io.ReadAll(io.LimitReader(r.Body, maxRolloutBodyBytes+1))
+	if err != nil {
+		http.Error(w, fmt.Sprintf("cluster: reading rollout body: %v", err), http.StatusBadRequest)
+		return
+	}
+	if int64(len(data)) > maxRolloutBodyBytes {
+		http.Error(w, fmt.Sprintf("cluster: rollout corpus exceeds %d-byte cap", maxRolloutBodyBytes), http.StatusRequestEntityTooLarge)
+		return
+	}
+	var hold time.Duration
+	if hv := r.URL.Query().Get("hold-validate"); hv != "" {
+		hold, err = time.ParseDuration(hv)
+		if err != nil {
+			http.Error(w, fmt.Sprintf("cluster: bad hold-validate: %v", err), http.StatusBadRequest)
+			return
+		}
+	}
+	res, err := rt.Rollout(r.Context(), data, hold)
+	if err != nil {
+		code := http.StatusBadGateway
+		if err == ErrRolloutInProgress {
+			code = http.StatusConflict
+		}
+		http.Error(w, err.Error(), code)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}

@@ -75,6 +75,27 @@ func IsHBC(data []byte) bool {
 	return len(data) >= 3 && data[0] == 'H' && data[1] == 'B' && data[2] == 'C'
 }
 
+// PeekFingerprint reads the corpus fingerprint from an HBC header
+// without decoding the records. The payload checksum is still verified
+// (one FNV pass, no allocation), so a truncated or bit-flipped corpus
+// is rejected here exactly as Decode would reject it; what Peek skips
+// is only the parse itself. The cluster rollout coordinator uses this
+// to learn the identity of a corpus it is about to ship N times without
+// paying N+1 full decodes.
+func PeekFingerprint(data []byte) (uint64, error) {
+	if !IsHBC(data) || len(data) < headerLen {
+		return 0, fmt.Errorf("corpusbin: peek: not an HBC corpus (missing magic)")
+	}
+	if data[3] != Magic[3] {
+		return 0, fmt.Errorf("corpusbin: peek: unsupported HBC version %d (this build reads %d)", data[3], Magic[3])
+	}
+	wantSum := binary.LittleEndian.Uint64(data[12:])
+	if got := checksum(data[headerLen:]); got != wantSum {
+		return 0, fmt.Errorf("corpusbin: peek: payload checksum mismatch (corrupt corpus): got %016x want %016x", got, wantSum)
+	}
+	return binary.LittleEndian.Uint64(data[4:]), nil
+}
+
 // NCRecord pairs a convention with the wire form of its compiled
 // matcher for encoding.
 type NCRecord struct {

@@ -1,0 +1,49 @@
+package extract
+
+// FingerprintData is the coordinator-side identity probe: given raw
+// corpus bytes (either format), report the fingerprint a node loading
+// them unfiltered would serve. HBC answers from the header (checksum
+// verified, no decode); JSON pays for a full load.
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestFingerprintData(t *testing.T) {
+	c := New(syntheticNCs(t, 8))
+
+	var js, hbc bytes.Buffer
+	if err := c.Save(&js); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SaveBinary(&hbc); err != nil {
+		t.Fatal(err)
+	}
+
+	fpJSON, err := FingerprintData(js.Bytes())
+	if err != nil {
+		t.Fatalf("json: %v", err)
+	}
+	fpHBC, err := FingerprintData(hbc.Bytes())
+	if err != nil {
+		t.Fatalf("hbc: %v", err)
+	}
+	if fpJSON != c.Fingerprint() || fpHBC != c.Fingerprint() {
+		t.Errorf("FingerprintData json=%016x hbc=%016x, corpus=%016x",
+			fpJSON, fpHBC, c.Fingerprint())
+	}
+	if FormatFingerprint(fpJSON) != c.FingerprintString() {
+		t.Errorf("FormatFingerprint = %q, want %q", FormatFingerprint(fpJSON), c.FingerprintString())
+	}
+
+	// Corrupt inputs fail closed in both formats.
+	if _, err := FingerprintData([]byte("{broken")); err == nil {
+		t.Error("corrupt JSON must fail")
+	}
+	corrupt := append([]byte(nil), hbc.Bytes()...)
+	corrupt[len(corrupt)-1] ^= 0x01
+	if _, err := FingerprintData(corrupt); err == nil {
+		t.Error("corrupt HBC must fail")
+	}
+}

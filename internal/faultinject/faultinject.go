@@ -45,6 +45,18 @@ const (
 	// candidate file is read; the key is the corpus path. Error rules
 	// here model a reload that fails before validation.
 	StageServeReload = "serve.reload"
+	// StageClusterForward fires once per router forwarding attempt,
+	// before the request leaves the router; the key is the target node
+	// name. Error rules here model an unreachable or flapping node, which
+	// is how the cluster chaos tests force per-request failover and
+	// hedging without tearing down real listeners.
+	StageClusterForward = "cluster.forward"
+	// StageClusterRollout fires once per rollout phase step, before the
+	// coordinator contacts a node; the key is "<phase>:<node>"
+	// (e.g. "prepare:node2"). Error rules here model a coordinator-side
+	// failure mid-rollout, which must abort the epoch and leave every
+	// node on the prior generation.
+	StageClusterRollout = "cluster.rollout"
 )
 
 // Kind is the failure mode a rule injects.

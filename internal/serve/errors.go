@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"sync/atomic"
 	"time"
 )
 
@@ -32,7 +33,31 @@ var (
 	// ErrNoRollback means a rollback was requested but no previous
 	// corpus snapshot is retained.
 	ErrNoRollback = errors.New("serve: no previous corpus to roll back to")
+	// ErrNoPrepared means a rollout validate/commit arrived with no
+	// prepared corpus in the side buffer — the prepare phase never
+	// reached this node, or an abort already cleared it.
+	ErrNoPrepared = errors.New("serve: no prepared corpus (rollout prepare has not run)")
+	// ErrPreparedStale means the serving generation moved between
+	// prepare and commit (a reload or rollback slipped into the rollout
+	// epoch), so the prepared corpus no longer supersedes what it was
+	// validated against. The coordinator must restart the rollout.
+	ErrPreparedStale = errors.New("serve: prepared corpus is stale: serving generation changed since prepare")
 )
+
+// CommitMismatchError is a rollout commit whose expected fingerprint
+// does not match the prepared corpus — the cluster-wide validate phase
+// and this node disagree about what is about to be published, so the
+// commit is refused and the rollout must abort.
+type CommitMismatchError struct {
+	// Want is the fingerprint the coordinator expected to commit.
+	Want string
+	// Have is the fingerprint of the corpus actually prepared here.
+	Have string
+}
+
+func (e *CommitMismatchError) Error() string {
+	return fmt.Sprintf("serve: commit fingerprint mismatch: coordinator wants %s, prepared %s", e.Want, e.Have)
+}
 
 // ReloadError is a failed corpus reload: the candidate file could not be
 // read or did not validate. The previous corpus is untouched and keeps
@@ -80,12 +105,29 @@ func httpError(w http.ResponseWriter, err error, retryAfter time.Duration) {
 	}
 }
 
-// retryAfterSeconds renders d as the whole-second Retry-After form,
-// never below 1 — a zero hint would invite an immediate retry storm.
+// retrySeq drives the deterministic Retry-After jitter: each rejection
+// advances the sequence, and a multiplicative hash of the sequence
+// number spreads consecutive rejections across the window. No RNG, no
+// wall clock — the spread is reproducible under test and costs one
+// atomic add per shed request.
+var retrySeq atomic.Uint64
+
+// retryAfterSeconds renders d as a whole-second Retry-After hint with
+// jitter: a value in [base, 2*base] where base is d rounded up to at
+// least 1s. Shed responses go out to many clients in the same overload
+// instant; if they all carried the same hint, they would return in the
+// same instant too and re-saturate a node that was just recovering.
+// Spreading the hint across a window turns the synchronized thundering
+// herd into a trickle the admission gate can absorb.
 func retryAfterSeconds(d time.Duration) string {
-	s := int(d / time.Second)
-	if s < 1 {
-		s = 1
+	base := int((d + time.Second - 1) / time.Second)
+	if base < 1 {
+		base = 1
 	}
-	return strconv.Itoa(s)
+	// Fibonacci-hash the sequence number into [0, base+1): the odd
+	// multiplier walks the full 64-bit space, so consecutive rejections
+	// land on well-spread offsets.
+	x := retrySeq.Add(1) * 0x9e3779b97f4a7c15
+	jitter := int((x >> 33) % uint64(base+1))
+	return strconv.Itoa(base + jitter)
 }

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"testing"
 	"time"
 
@@ -86,12 +87,18 @@ func TestHTTPErrorMapping(t *testing.T) {
 }
 
 func TestRetryAfterSeconds(t *testing.T) {
+	// The hint is jittered: base rounds the duration up to at least one
+	// second, and the emitted value spreads across [base, 2*base].
 	for _, tc := range []struct {
 		d    time.Duration
-		want string
-	}{{0, "1"}, {50 * time.Millisecond, "1"}, {time.Second, "1"}, {2500 * time.Millisecond, "2"}} {
-		if got := retryAfterSeconds(tc.d); got != tc.want {
-			t.Errorf("retryAfterSeconds(%v) = %s, want %s", tc.d, got, tc.want)
+		base int
+	}{{0, 1}, {50 * time.Millisecond, 1}, {time.Second, 1}, {2500 * time.Millisecond, 3}} {
+		got, err := strconv.Atoi(retryAfterSeconds(tc.d))
+		if err != nil {
+			t.Fatalf("retryAfterSeconds(%v) is not an integer", tc.d)
+		}
+		if got < tc.base || got > 2*tc.base {
+			t.Errorf("retryAfterSeconds(%v) = %d, want within [%d, %d]", tc.d, got, tc.base, 2*tc.base)
 		}
 	}
 }

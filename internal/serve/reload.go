@@ -37,11 +37,13 @@ func (s *Server) Reload(ctx context.Context) (*snapshot, error) {
 	defer s.reloadMu.Unlock()
 	if err := faultinject.Fire(ctx, faultinject.StageServeReload, s.cfg.CorpusPath); err != nil {
 		s.stats.reloadFailures.Add(1)
+		s.noteErrLocked(err)
 		return nil, &ReloadError{Path: s.cfg.CorpusPath, Err: err}
 	}
 	corpus, err := extract.LoadFile(s.cfg.CorpusPath, s.corpusOpts...)
 	if err != nil {
 		s.stats.reloadFailures.Add(1)
+		s.noteErrLocked(err)
 		return nil, &ReloadError{Path: s.cfg.CorpusPath, Err: err}
 	}
 	snap := &snapshot{
@@ -96,4 +98,7 @@ type counters struct {
 	reloads        atomic.Uint64 // successful corpus publishes via Reload
 	reloadFailures atomic.Uint64 // rejected reload attempts
 	rollbacks      atomic.Uint64 // successful rollbacks
+	prepares       atomic.Uint64 // rollout corpora staged into the side buffer
+	commits        atomic.Uint64 // rollout side buffers published
+	aborts         atomic.Uint64 // rollout side buffers dropped
 }

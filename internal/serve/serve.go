@@ -84,7 +84,12 @@ type Server struct {
 	state      atomic.Pointer[snapshot] // currently serving corpus
 	prev       atomic.Pointer[snapshot] // rollback target
 	generation atomic.Uint64
-	reloadMu   sync.Mutex // serializes Reload/Rollback
+	reloadMu   sync.Mutex // serializes Reload/Rollback/rollout phases
+
+	// Rollout side buffer and last-failure record, guarded by reloadMu.
+	prepared  *preparedCorpus
+	lastErr   string
+	lastErrAt time.Time
 
 	gate  *gate
 	stats counters
@@ -167,6 +172,11 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /extract", s.extraction(s.handleExtractBatch))
 	mux.HandleFunc("POST /-/reload", s.handleReload)
 	mux.HandleFunc("POST /-/rollback", s.handleRollback)
+	mux.HandleFunc("GET /-/status", s.handleNodeStatus)
+	mux.HandleFunc("POST /-/rollout/prepare", s.handlePrepare)
+	mux.HandleFunc("POST /-/rollout/validate", s.handleValidate)
+	mux.HandleFunc("POST /-/rollout/commit", s.handleCommit)
+	mux.HandleFunc("POST /-/rollout/abort", s.handleAbort)
 	return s.recoverPanics(mux)
 }
 
