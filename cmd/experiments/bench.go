@@ -96,6 +96,50 @@ func benchColdStart() (jsonRes, hbcRes benchResult) {
 	return jsonRes, hbcRes
 }
 
+// benchDelta measures the PR-10 rollout workload: applying an HBD
+// delta that changes a handful of records (4 removed, 4 added out of
+// 128) versus a full HBC reload of the same target corpus. Both
+// produce the identical ready-to-serve corpus; the delta path reuses
+// the base's compiled engines for every unchanged record. Also returns
+// the wire sizes, whose ratio is the delta's bandwidth win.
+func benchDelta() (applyRes, reloadRes benchResult, deltaLen, fullLen int) {
+	ncs, _ := experiments.CorpusWorkload(136, 8)
+	base := extract.New(ncs[:128])
+	base.Precompile()
+	targetNCs := append(append(make([]*core.NC, 0, 128), ncs[:124]...), ncs[128:132]...)
+	target := extract.New(targetNCs)
+	var delta, full bytes.Buffer
+	if err := extract.Diff(base, target, &delta); err != nil {
+		panic(err)
+	}
+	if err := target.SaveBinary(&full); err != nil {
+		panic(err)
+	}
+	applyRes = runBench("rollout/delta-apply", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			c, _, err := extract.ApplyDelta(base, delta.Bytes())
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(c.Suffixes()) != 128 {
+				b.Fatalf("applied corpus has %d suffixes", len(c.Suffixes()))
+			}
+		}
+	})
+	reloadRes = runBench("rollout/full-reload-hbc", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			c, err := extract.Load(bytes.NewReader(full.Bytes()))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(c.Suffixes()) != 128 {
+				b.Fatalf("loaded corpus has %d suffixes", len(c.Suffixes()))
+			}
+		}
+	})
+	return applyRes, reloadRes, delta.Len(), full.Len()
+}
+
 // benchLearnLarge measures the PR-7 learning-alloc workload.
 func benchLearnLarge() benchResult {
 	largeItems := experiments.LargeSuffixItems(200)
@@ -122,6 +166,9 @@ func writeBenchJSON(path string) error {
 	fig4 := experiments.Figure4Items()
 
 	coldJSON, coldHBC := benchColdStart()
+	deltaApply, fullReload, deltaLen, fullLen := benchDelta()
+	fmt.Fprintf(os.Stderr, "benchjson: delta %d bytes vs full corpus %d bytes (%.1f%%)\n",
+		deltaLen, fullLen, 100*float64(deltaLen)/float64(fullLen))
 	results := []benchResult{
 		benchLearnLarge(),
 		runBench("learn/figure4", func(b *testing.B) {
@@ -142,6 +189,8 @@ func writeBenchJSON(path string) error {
 		benchExtract(),
 		coldJSON,
 		coldHBC,
+		deltaApply,
+		fullReload,
 	}
 
 	data, err := json.MarshalIndent(map[string]any{"benchmarks": results}, "", "  ")
@@ -171,6 +220,23 @@ type benchFile struct {
 // corpus from JSON. Measured live as a ratio, so it holds on any
 // machine class.
 const coldStartMinRatio = 5.0
+
+// deltaApplyMinSpeedup is the PR-10 acceptance bar: applying a
+// small-change HBD delta must be at least this many times faster than a
+// full HBC reload of the same target. Measured live as a ratio, so it
+// holds on any machine class. Typical measured speedup is ~1.5x (the
+// delta path skips decode and engine construction for copied records
+// but still re-encodes and checksums the full target); the bar sits
+// below that with margin because both sides share noisy costs (corpus
+// indexing, PSL walks) that compress the ratio under scheduler jitter.
+// Gated only when the baseline file records the rollout benchmarks
+// (BENCH_PR10.json and later).
+const deltaApplyMinSpeedup = 1.2
+
+// deltaMaxSizePct is the PR-10 acceptance bar on the wire: the delta
+// for the canonical handful-changed workload (8 of 128 records) must
+// stay under this percentage of the full corpus size.
+const deltaMaxSizePct = 20.0
 
 // learnAllocCeiling is the PR-7 acceptance bar on the learning path:
 // allocations per learn/large-suffix-200 op after the struct-of-arrays
@@ -236,6 +302,25 @@ func runBenchGate(path string, tolerancePct float64) error {
 	if ratio < coldStartMinRatio {
 		return fmt.Errorf("bench gate: HBC cold start only %.1fx faster than JSON (need >= %.0fx)",
 			ratio, coldStartMinRatio)
+	}
+
+	// Delta rollouts (PR 10): gated only against baselines that record
+	// the rollout benchmarks, so older BENCH_PR*.json gates skip it.
+	if baseline("rollout/delta-apply") != nil {
+		applyRes, reloadRes, deltaLen, fullLen := benchDelta()
+		speedup := reloadRes.NsPerOp / applyRes.NsPerOp
+		sizePct := 100 * float64(deltaLen) / float64(fullLen)
+		fmt.Printf("bench gate: delta apply %.0f ns/op vs full reload %.0f ns/op (%.1fx, need >= %.1fx); delta %d bytes = %.1f%% of full %d (cap %.0f%%)\n",
+			applyRes.NsPerOp, reloadRes.NsPerOp, speedup, deltaApplyMinSpeedup,
+			deltaLen, sizePct, fullLen, deltaMaxSizePct)
+		if speedup < deltaApplyMinSpeedup {
+			return fmt.Errorf("bench gate: delta apply only %.2fx faster than full reload (need >= %.1fx)",
+				speedup, deltaApplyMinSpeedup)
+		}
+		if sizePct > deltaMaxSizePct {
+			return fmt.Errorf("bench gate: delta is %.1f%% of the full corpus size (cap %.0f%%)",
+				sizePct, deltaMaxSizePct)
+		}
 	}
 
 	// Learning allocations: gated both as the PR-7 absolute ceiling and

@@ -23,6 +23,11 @@
 // reload (SIGHUP picks up a re-learned file atomically), load shedding,
 // and graceful drain.
 //
+// For fleet upgrades, -diff computes the HBD rollout delta between two
+// saved corpora (`hoiho -diff old.hbc new.hbc -o patch.hbd`): a small
+// patch chained to the old corpus's fingerprint that the hoihoc
+// coordinator resolves and ships instead of the full corpus.
+//
 // Example:
 //
 //	hoiho -format itdk itdk-2020-01.txt
@@ -42,6 +47,7 @@ package main
 
 import (
 	"bufio"
+	"bytes"
 	"context"
 	"flag"
 	"fmt"
@@ -56,6 +62,7 @@ import (
 
 	"hoiho/internal/asn"
 	"hoiho/internal/asnames"
+	"hoiho/internal/atomicfile"
 	"hoiho/internal/core"
 	"hoiho/internal/extract"
 	"hoiho/internal/itdk"
@@ -83,6 +90,8 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	noTypo := fs.Bool("no-typo-credit", false, "ablation: disable the edit-distance-1 TP credit")
 	names := fs.Bool("names", false, "learn AS *name* conventions (§7 extension); plain input becomes \"hostname name\"")
 	matches := fs.Bool("matches", false, "show per-hostname classifications under each convention (the paper's data-supplement view)")
+	diffMode := fs.Bool("diff", false, "compute an HBD rollout delta between two saved corpora: hoiho -diff <old> <new> -o patch.hbd")
+	diffOut := fs.String("o", "", "with -diff: write the delta to this file (required)")
 	savePath := fs.String("save", "", "after learning, save the conventions to this file (format per -save-format)")
 	saveFormat := fs.String("save-format", "auto", "with -save: auto (a .hbc path writes the HBC binary corpus, anything else JSON), json, or bin")
 	applyPath := fs.String("apply", "", "apply a saved conventions JSON to hostnames from <file> (or - for stdin); emits hostname<TAB>asn")
@@ -100,6 +109,31 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
+	}
+	if *diffMode {
+		// Stdlib flag parsing stops at the first positional, but the
+		// natural spelling puts -o after the corpus paths (`hoiho -diff
+		// old new -o patch.hbd`); re-parse interleaved flags here.
+		rest := fs.Args()
+		var inputs []string
+		for len(rest) > 0 {
+			if strings.HasPrefix(rest[0], "-") && len(rest[0]) > 1 {
+				if err := fs.Parse(rest); err != nil {
+					return err
+				}
+				rest = fs.Args()
+				continue
+			}
+			inputs = append(inputs, rest[0])
+			rest = rest[1:]
+		}
+		if len(inputs) != 2 {
+			return fmt.Errorf("usage: hoiho -diff <old-corpus> <new-corpus> -o patch.hbd")
+		}
+		if *diffOut == "" {
+			return fmt.Errorf("-diff requires -o <patch.hbd> (the delta output path)")
+		}
+		return runDiff(inputs[0], inputs[1], *diffOut)
 	}
 	if fs.NArg() != 1 {
 		return fmt.Errorf("usage: hoiho [flags] <training-file>")
@@ -266,6 +300,42 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 				e.Outcome, e.Item.Hostname, e.Item.ASN, extracted)
 		}
 	}
+	return nil
+}
+
+// runDiff computes the HBD rollout delta that takes the old saved
+// corpus to the new one. The delta is chained to the old corpus's
+// fingerprint, so a node (or the hoihoc coordinator) applies it only
+// against exactly that base, and applying reproduces the new corpus
+// byte for byte. Both inputs may be JSON or HBC; classes are never
+// filtered here — the delta describes the full corpus.
+func runDiff(oldPath, newPath, outPath string) error {
+	oldC, err := extract.LoadFile(oldPath)
+	if err != nil {
+		return fmt.Errorf("old corpus: %w", err)
+	}
+	newC, err := extract.LoadFile(newPath)
+	if err != nil {
+		return fmt.Errorf("new corpus: %w", err)
+	}
+	var delta bytes.Buffer
+	if err := extract.Diff(oldC, newC, &delta); err != nil {
+		return err
+	}
+	var full bytes.Buffer
+	if err := newC.SaveBinary(&full); err != nil {
+		return err
+	}
+	if err := atomicfile.WriteFile(outPath, func(w io.Writer) error {
+		_, err := w.Write(delta.Bytes())
+		return err
+	}); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr,
+		"hoiho: wrote %d-byte delta %s → %s to %s (full corpus %d bytes, %.1f%%); roll out with `curl -X POST --data-binary @%s <router>/-/rollout`\n",
+		delta.Len(), oldC.FingerprintString(), newC.FingerprintString(), outPath,
+		full.Len(), 100*float64(delta.Len())/float64(full.Len()), outPath)
 	return nil
 }
 

@@ -13,8 +13,9 @@
 //	GET  /readyz                    503 until at least one node is healthy
 //	GET  /-/cluster                 membership health, ring shape, counters
 //	POST /-/rollout                 two-phase corpus rollout: body is the
-//	                                corpus (HBC or JSON); commits on every
-//	                                node or aborts on all of them
+//	                                corpus (HBC or JSON) or, with -journal,
+//	                                an HBD delta from `hoiho -diff`; commits
+//	                                on every node or aborts on all of them
 //	POST /-/join?node=<url>         warm a node, then add it to the ring
 //	POST /-/leave?node=<url>        remove a node from the ring
 //
@@ -28,9 +29,20 @@
 //	hoihod -corpus ncs.json -addr :8081 &
 //	hoihod -corpus ncs.json -addr :8082 &
 //	hoihod -corpus ncs.json -addr :8083 &
-//	hoihoc -addr :8080 -nodes http://localhost:8081,http://localhost:8082,http://localhost:8083
+//	hoihoc -addr :8080 -nodes http://localhost:8081,http://localhost:8082,http://localhost:8083 \
+//	       -journal /var/lib/hoihoc/journal -anti-entropy 30s
 //	curl 'localhost:8080/extract?host=ae1-0.cr2.example.net'
 //	curl -X POST --data-binary @ncs.hbc 'localhost:8080/-/rollout'
+//	hoiho -diff ncs.hbc ncs-v2.hbc -o patch.hbd
+//	curl -X POST --data-binary @patch.hbd 'localhost:8080/-/rollout'
+//
+// With -journal, every epoch's state (phase, manifest, per-node delta
+// plan) is journaled before it advances: a coordinator killed
+// mid-rollout resumes on restart — rolling the epoch forward if the
+// commit record is durable, aborting it cleanly otherwise — and the
+// journal's committed corpus is the base for computing per-node deltas
+// and for the -anti-entropy sweep, which repairs nodes that diverged or
+// rejoined stale without operator action.
 package main
 
 import (
@@ -74,6 +86,8 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	reqTimeout := fs.Duration("request-timeout", 5*time.Second, "end-to-end client request deadline")
 	maxAttempts := fs.Int("max-attempts", 0, "maximum nodes one request may be forwarded to (0 = replicas+1)")
 	rolloutTimeout := fs.Duration("rollout-timeout", 15*time.Second, "per-node deadline for each rollout phase")
+	journalPath := fs.String("journal", "", "directory for the rollout journal; enables delta rollouts and crash recovery")
+	antiEntropy := fs.Duration("anti-entropy", 0, "anti-entropy sweep period repairing divergent nodes (0 = off; requires -journal)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -102,6 +116,8 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		RequestTimeout:      *reqTimeout,
 		MaxAttempts:         *maxAttempts,
 		RolloutPhaseTimeout: *rolloutTimeout,
+		JournalPath:         *journalPath,
+		AntiEntropyInterval: *antiEntropy,
 		Log:                 logger,
 	})
 	if err != nil {
@@ -123,6 +139,17 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	probeCtx, cancelProbes := context.WithCancel(context.Background())
 	defer cancelProbes()
 	rt.Start(probeCtx)
+
+	// If a previous coordinator died mid-rollout, finish its epoch from
+	// the journal before accepting new work: roll forward if the commit
+	// record is durable, abort cleanly otherwise.
+	if *journalPath != "" {
+		if err := rt.Resume(termCtx); err != nil {
+			cancelProbes()
+			rt.Wait()
+			return fmt.Errorf("journal resume: %w", err)
+		}
+	}
 
 	httpSrv := &http.Server{Handler: rt.Handler()}
 	serveErr := make(chan error, 1)

@@ -1,0 +1,159 @@
+package cluster
+
+// Anti-entropy: the self-healing loop that keeps the fleet converged on
+// the journaled committed corpus without operator action. Rollouts
+// converge the nodes that were present for the epoch; anti-entropy
+// handles everyone else — a node that rejoined after missing an epoch,
+// one restored from a stale disk image, or one whose operator reloaded
+// the wrong file. Each sweep compares every healthy member's live
+// fingerprint against the committed target and repairs divergent nodes
+// with a single-node prepare→commit: the prev→committed HBD patch when
+// the node sits exactly one epoch behind (the common rejoin case), the
+// full committed corpus otherwise. Repair reuses the rollout transport,
+// so a delta the node cannot apply nacks as a base mismatch and falls
+// back to the full corpus, and a node that prepares a fingerprint other
+// than the target is aborted, never committed — the sweep can only move
+// nodes toward the committed state.
+//
+// Sweeps take adminMu with TryLock and step aside whenever a rollout or
+// membership change is running; a live rollout converges the fleet
+// itself, and repairing mid-epoch would race the coordinator's own
+// prepare.
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"strconv"
+	"time"
+
+	"hoiho/internal/extract"
+	"hoiho/internal/faultinject"
+)
+
+// antiEntropyLoop runs sweeps every AntiEntropyInterval until ctx ends.
+func (rt *Router) antiEntropyLoop(ctx context.Context) {
+	defer rt.wg.Done()
+	t := time.NewTicker(rt.cfg.AntiEntropyInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			return
+		}
+		rt.antiEntropySweep(ctx)
+	}
+}
+
+// antiEntropySweep performs one pass over the membership. Exported
+// behavior is driven through the loop; tests call it directly to make
+// convergence deterministic.
+func (rt *Router) antiEntropySweep(ctx context.Context) {
+	if !rt.adminMu.TryLock() {
+		return // a rollout or membership change owns the fleet right now
+	}
+	defer rt.adminMu.Unlock()
+	rt.stats.sweeps.Add(1)
+
+	st, err := rt.journal.load()
+	if err != nil || st == nil || st.Phase != phaseCommitted {
+		return // nothing committed to converge on (or resume still owed)
+	}
+	committed, err := rt.journal.readCommitted()
+	if err != nil || committed == nil {
+		return
+	}
+
+	// The prev→committed patch is built lazily, at most once per sweep,
+	// and only when some member actually sits on the prev fingerprint.
+	var repairDelta []byte
+	var deltaFailed bool
+	prev, _ := rt.journal.readPrev()
+	prevFP := ""
+	if prev != nil {
+		if c, err := extract.Load(bytes.NewReader(prev)); err == nil {
+			prevFP = c.FingerprintString()
+		}
+	}
+
+	v := rt.view.Load()
+	for _, m := range v.members {
+		if !m.healthy.Load() {
+			continue // unreachable; the probe loop owns its comeback
+		}
+		fp, _, err := rt.nodeStatus(ctx, m)
+		if err != nil || fp == st.TargetFP {
+			continue
+		}
+		payload, usedDelta := committed, false
+		if prevFP != "" && fp == prevFP && !deltaFailed {
+			if repairDelta == nil {
+				repairDelta = rt.buildRepairDelta(prev, committed)
+				deltaFailed = repairDelta == nil
+			}
+			if repairDelta != nil {
+				payload, usedDelta = repairDelta, true
+			}
+		}
+		if err := rt.repairNode(ctx, m, st, payload, committed, usedDelta); err != nil {
+			rt.stats.repairFails.Add(1)
+			rt.logf("anti-entropy: repair of %s failed: %v", m.name, err)
+			continue
+		}
+		rt.stats.repairs.Add(1)
+		rt.logf("anti-entropy: repaired %s from %s to %s (delta=%v)", m.name, fp, st.TargetFP, usedDelta)
+	}
+}
+
+// buildRepairDelta diffs the prev corpus into the committed one; nil on
+// any failure (the sweep falls back to full-corpus repairs).
+func (rt *Router) buildRepairDelta(prev, committed []byte) []byte {
+	prevC, err := extract.Load(bytes.NewReader(prev))
+	if err != nil {
+		return nil
+	}
+	commC, err := extract.Load(bytes.NewReader(committed))
+	if err != nil {
+		return nil
+	}
+	var buf bytes.Buffer
+	if err := extract.Diff(prevC, commC, &buf); err != nil {
+		rt.logf("anti-entropy: prev→committed diff failed: %v", err)
+		return nil
+	}
+	return buf.Bytes()
+}
+
+// repairNode converges one divergent member with a single-node
+// prepare→commit of the committed target. The faultinject stage fires
+// per attempt (keyed by node name) before the node is contacted.
+func (rt *Router) repairNode(ctx context.Context, m *member, st *journalState, payload, full []byte, usedDelta bool) error {
+	if err := faultinject.Fire(ctx, faultinject.StageClusterAntiEntropy, m.name); err != nil {
+		return err
+	}
+	epochQ := "epoch=" + strconv.FormatUint(st.Epoch, 10)
+	pctx, cancel := context.WithTimeout(ctx, rt.cfg.RolloutPhaseTimeout)
+	defer cancel()
+	fp, _, err := rt.rolloutPost(pctx, "prepare", m, "/-/rollout/prepare", epochQ, payload)
+	if err != nil && usedDelta && errors.Is(err, ErrBaseMismatchNack) {
+		fp, _, err = rt.rolloutPost(pctx, "prepare", m, "/-/rollout/prepare", epochQ, full)
+	}
+	if err != nil {
+		return err
+	}
+	if fp != st.TargetFP {
+		// The node prepared something other than the committed target
+		// (a class filter, or a corpus that mutated in flight). Never
+		// commit it — drop the buffer and leave the node as it was.
+		rt.abortNode(ctx, m)
+		return fmt.Errorf("cluster: repair prepared %s, committed target is %s", fp, st.TargetFP)
+	}
+	cctx, ccancel := context.WithTimeout(ctx, rt.cfg.RolloutPhaseTimeout)
+	defer ccancel()
+	if _, _, err := rt.rolloutPost(cctx, "commit", m, "/-/rollout/commit", "fingerprint="+fp, nil); err != nil {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,68 @@
+package cluster
+
+// Probe backoff regression tests: the schedule doubles under failure,
+// caps at the max, snaps back to the base interval the moment a probe
+// succeeds, and the jitter is fully deterministic under the per-member
+// seeded source.
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestNextProbeWaitDoublesCapsAndResets(t *testing.T) {
+	base, max := time.Second, 15*time.Second
+	wait := base
+	want := []time.Duration{
+		2 * time.Second, 4 * time.Second, 8 * time.Second,
+		15 * time.Second, 15 * time.Second, // capped, stays capped
+	}
+	for i, w := range want {
+		wait = nextProbeWait(wait, base, max, false)
+		if wait != w {
+			t.Fatalf("failure %d: wait = %v, want %v", i+1, wait, w)
+		}
+	}
+	// One successful probe resets to the base interval immediately — a
+	// recovered node must not inherit its outage's backoff.
+	if wait = nextProbeWait(wait, base, max, true); wait != base {
+		t.Fatalf("wait after recovery = %v, want the base %v", wait, base)
+	}
+	// And the next failure restarts the doubling from the base.
+	if wait = nextProbeWait(wait, base, max, false); wait != 2*base {
+		t.Fatalf("first failure after recovery = %v, want %v", wait, 2*base)
+	}
+}
+
+func TestJitterWaitDeterministicAndBounded(t *testing.T) {
+	// Two sources seeded the way probeLoop seeds them — from the member
+	// name — must produce identical schedules: restarting a router
+	// reproduces the exact probe timeline.
+	a := rand.New(rand.NewSource(int64(hashKey("http://node-a:8080"))))
+	b := rand.New(rand.NewSource(int64(hashKey("http://node-a:8080"))))
+	other := rand.New(rand.NewSource(int64(hashKey("http://node-b:8080"))))
+	identical, diverged := 0, false
+	for i := 0; i < 256; i++ {
+		w := time.Duration(1+i%15) * time.Second
+		ja, jb := jitterWait(w, a), jitterWait(w, b)
+		if ja != jb {
+			t.Fatalf("step %d: same seed produced %v vs %v", i, ja, jb)
+		}
+		if ja < w/2 || ja > w {
+			t.Fatalf("step %d: jitter %v outside [%v, %v]", i, ja, w/2, w)
+		}
+		identical++
+		if jitterWait(w, other) != ja {
+			diverged = true
+		}
+	}
+	if identical != 256 {
+		t.Fatalf("compared %d schedules, want 256", identical)
+	}
+	// Distinct members must not share a schedule (that would recreate
+	// the lockstep the jitter exists to break).
+	if !diverged {
+		t.Error("two differently-seeded members produced identical jitter schedules")
+	}
+}

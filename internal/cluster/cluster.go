@@ -88,6 +88,16 @@ type Config struct {
 	// RolloutPhaseTimeout bounds each per-node call of each rollout
 	// phase (default 15s).
 	RolloutPhaseTimeout time.Duration
+	// JournalPath is a directory where the rollout coordinator journals
+	// epoch state and the committed corpus (journal.go). Empty disables
+	// journaling: rollouts ship full corpora only, crash recovery is
+	// manual, and anti-entropy is unavailable.
+	JournalPath string
+	// AntiEntropyInterval is the period of the self-healing sweep that
+	// compares each member's live fingerprint against the journaled
+	// committed target and repairs divergent nodes (antientropy.go).
+	// Zero disables the sweep; a positive value requires JournalPath.
+	AntiEntropyInterval time.Duration
 	// MaxBatchBytes caps a proxied POST /extract body (default 8 MiB).
 	MaxBatchBytes int64
 	// RetryAfter is the base Retry-After hint on shed responses
@@ -122,10 +132,17 @@ type Router struct {
 
 	view atomic.Pointer[view]
 
-	// adminMu serializes membership changes and rollouts: the protocol
-	// is one epoch at a time, and a ring flip mid-rollout would change
-	// the member set between phases.
+	// adminMu serializes membership changes, rollouts, and anti-entropy
+	// sweeps: the protocol is one epoch at a time, and a ring flip
+	// mid-rollout would change the member set between phases.
 	adminMu sync.Mutex
+
+	// journal is the rollout crash-recovery log (nil when disabled),
+	// and epoch the monotonic rollout epoch counter, seeded from the
+	// journal's last record so epochs never repeat across coordinator
+	// restarts.
+	journal *journal
+	epoch   atomic.Uint64
 
 	// runCtx is Start's context; probe loops for members joining later
 	// derive from it so one cancellation stops everything.
@@ -148,6 +165,10 @@ type routerCounters struct {
 	joins     atomic.Uint64 // nodes joined
 	leaves    atomic.Uint64 // nodes left
 	unhealthy atomic.Uint64 // passive health demotions from forward failures
+
+	sweeps      atomic.Uint64 // anti-entropy sweeps run
+	repairs     atomic.Uint64 // divergent nodes repaired by anti-entropy
+	repairFails atomic.Uint64 // anti-entropy repair attempts that failed
 }
 
 // NewRouter validates cfg, applies defaults, and builds the initial
@@ -194,6 +215,9 @@ func NewRouter(cfg Config) (*Router, error) {
 	if cfg.RetryAfter <= 0 {
 		cfg.RetryAfter = time.Second
 	}
+	if cfg.AntiEntropyInterval > 0 && cfg.JournalPath == "" {
+		return nil, fmt.Errorf("cluster: anti-entropy requires a journal path (the journaled committed corpus is the repair source)")
+	}
 	list := cfg.PSL
 	if list == nil {
 		list = psl.Default()
@@ -202,6 +226,20 @@ func NewRouter(cfg Config) (*Router, error) {
 		cfg:    cfg,
 		list:   list,
 		client: &http.Client{}, // per-attempt contexts bound every call
+	}
+	if cfg.JournalPath != "" {
+		j, err := openJournal(cfg.JournalPath)
+		if err != nil {
+			return nil, err
+		}
+		rt.journal = j
+		st, err := j.load()
+		if err != nil {
+			return nil, err
+		}
+		if st != nil {
+			rt.epoch.Store(st.Epoch)
+		}
 	}
 	members := make([]*member, 0, len(cfg.Nodes))
 	for _, n := range cfg.Nodes {
@@ -252,14 +290,19 @@ func buildView(members []*member, vnodes, repl int) (*view, error) {
 	return &view{members: sorted, byName: byName, ring: ring}, nil
 }
 
-// Start launches one readiness probe loop per member. The loops (and
-// those of members joining later) stop when ctx is cancelled; call Wait
-// to block until they have all exited.
+// Start launches one readiness probe loop per member, plus the
+// anti-entropy sweep when configured. The loops (and those of members
+// joining later) stop when ctx is cancelled; call Wait to block until
+// they have all exited.
 func (rt *Router) Start(ctx context.Context) {
 	rt.runCtx.Store(&ctx)
 	v := rt.view.Load()
 	for _, m := range v.members {
 		rt.startProbe(ctx, m)
+	}
+	if rt.journal != nil && rt.cfg.AntiEntropyInterval > 0 {
+		rt.wg.Add(1)
+		go rt.antiEntropyLoop(ctx)
 	}
 }
 

@@ -24,6 +24,12 @@ var (
 	ErrMemberExists = errors.New("cluster: node is already a member")
 	// ErrMemberUnknown means a leave named a node not in the ring.
 	ErrMemberUnknown = errors.New("cluster: node is not a member")
+	// ErrBaseMismatchNack means a node refused a rollout delta because
+	// its live corpus is not the delta's base (serve.ErrBaseMismatch on
+	// the node side, signalled back via the X-Hoiho-Rollout-Nack
+	// header). The coordinator degrades gracefully: it resends the full
+	// corpus to just that node instead of aborting the epoch.
+	ErrBaseMismatchNack = errors.New("cluster: node nacked the rollout delta: base mismatch")
 )
 
 // ForwardError is one failed forwarding attempt: the node that was

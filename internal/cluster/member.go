@@ -52,23 +52,40 @@ func (rt *Router) probeLoop(ctx context.Context, m *member) {
 		case <-ctx.Done():
 			return
 		}
-		if rt.probe(ctx, m) {
+		ok := rt.probe(ctx, m)
+		if ok {
 			if !m.healthy.Swap(true) {
 				rt.logf("probe: %s healthy", m.name)
 			}
-			wait = rt.cfg.ProbeInterval
-		} else {
-			if m.healthy.Swap(false) {
-				rt.logf("probe: %s unhealthy", m.name)
-			}
-			wait *= 2
-			if wait > rt.cfg.ProbeMaxBackoff {
-				wait = rt.cfg.ProbeMaxBackoff
-			}
+		} else if m.healthy.Swap(false) {
+			rt.logf("probe: %s unhealthy", m.name)
 		}
-		half := wait / 2
-		timer.Reset(half + time.Duration(rng.Int63n(int64(half)+1)))
+		wait = nextProbeWait(wait, rt.cfg.ProbeInterval, rt.cfg.ProbeMaxBackoff, ok)
+		timer.Reset(jitterWait(wait, rng))
 	}
+}
+
+// nextProbeWait advances the probe backoff: a successful probe resets
+// to the base interval immediately (a recovered node must not inherit
+// its outage's backoff), a failure doubles the current wait up to max.
+func nextProbeWait(cur, base, max time.Duration, ok bool) time.Duration {
+	if ok {
+		return base
+	}
+	w := cur * 2
+	if w > max {
+		w = max
+	}
+	return w
+}
+
+// jitterWait spreads a probe wait uniformly across [w/2, w] using the
+// member's deterministic source, so a fleet of routers restarted
+// together does not probe in lockstep yet every schedule is
+// reproducible under test.
+func jitterWait(w time.Duration, rng *rand.Rand) time.Duration {
+	half := w / 2
+	return half + time.Duration(rng.Int63n(int64(half)+1))
 }
 
 // probe performs one readiness check: GET /readyz within ProbeTimeout.

@@ -30,6 +30,8 @@ package cluster
 import (
 	"bytes"
 	"context"
+	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -37,6 +39,8 @@ import (
 	"sync"
 	"time"
 
+	"hoiho/internal/corpusbin"
+	"hoiho/internal/extract"
 	"hoiho/internal/faultinject"
 )
 
@@ -77,30 +81,63 @@ func (rt *Router) Rollout(ctx context.Context, data []byte, holdValidate time.Du
 		return nil, ErrRolloutInProgress
 	}
 	defer rt.adminMu.Unlock()
+	return rt.rolloutLocked(ctx, data, holdValidate)
+}
+
+// rolloutLocked is the epoch body, factored out so journal resume can
+// roll forward while already holding adminMu.
+func (rt *Router) rolloutLocked(ctx context.Context, data []byte, holdValidate time.Duration) (*RolloutResult, error) {
 	v := rt.view.Load()
 	members := v.members
 	if len(members) == 0 {
 		return nil, ErrNoMembers
 	}
 
-	// Phase 1: prepare. Ship the bytes everywhere; agree on the
-	// fingerprint.
+	plan, err := rt.planEpoch(ctx, members, data)
+	if err != nil {
+		return nil, err
+	}
+	if err := rt.journalPhase(ctx, plan, phasePrepare, ""); err != nil {
+		return nil, err
+	}
+	epochQ := "epoch=" + strconv.FormatUint(plan.epoch, 10)
+
+	// Phase 1: prepare. Ship each node its planned payload — the HBD
+	// patch when the node's live fingerprint matched the delta base at
+	// planning time, the full corpus otherwise. A node that nacks its
+	// delta with a base mismatch (it diverged between planning and
+	// prepare, or its filter makes its fingerprint incomparable) is
+	// retried immediately with the full corpus; only a full-corpus
+	// failure aborts the epoch. All prepared fingerprints must agree.
 	preps := rt.phaseFanout(ctx, "prepare", members, func(pctx context.Context, m *member) (string, uint64, error) {
-		return rt.rolloutPost(pctx, "prepare", m, "/-/rollout/prepare", "", data)
+		body := plan.full
+		if plan.useDelta[m.name] {
+			body = plan.delta
+		}
+		fp, gen, err := rt.rolloutPost(pctx, "prepare", m, "/-/rollout/prepare", epochQ, body)
+		if err != nil && plan.useDelta[m.name] && errors.Is(err, ErrBaseMismatchNack) {
+			rt.logf("rollout: %s nacked the delta base; resending the full corpus", m.name)
+			return rt.rolloutPost(pctx, "prepare", m, "/-/rollout/prepare", epochQ, plan.full)
+		}
+		return fp, gen, err
 	})
 	var fp string
 	for _, a := range preps {
 		if a.err != nil {
-			rt.abortEpoch(ctx, members, "prepare", a.node, a.err)
+			rt.abortEpochJournaled(ctx, plan, members, "prepare", a.node, a.err)
 			return nil, &RolloutError{Phase: "prepare", Node: a.node, Err: a.err}
 		}
 		if fp == "" {
 			fp = a.fp
 		} else if a.fp != fp {
 			err := fmt.Errorf("cluster: prepared fingerprint %s disagrees with reference %s (mismatched corpus or class filters across nodes)", a.fp, fp)
-			rt.abortEpoch(ctx, members, "prepare", a.node, err)
+			rt.abortEpochJournaled(ctx, plan, members, "prepare", a.node, err)
 			return nil, &RolloutError{Phase: "prepare", Node: a.node, Err: err}
 		}
+	}
+	if err := rt.journalPhase(ctx, plan, phaseValidate, fp); err != nil {
+		rt.abortEpochJournaled(ctx, plan, members, "prepare", "", err)
+		return nil, &RolloutError{Phase: "prepare", Err: err}
 	}
 
 	// Optional hold between phases (chaos/test hook), bounded by ctx.
@@ -110,7 +147,7 @@ func (rt *Router) Rollout(ctx context.Context, data []byte, holdValidate time.Du
 		case <-t.C:
 		case <-ctx.Done():
 			t.Stop()
-			rt.abortEpoch(ctx, members, "validate", "", ctx.Err())
+			rt.abortEpochJournaled(ctx, plan, members, "validate", "", ctx.Err())
 			return nil, &RolloutError{Phase: "validate", Err: ctx.Err()}
 		}
 	}
@@ -129,9 +166,13 @@ func (rt *Router) Rollout(ctx context.Context, data []byte, holdValidate time.Du
 			err = fmt.Errorf("cluster: serving generation moved from %d to %d during the epoch", preps[i].gen, a.gen)
 		}
 		if err != nil {
-			rt.abortEpoch(ctx, members, "validate", a.node, err)
+			rt.abortEpochJournaled(ctx, plan, members, "validate", a.node, err)
 			return nil, &RolloutError{Phase: "validate", Node: a.node, Err: err}
 		}
+	}
+	if err := rt.journalPhase(ctx, plan, phaseCommit, fp); err != nil {
+		rt.abortEpochJournaled(ctx, plan, members, "validate", "", err)
+		return nil, &RolloutError{Phase: "validate", Err: err}
 	}
 
 	// Phase 3: commit, pinned to the agreed fingerprint. A partial
@@ -158,8 +199,24 @@ func (rt *Router) Rollout(ctx context.Context, data []byte, holdValidate time.Du
 			}
 		}
 		rt.stats.aborted.Add(1)
+		rt.markAborted(ctx, plan)
 		rt.logf("rollout: epoch aborted at commit: %v", commitErr)
 		return nil, commitErr
+	}
+
+	// The epoch is live cluster-wide; rotate the journal's corpus files
+	// and make the outcome durable. Failures past this point are logged,
+	// never surfaced as a rollout error — returning one would claim the
+	// fleet is not on the target when it is. A journal left at commit
+	// resumes as a harmless roll-forward onto the corpus already
+	// serving.
+	if rt.journal != nil {
+		if err := rt.journal.promoteEpoch(); err != nil {
+			rt.logf("rollout: epoch %d corpus rotation: %v", plan.epoch, err)
+		}
+	}
+	if err := rt.journalPhase(ctx, plan, phaseCommitted, fp); err != nil {
+		rt.logf("rollout: epoch %d: %v", plan.epoch, err)
 	}
 
 	res := &RolloutResult{Fingerprint: fp, Nodes: make([]NodeCommit, len(coms))}
@@ -167,8 +224,187 @@ func (rt *Router) Rollout(ctx context.Context, data []byte, holdValidate time.Du
 		res.Nodes[i] = NodeCommit{Node: a.node, Generation: a.gen}
 	}
 	rt.stats.rollouts.Add(1)
-	rt.logf("rollout: committed %s on %d nodes", fp, len(coms))
+	rt.logf("rollout: epoch %d committed %s on %d nodes (%d via delta)", plan.epoch, fp, len(coms), len(plan.useDelta))
 	return res, nil
+}
+
+// epochPlan is one rollout epoch's payload plan: the full target corpus
+// (always shipped on the fallback path and persisted at commit), the
+// optional HBD patch against the journaled committed corpus, and which
+// members were planned to receive it.
+type epochPlan struct {
+	epoch    uint64
+	targetFP string // coordinator-side fingerprint of the unfiltered target
+	full     []byte
+	delta    []byte // nil when no delta applies this epoch
+	useDelta map[string]bool
+	nodes    []journalNode
+}
+
+// planEpoch allocates the epoch number and decides per-node payloads.
+// Without a journal the plan is the legacy one — ship the operator's
+// bytes to everyone (an HBD patch is refused: there is no durable base
+// to resolve it against). With a journal the target is normalized to
+// canonical HBC bytes (resolving an HBD patch against the committed
+// corpus when that is what the operator posted), persisted as the
+// epoch corpus, and diffed against the committed base; members whose
+// reported live fingerprint equals the base's get the patch.
+func (rt *Router) planEpoch(ctx context.Context, members []*member, data []byte) (*epochPlan, error) {
+	plan := &epochPlan{
+		epoch:    rt.epoch.Add(1),
+		full:     data,
+		useDelta: make(map[string]bool),
+		nodes:    make([]journalNode, len(members)),
+	}
+	for i, m := range members {
+		plan.nodes[i] = journalNode{Node: m.name}
+	}
+	if rt.journal == nil {
+		if corpusbin.IsHBD(data) {
+			return nil, fmt.Errorf("cluster: rollout: an HBD delta needs the journaled committed corpus as its base; start the coordinator with a journal path")
+		}
+		return plan, nil
+	}
+
+	committed, err := rt.journal.readCommitted()
+	if err != nil {
+		return nil, err
+	}
+	var base *extract.Corpus
+	if committed != nil {
+		if base, err = extract.Load(bytes.NewReader(committed)); err != nil {
+			// A damaged committed corpus must not block rollouts; it
+			// only costs this epoch its deltas.
+			rt.logf("rollout: committed corpus unreadable, full sends this epoch: %v", err)
+			base = nil
+		}
+	}
+	var target *extract.Corpus
+	if corpusbin.IsHBD(data) {
+		if base == nil {
+			return nil, fmt.Errorf("cluster: rollout: HBD delta posted but the journal holds no committed corpus to patch")
+		}
+		applied, full, err := extract.ApplyDelta(base, data)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: rollout: %w", err)
+		}
+		target, plan.full, plan.delta = applied, full, data
+	} else {
+		if target, err = extract.Load(bytes.NewReader(data)); err != nil {
+			return nil, fmt.Errorf("cluster: rollout: target corpus does not load: %w", err)
+		}
+		var buf bytes.Buffer
+		if err := target.SaveBinary(&buf); err != nil {
+			return nil, fmt.Errorf("cluster: rollout: %w", err)
+		}
+		plan.full = buf.Bytes()
+		if base != nil && base.FingerprintString() != target.FingerprintString() {
+			var db bytes.Buffer
+			if err := extract.Diff(base, target, &db); err != nil {
+				rt.logf("rollout: diff against committed base failed, full sends this epoch: %v", err)
+			} else {
+				plan.delta = db.Bytes()
+			}
+		}
+	}
+	plan.targetFP = target.FingerprintString()
+
+	if plan.delta != nil {
+		baseFP := base.FingerprintString()
+		fps := rt.memberFingerprints(ctx, members)
+		for i, m := range members {
+			if fps[i] == baseFP {
+				plan.useDelta[m.name] = true
+				plan.nodes[i].Delta = true
+			}
+		}
+		rt.logf("rollout: epoch %d: delta %d bytes vs full %d bytes, %d/%d members eligible",
+			plan.epoch, len(plan.delta), len(plan.full), len(plan.useDelta), len(members))
+	}
+	if err := rt.journal.writeEpochCorpus(plan.full); err != nil {
+		return nil, err
+	}
+	return plan, nil
+}
+
+// journalPhase makes the phase about to run durable; a no-op without a
+// journal. fp overrides the plan's target fingerprint once the prepare
+// acks have agreed on the cluster-wide one.
+func (rt *Router) journalPhase(ctx context.Context, plan *epochPlan, phase, fp string) error {
+	if rt.journal == nil {
+		return nil
+	}
+	if fp == "" {
+		fp = plan.targetFP
+	}
+	return rt.journal.record(ctx, &journalState{
+		Epoch: plan.epoch, TargetFP: fp, Phase: phase, Nodes: plan.nodes,
+	})
+}
+
+// abortEpochJournaled aborts the epoch on every node and records the
+// aborted outcome.
+func (rt *Router) abortEpochJournaled(ctx context.Context, plan *epochPlan, members []*member, phase, node string, cause error) {
+	rt.abortEpoch(ctx, members, phase, node, cause)
+	rt.markAborted(ctx, plan)
+}
+
+// markAborted journals the aborted outcome. Best effort: the abort
+// itself already succeeded, and an unrecorded abort merely costs a
+// redundant abort round on the next resume.
+func (rt *Router) markAborted(ctx context.Context, plan *epochPlan) {
+	if rt.journal == nil {
+		return
+	}
+	if err := rt.journal.record(ctx, &journalState{
+		Epoch: plan.epoch, TargetFP: plan.targetFP, Phase: phaseAborted, Nodes: plan.nodes,
+	}); err != nil {
+		rt.logf("rollout: journaling abort of epoch %d: %v", plan.epoch, err)
+	}
+}
+
+// memberFingerprints reads every member's live corpus fingerprint
+// concurrently; unreachable members report "" and fall onto the
+// full-corpus path.
+func (rt *Router) memberFingerprints(ctx context.Context, members []*member) []string {
+	fps := make([]string, len(members))
+	var wg sync.WaitGroup
+	for i, m := range members {
+		wg.Add(1)
+		go func(i int, m *member) {
+			defer wg.Done()
+			fps[i], _, _ = rt.nodeStatus(ctx, m)
+		}(i, m)
+	}
+	wg.Wait()
+	return fps
+}
+
+// nodeStatus asks one node's /-/status for its live fingerprint and
+// serving generation, bounded by ProbeTimeout.
+func (rt *Router) nodeStatus(ctx context.Context, m *member) (fp string, gen uint64, err error) {
+	pctx, cancel := context.WithTimeout(ctx, rt.cfg.ProbeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(pctx, http.MethodGet, m.endpoint("/-/status"), nil)
+	if err != nil {
+		return "", 0, fmt.Errorf("cluster: status of %s: %w", m.name, err)
+	}
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		return "", 0, fmt.Errorf("cluster: status of %s: %w", m.name, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", 0, fmt.Errorf("cluster: status of %s: %d", m.name, resp.StatusCode)
+	}
+	var st struct {
+		Fingerprint string `json:"fingerprint"`
+		Generation  uint64 `json:"generation"`
+	}
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&st); err != nil {
+		return "", 0, fmt.Errorf("cluster: status of %s: %w", m.name, err)
+	}
+	return st.Fingerprint, st.Generation, nil
 }
 
 // phaseFanout runs one phase against every member concurrently, each
@@ -215,6 +451,9 @@ func (rt *Router) rolloutPost(ctx context.Context, phase string, m *member, path
 	defer resp.Body.Close()
 	b, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
 	if resp.StatusCode != http.StatusOK {
+		if resp.Header.Get("X-Hoiho-Rollout-Nack") == "base-mismatch" {
+			return "", 0, fmt.Errorf("cluster: rollout %s: %w: %s", phase, ErrBaseMismatchNack, bytes.TrimSpace(b))
+		}
 		return "", 0, fmt.Errorf("cluster: rollout %s nacked with %d: %s", phase, resp.StatusCode, bytes.TrimSpace(b))
 	}
 	fp := resp.Header.Get("X-Hoiho-Corpus")

@@ -355,6 +355,10 @@ type ClusterStatus struct {
 	Joins     uint64 `json:"joins"`
 	Leaves    uint64 `json:"leaves"`
 	Unhealthy uint64 `json:"unhealthy_marks"`
+
+	AntiEntropySweeps      uint64 `json:"anti_entropy_sweeps"`
+	AntiEntropyRepairs     uint64 `json:"anti_entropy_repairs"`
+	AntiEntropyRepairFails uint64 `json:"anti_entropy_repair_failures"`
 }
 
 // MemberStatus is one node's health as the router sees it.
@@ -383,6 +387,10 @@ func (rt *Router) StatusNow() ClusterStatus {
 		Joins:       rt.stats.joins.Load(),
 		Leaves:      rt.stats.leaves.Load(),
 		Unhealthy:   rt.stats.unhealthy.Load(),
+
+		AntiEntropySweeps:      rt.stats.sweeps.Load(),
+		AntiEntropyRepairs:     rt.stats.repairs.Load(),
+		AntiEntropyRepairFails: rt.stats.repairFails.Load(),
 	}
 	for _, m := range v.members {
 		ms := MemberStatus{Node: m.name, Healthy: m.healthy.Load()}

@@ -48,6 +48,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"io"
+	"os"
 
 	"hoiho/internal/core"
 	"hoiho/internal/match"
@@ -96,6 +97,23 @@ func PeekFingerprint(data []byte) (uint64, error) {
 	return binary.LittleEndian.Uint64(data[4:]), nil
 }
 
+// PeekFingerprintFile reads path and peeks its fingerprint. Every
+// failure — an unreadable file, an empty file, a header truncated below
+// headerLen, a corrupt payload — comes back as an error naming the
+// path, never as a panic; the rollout journal uses this to identify the
+// corpora it has on disk after a coordinator restart.
+func PeekFingerprintFile(path string) (uint64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, fmt.Errorf("corpusbin: peek %s: %w", path, err)
+	}
+	fp, err := PeekFingerprint(data)
+	if err != nil {
+		return 0, fmt.Errorf("%s: %w", path, err)
+	}
+	return fp, nil
+}
+
 // NCRecord pairs a convention with the wire form of its compiled
 // matcher for encoding.
 type NCRecord struct {
@@ -132,42 +150,17 @@ func (t *stringTable) ref(s string) uint64 {
 // (callers pass suffix-sorted lists, matching the JSON form), and every
 // walk below is deterministic, so equal corpora encode byte-identically.
 func Encode(w io.Writer, recs []NCRecord) error {
-	tab := &stringTable{ids: make(map[string]uint64)}
-	body := make([]byte, 0, 4096)
+	// Presized for the common shape (a few strings and ~100 encoded
+	// bytes per record): map rehashes and body regrowth were measurable
+	// on the delta-apply path, which re-encodes the full target file.
+	tab := &stringTable{ids: make(map[string]uint64, 4*len(recs))}
+	body := make([]byte, 0, 4096+128*len(recs))
 	body = binary.AppendUvarint(body, uint64(len(recs)))
 	for i, rec := range recs {
-		nc := rec.NC
-		if nc == nil || nc.Suffix == "" {
-			return fmt.Errorf("corpusbin: encode: record %d has no suffix", i)
-		}
-		body = binary.AppendUvarint(body, tab.ref(nc.Suffix))
-		body = append(body, byte(nc.Class))
-		single := byte(0)
-		if nc.Single {
-			single = 1
-		}
-		body = append(body, single)
-		for _, v := range [6]int{nc.Eval.TP, nc.Eval.FP, nc.Eval.FN, nc.Eval.Matches, nc.Eval.UniqueTP, nc.Eval.UniqueExtract} {
-			if v < 0 {
-				return fmt.Errorf("corpusbin: encode: nc %s: negative eval counter", nc.Suffix)
-			}
-			body = binary.AppendUvarint(body, uint64(v))
-		}
-		body = binary.AppendUvarint(body, uint64(len(nc.Regexes)))
-		for j, r := range nc.Regexes {
-			var err error
-			body, err = appendRegex(body, tab, nc.Suffix, j, r)
-			if err != nil {
-				return err
-			}
-		}
-		body = binary.AppendUvarint(body, uint64(len(rec.Programs)))
-		for _, p := range rec.Programs {
-			var err error
-			body, err = appendProgram(body, tab, nc.Suffix, p, len(nc.Regexes))
-			if err != nil {
-				return err
-			}
+		var err error
+		body, err = appendRecord(body, tab, i, rec)
+		if err != nil {
+			return err
 		}
 	}
 
@@ -194,6 +187,48 @@ func Encode(w io.Writer, recs []NCRecord) error {
 		return fmt.Errorf("corpusbin: encode: %w", err)
 	}
 	return nil
+}
+
+// appendRecord serializes one NC record — suffix ref, class, single
+// flag, eval counters, token-form regexes, wire programs — into body,
+// interning strings through tab. It is the single record layout shared
+// by the full corpus encoder and the HBD delta encoder, so a record
+// inserted by a delta is byte-compatible with the full-corpus form.
+func appendRecord(body []byte, tab *stringTable, i int, rec NCRecord) ([]byte, error) {
+	nc := rec.NC
+	if nc == nil || nc.Suffix == "" {
+		return nil, fmt.Errorf("corpusbin: encode: record %d has no suffix", i)
+	}
+	body = binary.AppendUvarint(body, tab.ref(nc.Suffix))
+	body = append(body, byte(nc.Class))
+	single := byte(0)
+	if nc.Single {
+		single = 1
+	}
+	body = append(body, single)
+	for _, v := range [6]int{nc.Eval.TP, nc.Eval.FP, nc.Eval.FN, nc.Eval.Matches, nc.Eval.UniqueTP, nc.Eval.UniqueExtract} {
+		if v < 0 {
+			return nil, fmt.Errorf("corpusbin: encode: nc %s: negative eval counter", nc.Suffix)
+		}
+		body = binary.AppendUvarint(body, uint64(v))
+	}
+	body = binary.AppendUvarint(body, uint64(len(nc.Regexes)))
+	for j, r := range nc.Regexes {
+		var err error
+		body, err = appendRegex(body, tab, nc.Suffix, j, r)
+		if err != nil {
+			return nil, err
+		}
+	}
+	body = binary.AppendUvarint(body, uint64(len(rec.Programs)))
+	for _, p := range rec.Programs {
+		var err error
+		body, err = appendProgram(body, tab, nc.Suffix, p, len(nc.Regexes))
+		if err != nil {
+			return nil, err
+		}
+	}
+	return body, nil
 }
 
 // regex flags.
@@ -405,9 +440,42 @@ func Decode(data []byte) (*Decoded, error) {
 	}
 
 	d := &decoder{data: payload}
+	table, err := d.strTable()
+	if err != nil {
+		return nil, err
+	}
 
-	// String table. Each entry costs at least one byte of input (its
-	// length prefix); string headers are 16 bytes.
+	// NC records.
+	nNCs, err := d.count("nc table", 10, 256)
+	if err != nil {
+		return nil, err
+	}
+	out := &Decoded{
+		NCs:         make([]*core.NC, 0, nNCs),
+		Engines:     make([]*match.Engine, 0, nNCs),
+		Fingerprint: wantFP,
+	}
+	for i := 0; i < nNCs; i++ {
+		rec, eng, err := d.decodeNC(table)
+		if err != nil {
+			return nil, fmt.Errorf("corpusbin: decode: nc %d: %w", i, err)
+		}
+		out.NCs = append(out.NCs, rec.NC)
+		out.Engines = append(out.Engines, eng)
+	}
+	if d.remaining() != 0 {
+		return nil, d.errf("%d trailing bytes after last record", d.remaining())
+	}
+	if got := core.FingerprintNCs(out.NCs); got != wantFP {
+		return nil, fmt.Errorf("corpusbin: decode: fingerprint mismatch: decoded %016x, header %016x", got, wantFP)
+	}
+	return out, nil
+}
+
+// strTable reads the interned string table that opens every HBC and
+// HBD payload. Each entry costs at least one byte of input (its length
+// prefix); string headers are 16 bytes.
+func (d *decoder) strTable() ([]string, error) {
 	nStrs, err := d.count("string table", 1, 16)
 	if err != nil {
 		return nil, err
@@ -427,104 +495,82 @@ func Decode(data []byte) (*Decoded, error) {
 		}
 		table[i] = string(b)
 	}
-
-	// NC records.
-	nNCs, err := d.count("nc table", 10, 256)
-	if err != nil {
-		return nil, err
-	}
-	out := &Decoded{
-		NCs:         make([]*core.NC, 0, nNCs),
-		Engines:     make([]*match.Engine, 0, nNCs),
-		Fingerprint: wantFP,
-	}
-	for i := 0; i < nNCs; i++ {
-		nc, eng, err := d.decodeNC(table)
-		if err != nil {
-			return nil, fmt.Errorf("corpusbin: decode: nc %d: %w", i, err)
-		}
-		out.NCs = append(out.NCs, nc)
-		out.Engines = append(out.Engines, eng)
-	}
-	if d.remaining() != 0 {
-		return nil, d.errf("%d trailing bytes after last record", d.remaining())
-	}
-	if got := core.FingerprintNCs(out.NCs); got != wantFP {
-		return nil, fmt.Errorf("corpusbin: decode: fingerprint mismatch: decoded %016x, header %016x", got, wantFP)
-	}
-	return out, nil
+	return table, nil
 }
 
-func (d *decoder) decodeNC(table []string) (*core.NC, *match.Engine, error) {
+func (d *decoder) decodeNC(table []string) (NCRecord, *match.Engine, error) {
+	var rec NCRecord
 	nc := &core.NC{}
 	var err error
 	if nc.Suffix, err = d.str(table, "suffix"); err != nil {
-		return nil, nil, err
+		return rec, nil, err
 	}
 	if nc.Suffix == "" {
-		return nil, nil, d.errf("empty suffix")
+		return rec, nil, d.errf("empty suffix")
 	}
 	class, err := d.byteVal("class")
 	if err != nil {
-		return nil, nil, err
+		return rec, nil, err
 	}
 	if class > byte(core.Good) {
-		return nil, nil, d.errf("unknown class %d", class)
+		return rec, nil, d.errf("unknown class %d", class)
 	}
 	nc.Class = core.Classification(class)
 	single, err := d.byteVal("single flag")
 	if err != nil {
-		return nil, nil, err
+		return rec, nil, err
 	}
 	if single > 1 {
-		return nil, nil, d.errf("invalid single flag %d", single)
+		return rec, nil, d.errf("invalid single flag %d", single)
 	}
 	nc.Single = single == 1
 	evals := [6]*int{&nc.Eval.TP, &nc.Eval.FP, &nc.Eval.FN, &nc.Eval.Matches, &nc.Eval.UniqueTP, &nc.Eval.UniqueExtract}
 	for _, dst := range evals {
 		v, err := d.uvarint("eval counter")
 		if err != nil {
-			return nil, nil, err
+			return rec, nil, err
 		}
 		if v > 1<<31-1 {
-			return nil, nil, d.errf("eval counter %d out of range", v)
+			return rec, nil, d.errf("eval counter %d out of range", v)
 		}
 		*dst = int(v)
 	}
 
 	nRx, err := d.count("regex list", 1, 8)
 	if err != nil {
-		return nil, nil, err
+		return rec, nil, err
 	}
 	nc.Regexes = make([]*rex.Regex, 0, nRx)
 	for j := 0; j < nRx; j++ {
 		r, err := d.decodeRegex(table)
 		if err != nil {
-			return nil, nil, fmt.Errorf("corpusbin: decode: regex %d: %w", j, err)
+			return rec, nil, fmt.Errorf("corpusbin: decode: regex %d: %w", j, err)
 		}
 		nc.Regexes = append(nc.Regexes, r)
 	}
 
 	nProgs, err := d.count("program list", 3, 64)
 	if err != nil {
-		return nil, nil, err
+		return rec, nil, err
 	}
 	if nProgs > nRx {
-		return nil, nil, d.errf("%d programs for %d regexes", nProgs, nRx)
+		return rec, nil, d.errf("%d programs for %d regexes", nProgs, nRx)
 	}
 	progs := make([]match.WireProgram, 0, nProgs)
 	for j := 0; j < nProgs; j++ {
 		p, err := d.decodeProgram(table)
 		if err != nil {
-			return nil, nil, err
+			return rec, nil, err
 		}
 		progs = append(progs, p)
 	}
 	eng, err := match.EngineFromWire(progs, nc.Regexes)
 	if err != nil {
-		return nil, nil, d.errf("nc %s: %v", nc.Suffix, err)
+		return rec, nil, d.errf("nc %s: %v", nc.Suffix, err)
 	}
-	return nc, eng, nil
+	rec.NC = nc
+	rec.Programs = progs
+	return rec, eng, nil
 }
 
 // decodeRegex reads one token-form regex and rebuilds it through the

@@ -8,8 +8,8 @@ import (
 	"path/filepath"
 	"testing"
 
-	"hoiho/internal/corpusbin"
 	"hoiho/internal/core"
+	"hoiho/internal/corpusbin"
 )
 
 // hbcBytes serializes a corpus to the HBC binary form in memory.

@@ -28,6 +28,7 @@ import (
 
 	"hoiho/internal/asn"
 	"hoiho/internal/core"
+	"hoiho/internal/corpusbin"
 	"hoiho/internal/match"
 	"hoiho/internal/psl"
 	"hoiho/internal/rex"
@@ -147,6 +148,11 @@ type Corpus struct {
 	safeDirect bool
 	// fp is the content fingerprint, computed once in New.
 	fp uint64
+	// binOnce/binRecs memoize the corpusbin record form of the retained
+	// NCs (engine wire programs included): a serving corpus is diffed
+	// and patched repeatedly, and the records never change after build.
+	binOnce sync.Once
+	binRecs []corpusbin.NCRecord
 }
 
 // Option configures a Corpus at construction time.

@@ -156,15 +156,8 @@ func (c *Corpus) Save(w io.Writer) error {
 // without recompiling. Already-compiled engines are reused; suffixes
 // whose matcher was never built (or was built on the stdlib path)
 // compile here, once.
-//
-//hoiho:ctxflow bounded one-shot serialization of the retained NCs, milliseconds even for full-scale corpora; not a streaming pipeline
 func (c *Corpus) SaveBinary(w io.Writer) error {
-	recs := make([]corpusbin.NCRecord, len(c.ncs))
-	for i, nc := range c.ncs {
-		eng := c.compiledEngine(nc)
-		recs[i] = corpusbin.NCRecord{NC: nc, Programs: eng.Wire()}
-	}
-	if err := corpusbin.Encode(w, recs); err != nil {
+	if err := corpusbin.Encode(w, c.binaryRecords()); err != nil {
 		return fmt.Errorf("extract: save: %w", err)
 	}
 	return nil

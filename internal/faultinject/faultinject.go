@@ -57,6 +57,24 @@ const (
 	// failure mid-rollout, which must abort the epoch and leave every
 	// node on the prior generation.
 	StageClusterRollout = "cluster.rollout"
+	// StageCorpusbinDelta fires once per HBD delta application, after the
+	// base fingerprint check and before the patched corpus is assembled;
+	// the key is the target fingerprint in %016x form. Error rules here
+	// model a delta that dies mid-apply, which must leave the caller's
+	// base corpus untouched and serving.
+	StageCorpusbinDelta = "corpusbin.delta"
+	// StageClusterJournal fires once per rollout-journal write, before
+	// the state file is persisted; the key is the phase about to be
+	// recorded ("prepare", "validate", "commit", "committed", "aborted").
+	// Panic rules here simulate a coordinator crash at an exact point in
+	// the rollout state machine, which the journal-resume path must
+	// recover from on restart.
+	StageClusterJournal = "cluster.journal"
+	// StageClusterAntiEntropy fires once per anti-entropy repair attempt,
+	// before the coordinator contacts the divergent node; the key is the
+	// node name. Error rules here model a repair that fails transiently,
+	// which the next sweep must retry.
+	StageClusterAntiEntropy = "cluster.antientropy"
 )
 
 // Kind is the failure mode a rule injects.

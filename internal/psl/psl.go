@@ -86,16 +86,28 @@ func FromRules(rules ...string) (*List, error) {
 	return l, nil
 }
 
+var (
+	defaultOnce sync.Once
+	defaultList *List
+)
+
 // Default returns a list compiled from the embedded snapshot of the
 // public suffix list (see snapshot.go), sufficient for the suffixes used
-// throughout this repository and its experiments.
+// throughout this repository and its experiments. The snapshot is
+// parsed once and the compiled list shared: a List is immutable after
+// Parse (the lazy tails index builds under its own sync.Once), and
+// corpus construction calls Default on every load, where re-parsing
+// the snapshot was a measurable slice of cold start.
 func Default() *List {
-	l, err := Parse(strings.NewReader(snapshot))
-	if err != nil {
-		//hoiho:panic-ok invariant on embedded data: the compiled-in PSL snapshot failing to parse means the binary itself is broken
-		panic("psl: embedded snapshot invalid: " + err.Error())
-	}
-	return l
+	defaultOnce.Do(func() {
+		l, err := Parse(strings.NewReader(snapshot))
+		if err != nil {
+			//hoiho:panic-ok invariant on embedded data: the compiled-in PSL snapshot failing to parse means the binary itself is broken
+			panic("psl: embedded snapshot invalid: " + err.Error())
+		}
+		defaultList = l
+	})
+	return defaultList
 }
 
 func (l *List) addRule(rule string) error {

@@ -42,6 +42,13 @@ var (
 	// epoch), so the prepared corpus no longer supersedes what it was
 	// validated against. The coordinator must restart the rollout.
 	ErrPreparedStale = errors.New("serve: prepared corpus is stale: serving generation changed since prepare")
+	// ErrBaseMismatch means a rollout prepare shipped an HBD delta whose
+	// base fingerprint is not this node's live corpus — the node diverged
+	// from what the coordinator believed it was serving (or holds no
+	// corpus at all). The prepare is nacked without staging anything; the
+	// coordinator degrades gracefully by resending the full corpus to
+	// just this node.
+	ErrBaseMismatch = errors.New("serve: rollout delta base mismatch: live corpus is not the delta's base")
 )
 
 // CommitMismatchError is a rollout commit whose expected fingerprint

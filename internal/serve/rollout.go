@@ -27,12 +27,14 @@ package serve
 import (
 	"bytes"
 	"errors"
+	"fmt"
 	"io"
 	"net/http"
 	"strconv"
 	"time"
 
 	"hoiho/internal/atomicfile"
+	"hoiho/internal/corpusbin"
 	"hoiho/internal/extract"
 )
 
@@ -45,28 +47,63 @@ type preparedCorpus struct {
 	// gen is the serving generation observed at prepare time; commit
 	// refuses to publish over any other generation.
 	gen uint64
+	// epoch is the coordinator's rollout epoch, carried through to the
+	// last-rollout outcome so /-/status ties results to epochs.
+	epoch uint64
 }
 
-// PrepareCorpus loads data (JSON or HBC, sniffed, with the node's class
-// filter applied) into the rollout side buffer. The running corpus is
-// untouched; a corpus that fails validation is rejected exactly as a
-// corrupt Reload would be. It returns the prepared fingerprint and the
-// serving generation the prepared corpus would supersede.
-func (s *Server) PrepareCorpus(data []byte) (fp string, gen uint64, err error) {
+// PrepareCorpus stages data into the rollout side buffer. The payload
+// is sniffed: a full corpus (JSON or HBC, with the node's class filter
+// applied) loads exactly as a Reload would; an HBD delta is applied
+// against the *live* corpus, and the side buffer receives the complete
+// patched target — commit always persists a full corpus, never a
+// patch. A delta whose base is not the live corpus is refused with
+// ErrBaseMismatch (nothing staged, nothing served changes), the signal
+// the coordinator turns into a full-corpus resend for this node. The
+// running corpus is untouched in every failure mode. It returns the
+// prepared fingerprint and the serving generation the prepared corpus
+// would supersede.
+func (s *Server) PrepareCorpus(data []byte, epoch uint64) (fp string, gen uint64, err error) {
 	s.reloadMu.Lock()
 	defer s.reloadMu.Unlock()
-	corpus, err := extract.Load(bytes.NewReader(data), s.corpusOpts...)
-	if err != nil {
-		s.stats.reloadFailures.Add(1)
-		s.noteErrLocked(err)
-		return "", 0, &ReloadError{Path: "(rollout prepare)", Err: err}
+	var corpus *extract.Corpus
+	if corpusbin.IsHBD(data) {
+		snap := s.state.Load()
+		if snap == nil {
+			err := fmt.Errorf("%w: no corpus loaded to patch", ErrBaseMismatch)
+			s.noteRolloutLocked(epoch, "", "failed", err)
+			return "", 0, err
+		}
+		applied, full, aerr := extract.ApplyDelta(snap.corpus, data, s.corpusOpts...)
+		if aerr != nil {
+			if errors.Is(aerr, corpusbin.ErrDeltaBaseMismatch) {
+				err := fmt.Errorf("%w: %w", ErrBaseMismatch, aerr)
+				s.noteRolloutLocked(epoch, "", "failed", err)
+				return "", 0, err
+			}
+			s.stats.reloadFailures.Add(1)
+			s.noteErrLocked(aerr)
+			s.noteRolloutLocked(epoch, "", "failed", aerr)
+			return "", 0, &ReloadError{Path: "(rollout delta)", Err: aerr}
+		}
+		corpus, data = applied, full
+	} else {
+		corpus, err = extract.Load(bytes.NewReader(data), s.corpusOpts...)
+		if err != nil {
+			s.stats.reloadFailures.Add(1)
+			s.noteErrLocked(err)
+			s.noteRolloutLocked(epoch, "", "failed", err)
+			return "", 0, &ReloadError{Path: "(rollout prepare)", Err: err}
+		}
+		data = append([]byte(nil), data...)
 	}
 	gen = s.generation.Load()
 	s.prepared = &preparedCorpus{
 		corpus: corpus,
-		data:   append([]byte(nil), data...),
+		data:   data,
 		at:     time.Now(),
 		gen:    gen,
+		epoch:  epoch,
 	}
 	s.stats.prepares.Add(1)
 	return corpus.FingerprintString(), gen, nil
@@ -106,13 +143,16 @@ func (s *Server) CommitPrepared(wantFP string) (*snapshot, error) {
 		return nil, ErrPreparedStale
 	}
 	if have := p.corpus.FingerprintString(); wantFP != "" && wantFP != have {
-		return nil, &CommitMismatchError{Want: wantFP, Have: have}
+		err := &CommitMismatchError{Want: wantFP, Have: have}
+		s.noteRolloutLocked(p.epoch, have, "failed", err)
+		return nil, err
 	}
 	if err := atomicfile.WriteFile(s.cfg.CorpusPath, func(w io.Writer) error {
 		_, err := w.Write(p.data)
 		return err
 	}); err != nil {
 		s.noteErrLocked(err)
+		s.noteRolloutLocked(p.epoch, p.corpus.FingerprintString(), "failed", err)
 		return nil, &ReloadError{Path: s.cfg.CorpusPath, Err: err}
 	}
 	snap := &snapshot{
@@ -126,6 +166,7 @@ func (s *Server) CommitPrepared(wantFP string) (*snapshot, error) {
 	}
 	s.prepared = nil
 	s.stats.commits.Add(1)
+	s.noteRolloutLocked(p.epoch, snap.corpus.FingerprintString(), "committed", nil)
 	return snap, nil
 }
 
@@ -136,6 +177,9 @@ func (s *Server) AbortPrepared() bool {
 	s.reloadMu.Lock()
 	defer s.reloadMu.Unlock()
 	dropped := s.prepared != nil
+	if dropped {
+		s.noteRolloutLocked(s.prepared.epoch, s.prepared.corpus.FingerprintString(), "aborted", nil)
+	}
 	s.prepared = nil
 	if dropped {
 		s.stats.aborts.Add(1)
@@ -148,6 +192,34 @@ func (s *Server) AbortPrepared() bool {
 func (s *Server) noteErrLocked(err error) {
 	s.lastErr = err.Error()
 	s.lastErrAt = time.Now()
+}
+
+// noteRolloutLocked records how the last rollout that touched this node
+// ended. Callers hold reloadMu.
+func (s *Server) noteRolloutLocked(epoch uint64, fp, outcome string, err error) {
+	o := &RolloutOutcome{Epoch: epoch, Fingerprint: fp, Outcome: outcome, At: time.Now()}
+	if err != nil {
+		o.Error = err.Error()
+	}
+	s.lastRollout = o
+}
+
+// RolloutOutcome is how the last rollout epoch that touched this node
+// ended. Its absence from /-/status means no rollout ever reached the
+// node — operators and the anti-entropy sweep can tell "never rolled
+// out" from "rolled out and aborted", which a bare fingerprint cannot.
+type RolloutOutcome struct {
+	// Epoch is the coordinator's rollout epoch (0 when the prepare was
+	// driven without one, e.g. a direct node-level call).
+	Epoch uint64 `json:"epoch"`
+	// Fingerprint is the target corpus of that epoch, when it was known
+	// by the time the outcome was recorded.
+	Fingerprint string `json:"fingerprint,omitempty"`
+	// Outcome is "committed", "aborted", or "failed".
+	Outcome string `json:"outcome"`
+	// Error carries the failure when Outcome is "failed".
+	Error string    `json:"error,omitempty"`
+	At    time.Time `json:"at"`
 }
 
 // NodeStatus is the /-/status document: the node-state introspection
@@ -169,6 +241,9 @@ type NodeStatus struct {
 
 	LastReloadError string    `json:"last_reload_error,omitempty"`
 	LastReloadAt    time.Time `json:"last_reload_at"`
+
+	// LastRollout is absent until a rollout touches this node.
+	LastRollout *RolloutOutcome `json:"last_rollout,omitempty"`
 
 	Reloads        uint64 `json:"reloads"`
 	ReloadFailures uint64 `json:"reload_failures"`
@@ -204,6 +279,10 @@ func (s *Server) NodeStatusNow() NodeStatus {
 	}
 	st.LastReloadError = s.lastErr
 	st.LastReloadAt = s.lastErrAt
+	if s.lastRollout != nil {
+		o := *s.lastRollout
+		st.LastRollout = &o
+	}
 	s.reloadMu.Unlock()
 	return st
 }
@@ -212,10 +291,13 @@ func (s *Server) handleNodeStatus(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.NodeStatusNow())
 }
 
-// handlePrepare stages the corpus carried in the request body. The ack
-// reuses the corpus headers as proof: X-Hoiho-Corpus is the PREPARED
-// fingerprint (what this node would publish), X-Hoiho-Generation the
-// serving generation it would supersede.
+// handlePrepare stages the corpus (or HBD delta) carried in the request
+// body. The ack reuses the corpus headers as proof: X-Hoiho-Corpus is
+// the PREPARED fingerprint (what this node would publish),
+// X-Hoiho-Generation the serving generation it would supersede. A delta
+// whose base is not the live corpus nacks 409 with the
+// X-Hoiho-Rollout-Nack: base-mismatch header, the coordinator's cue to
+// resend the full corpus to this node only.
 func (s *Server) handlePrepare(w http.ResponseWriter, r *http.Request) {
 	data, err := io.ReadAll(io.LimitReader(r.Body, maxRolloutBytes+1))
 	if err != nil {
@@ -226,9 +308,15 @@ func (s *Server) handlePrepare(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "serve: rollout corpus exceeds byte cap", http.StatusRequestEntityTooLarge)
 		return
 	}
-	fp, gen, err := s.PrepareCorpus(data)
+	epoch, _ := strconv.ParseUint(r.URL.Query().Get("epoch"), 10, 64)
+	fp, gen, err := s.PrepareCorpus(data, epoch)
 	if err != nil {
 		s.logf("rollout prepare rejected: %v", err)
+		if errors.Is(err, ErrBaseMismatch) {
+			w.Header().Set("X-Hoiho-Rollout-Nack", "base-mismatch")
+			http.Error(w, err.Error(), http.StatusConflict)
+			return
+		}
 		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
 		return
 	}

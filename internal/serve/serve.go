@@ -86,10 +86,12 @@ type Server struct {
 	generation atomic.Uint64
 	reloadMu   sync.Mutex // serializes Reload/Rollback/rollout phases
 
-	// Rollout side buffer and last-failure record, guarded by reloadMu.
-	prepared  *preparedCorpus
-	lastErr   string
-	lastErrAt time.Time
+	// Rollout side buffer, last-failure record, and last rollout
+	// outcome, guarded by reloadMu.
+	prepared    *preparedCorpus
+	lastErr     string
+	lastErrAt   time.Time
+	lastRollout *RolloutOutcome
 
 	gate  *gate
 	stats counters
